@@ -1,0 +1,97 @@
+"""User-data classes and custom result comparison.
+
+Shows the two annotation surfaces of §3.1 together:
+
+* ``@user_data`` marks the classes whose instances belong in versioned
+  memory (Listing 5's ``#pragma user-data``); they gain a canonical
+  payload used by checksums and bitwise comparison;
+* ``@closure(compare=...)`` overrides the output comparison — the paper's
+  ``==`` overload on the output pointer — here used for an operator whose
+  result is an order-insensitive set of matches.
+
+Run:  python examples/custom_user_data.py
+"""
+
+from dataclasses import dataclass
+
+from repro import (
+    Fault,
+    FaultKind,
+    Machine,
+    OrthrusRuntime,
+    Unit,
+    closure,
+    ops,
+    orthrus_new,
+    user_data,
+)
+
+
+@user_data
+@dataclass
+class StockRecord:
+    """A warehouse row: annotated user data (lives in versioned memory)."""
+
+    sku: str
+    quantity: int
+    unit_price_cents: int
+
+
+@closure(name="inventory.restock")
+def restock(record_ptr, amount):
+    record = record_ptr.load()
+    new_quantity = ops().alu.add(record.quantity, amount)
+    record_ptr.store(
+        StockRecord(record.sku, new_quantity, record.unit_price_cents)
+    )
+    return new_quantity
+
+
+def unordered_equal(a, b):
+    """Custom comparison: match results as multisets, not sequences."""
+    try:
+        return sorted(a) == sorted(b)
+    except TypeError:
+        return a == b
+
+
+@closure(name="inventory.low_stock", compare=unordered_equal)
+def low_stock(record_ptrs, threshold):
+    """Report SKUs below the threshold (order not meaningful)."""
+    hits = []
+    for ptr in record_ptrs:
+        record = ptr.load()
+        if ops().alu.lt(record.quantity, threshold):
+            hits.append(record.sku)
+    return hits
+
+
+def main():
+    machine = Machine(cores_per_node=4, numa_nodes=1)
+    runtime = OrthrusRuntime(machine=machine, app_cores=[0], validation_cores=[1])
+    with runtime:
+        records = [
+            runtime.new(StockRecord(f"sku-{i:03d}", quantity=i * 3, unit_price_cents=199))
+            for i in range(8)
+        ]
+        restock(records[0], 5)
+        report = low_stock(records, threshold=10)
+    print(f"low-stock report: {report}")
+    print(f"validations={runtime.validations} detections={runtime.detections}")
+    assert runtime.detections == 0
+
+    # Same program on a mercurial core: the restock arithmetic corrupts the
+    # stored StockRecord payload and the re-execution flags it.
+    machine = Machine(cores_per_node=4, numa_nodes=1)
+    machine.arm(0, Fault(unit=Unit.ALU, kind=FaultKind.BITFLIP, bit=5))
+    runtime = OrthrusRuntime(machine=machine, app_cores=[0], validation_cores=[1])
+    with runtime:
+        record = runtime.new(StockRecord("sku-007", 10, 199))
+        restock(record, 4)
+    print(f"\nmercurial run: detections={runtime.detections}")
+    print(f"corrupted record: {record.load()}")
+    assert runtime.detections > 0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Memcached under Orthrus: a cloud cache with asynchronous validation.
+
+Drives the Memcached-style server (Listing 3's data/control split) with a
+CacheLib-like skewed workload, first on healthy silicon and then with a
+mercurial core whose defect sits in the ``set`` operator's hash
+computation — the misplaced-bucket scenario of Listing 2.
+
+Shows the three detection paths:
+  * data-path re-execution mismatch (hash fault),
+  * request-payload CRC at the data-path boundary (control-path fault),
+  * client-side response CRC (response corruption).
+
+Run:  python examples/memcached_demo.py
+"""
+
+from repro import Fault, FaultKind, Machine, OrthrusRuntime, Unit
+from repro.apps.memcached import MemcachedServer
+from repro.machine.instruction import Site
+from repro.workloads import CacheLibWorkload
+
+
+def drive(machine, label, n_ops=400):
+    runtime = OrthrusRuntime(
+        machine=machine, app_cores=[0], validation_cores=[1], mode="queued"
+    )
+    server = MemcachedServer(runtime, n_buckets=64)
+    workload = CacheLibWorkload(n_keys=200, seed=42)
+    for op in workload.ops(n_ops):
+        server.handle(op)
+    with runtime:
+        runtime.drain()  # asynchronous validation catches up
+    kinds = {}
+    for event in runtime.report.events:
+        kinds[event.kind] = kinds.get(event.kind, 0) + 1
+    print(
+        f"{label:>24}: {n_ops} ops, {len(server.items())} keys live, "
+        f"validated={runtime.validations}, detections={runtime.detections} {kinds or ''}"
+    )
+    return runtime
+
+
+def main():
+    print("Memcached-Orthrus demo\n")
+
+    drive(Machine(cores_per_node=4, numa_nodes=1), "healthy fleet")
+
+    hash_faulty = Machine(cores_per_node=4, numa_nodes=1)
+    hash_faulty.arm(0, Fault(unit=Unit.ALU, kind=FaultKind.BITFLIP, bit=3,
+                             site=Site("mc.set", "hash64", 0)))
+    drive(hash_faulty, "mercurial set-hash")
+
+    rx_faulty = Machine(cores_per_node=4, numa_nodes=1)
+    rx_faulty.arm(0, Fault(unit=Unit.ALU, kind=FaultKind.BITFLIP, bit=130,
+                           site=Site("mc.control.rx", "copy", 0)))
+    drive(rx_faulty, "control-path payload")
+
+    tx_faulty = Machine(cores_per_node=4, numa_nodes=1)
+    tx_faulty.arm(0, Fault(unit=Unit.ALU, kind=FaultKind.BITFLIP, bit=130,
+                           site=Site("mc.control.tx", "copy", 0)))
+    drive(tx_faulty, "response corruption")
+
+    print(
+        "\nData-path faults surface as re-execution mismatches; control-path\n"
+        "payload/response corruption is caught by the CRC carried in each\n"
+        "version header (Figure 3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

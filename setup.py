@@ -1,0 +1,12 @@
+"""Setup shim.
+
+This environment ships a setuptools without the ``wheel`` package, so PEP
+660 editable installs (``pip install -e .`` via pyproject only) fail with
+``invalid command 'bdist_wheel'``.  Keeping a classic ``setup.py`` lets
+``pip install -e . --no-build-isolation`` fall back to the legacy editable
+path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

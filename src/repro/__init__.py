@@ -1,0 +1,101 @@
+"""Orthrus reproduction: resource-adaptive computation validation.
+
+A Python reproduction of *Orthrus: Efficient and Timely Detection of Silent
+User Data Corruption in the Cloud with Resource-Adaptive Computation
+Validation* (SOSP 2025).
+
+Quickstart::
+
+    from repro import OrthrusRuntime, closure, ops, orthrus_new
+
+    @closure
+    def bump(ptr, delta):
+        value = ptr.load()
+        ptr.store(ops().alu.add(value, delta))
+
+    runtime = OrthrusRuntime()
+    with runtime:
+        counter = runtime.new(0)
+        bump(counter, 5)
+    assert runtime.report.detected is False
+
+See ``DESIGN.md`` for the full system inventory and ``examples/`` for
+runnable scenarios, including fault-injection campaigns.
+"""
+
+from repro.clock import LogicalClock, ManualClock
+from repro.closures import (
+    CLOSURE_REGISTRY,
+    ClosureLog,
+    closure,
+    ops,
+    syscall,
+    sys_randint,
+    sys_random,
+    sys_read,
+    sys_time,
+    sys_write,
+    user_data,
+)
+from repro.detection import DetectionEvent, DetectionReport
+from repro.errors import (
+    ChecksumMismatch,
+    ConfigurationError,
+    HeapError,
+    NoActiveContext,
+    ReproError,
+    SdcDetected,
+    ValidationMismatch,
+)
+from repro.machine import Fault, FaultKind, Machine, Unit
+from repro.memory import OrthrusPtr, VersionedHeap, orthrus_new, orthrus_receive
+from repro.runtime import (
+    AdaptiveSampler,
+    AlwaysSampler,
+    OrthrusRuntime,
+    RandomSampler,
+    SafeModePolicy,
+    SamplerConfig,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveSampler",
+    "AlwaysSampler",
+    "CLOSURE_REGISTRY",
+    "ChecksumMismatch",
+    "ClosureLog",
+    "ConfigurationError",
+    "DetectionEvent",
+    "DetectionReport",
+    "Fault",
+    "FaultKind",
+    "HeapError",
+    "LogicalClock",
+    "Machine",
+    "ManualClock",
+    "NoActiveContext",
+    "OrthrusPtr",
+    "OrthrusRuntime",
+    "RandomSampler",
+    "ReproError",
+    "SafeModePolicy",
+    "SamplerConfig",
+    "SdcDetected",
+    "Unit",
+    "ValidationMismatch",
+    "VersionedHeap",
+    "__version__",
+    "closure",
+    "ops",
+    "orthrus_new",
+    "orthrus_receive",
+    "syscall",
+    "sys_randint",
+    "sys_random",
+    "sys_read",
+    "sys_time",
+    "sys_write",
+    "user_data",
+]

@@ -1,0 +1,19 @@
+"""The four evaluated applications (Table 1), each split into an
+Orthrus-protected data path and a conventional control path."""
+
+from repro.apps.common import AppServer, Packet, transfer, unwrap
+from repro.apps.lsmtree import LsmTreeServer
+from repro.apps.masstree import MasstreeServer
+from repro.apps.memcached import MemcachedServer
+from repro.apps.phoenix import WordCountJob
+
+__all__ = [
+    "AppServer",
+    "LsmTreeServer",
+    "MasstreeServer",
+    "MemcachedServer",
+    "Packet",
+    "WordCountJob",
+    "transfer",
+    "unwrap",
+]

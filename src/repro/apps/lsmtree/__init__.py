@@ -1,0 +1,23 @@
+"""Log-structured merge tree (Table 1 workload #3)."""
+
+from repro.apps.lsmtree.lsm import (
+    TOMBSTONE,
+    LsmTree,
+    lsm_compact,
+    lsm_flush,
+    lsm_get,
+    lsm_put,
+    lsm_remove,
+)
+from repro.apps.lsmtree.server import LsmTreeServer
+
+__all__ = [
+    "LsmTree",
+    "LsmTreeServer",
+    "TOMBSTONE",
+    "lsm_compact",
+    "lsm_flush",
+    "lsm_get",
+    "lsm_put",
+    "lsm_remove",
+]

@@ -1,0 +1,6 @@
+"""Masstree-style multi-core ordered index (Table 1 workload #2)."""
+
+from repro.apps.masstree.server import MasstreeServer
+from repro.apps.masstree.tree import Masstree, mt_get, mt_remove, mt_scan, mt_update
+
+__all__ = ["Masstree", "MasstreeServer", "mt_get", "mt_remove", "mt_scan", "mt_update"]

@@ -1,0 +1,6 @@
+"""Memcached-style in-memory object cache (Table 1 workload #1)."""
+
+from repro.apps.memcached.server import MemcachedServer
+from repro.apps.memcached.storage import HashTable, mc_get, mc_incr, mc_remove, mc_set
+
+__all__ = ["HashTable", "MemcachedServer", "mc_get", "mc_incr", "mc_remove", "mc_set"]

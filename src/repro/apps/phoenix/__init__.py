@@ -1,0 +1,13 @@
+"""Phoenix MapReduce framework and the word-count job (Table 1 #4)."""
+
+from repro.apps.phoenix.framework import PhoenixJob, map_task, reduce_task
+from repro.apps.phoenix.wordcount import WordCountJob, wordcount_map, wordcount_reduce
+
+__all__ = [
+    "PhoenixJob",
+    "WordCountJob",
+    "map_task",
+    "reduce_task",
+    "wordcount_map",
+    "wordcount_reduce",
+]

@@ -1,0 +1,45 @@
+"""Word count on Phoenix — the paper's batch workload (WMT corpus)."""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.apps.phoenix.framework import PhoenixJob
+from repro.memory.checksum import serialize
+from repro.runtime.orthrus import OrthrusRuntime
+
+
+def wordcount_map(o, text: str) -> list[tuple[str, int]]:
+    """User map: tokenize and emit (word, 1) with counted instructions."""
+    emits = []
+    for word in text.split():
+        emits.append((word, 1))
+    return emits
+
+
+def wordcount_reduce(o, word: str, values: list[int]) -> int:
+    """User reduce: sum the partial counts through ALU adds."""
+    total = 0
+    for value in values:
+        total = o.alu.add(total, value)
+    return total
+
+
+class WordCountJob:
+    """Driver bundling the Phoenix job with digest/reference helpers."""
+
+    externalizing = frozenset({"phx.reduce_task"})
+
+    def __init__(self, runtime: OrthrusRuntime, n_partitions: int = 8):
+        self.runtime = runtime
+        self.job = PhoenixJob(runtime, wordcount_map, wordcount_reduce, n_partitions)
+        self.result: dict[str, int] = {}
+
+    def run(self, chunks: list[str]) -> dict[str, int]:
+        self.result = self.job.run(chunks)
+        return self.result
+
+    def state_digest(self) -> int:
+        stats = tuple(getattr(self.job, "stats", ()))
+        payload = serialize((tuple(sorted(self.result.items())), stats))
+        return int.from_bytes(hashlib.sha1(payload).digest()[:8], "little")

@@ -1,0 +1,15 @@
+"""Comparison baselines: RBV, random sampling, offline CPU testing."""
+
+from repro.baselines.offline import OfflineCpuCheck, ScanResult
+from repro.baselines.rbv import RbvStats, RbvValidator
+from repro.baselines.same_core_replay import SameCoreReplayValidator
+from repro.runtime.sampling import RandomSampler
+
+__all__ = [
+    "OfflineCpuCheck",
+    "RandomSampler",
+    "RbvStats",
+    "RbvValidator",
+    "SameCoreReplayValidator",
+    "ScanResult",
+]

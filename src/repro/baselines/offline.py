@@ -1,0 +1,86 @@
+"""Offline CPU testing baseline (§5, "Offline CPU testing").
+
+Cloud providers periodically run known-answer test batteries over their
+fleets (e.g. Google's cpu-check); this finds *mercurial cores* but not the
+user data they corrupted in the weeks between runs.  The battery below
+exercises each functional unit with fixed inputs and compares against
+golden outputs computed off-machine.
+
+Two properties the benchmarks demonstrate:
+
+* a battery pass does not imply application safety — a fault pinned to an
+  application-specific instruction site is invisible to the battery's
+  sites (the paper's core argument for online validation);
+* even when the battery catches a defective core, every corruption that
+  happened since the previous scan has already escaped (timeliness gap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.core import Core
+from repro.machine.cpu import Machine
+
+
+def _battery(core: Core) -> list[tuple[str, object]]:
+    """Run the known-answer kernels on a core; returns (name, result)."""
+    results: list[tuple[str, object]] = []
+    with core.scope("cpucheck.battery"):
+        acc = 0
+        for value in range(1, 17):
+            acc = core.alu.add(acc, value)
+        results.append(("alu.sum", acc))
+        results.append(("alu.hash", core.alu.hash64("cpu-check-vector")))
+        f = 1.0
+        for _ in range(8):
+            f = core.fpu.fmul(f, 1.5)
+        results.append(("fpu.pow", f))
+        results.append(("simd.dot", core.simd.vdot((1, 2, 3, 4), (5, 6, 7, 8))))
+        results.append(("simd.sum", core.simd.vsum(tuple(range(16)))))
+        results.append(("alu.copy", core.alu.copy(b"0123456789abcdef" * 4)))
+    return results
+
+
+#: golden outputs, computed once on a known-healthy core
+_GOLDEN = _battery(Core(core_id=-1))
+
+
+@dataclass
+class ScanResult:
+    """One fleet scan."""
+
+    #: core_id → list of failed kernel names
+    failures: dict[int, list[str]] = field(default_factory=dict)
+
+    @property
+    def flagged_cores(self) -> list[int]:
+        return sorted(self.failures)
+
+    @property
+    def clean(self) -> bool:
+        return not self.failures
+
+
+class OfflineCpuCheck:
+    """Periodic fleet scanner."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self.scans = 0
+
+    def scan(self) -> ScanResult:
+        """Run the battery on every core and compare with golden outputs."""
+        self.scans += 1
+        result = ScanResult()
+        for core in self.machine.cores:
+            failed = [
+                name
+                for (name, value), (gold_name, gold_value) in zip(
+                    _battery(core), _GOLDEN
+                )
+                if value != gold_value
+            ]
+            if failed:
+                result.failures[core.core_id] = failed
+        return result

@@ -1,0 +1,201 @@
+"""Command-line front end: run experiments without pytest.
+
+Usage (also exposed as the ``repro-bench`` console script)::
+
+    python -m repro.cli list
+    python -m repro.cli perf --app memcached --ops 2000
+    python -m repro.cli coverage --app masstree --faults 32 --cores 2
+    python -m repro.cli latency --app lsmtree --ops 2000
+
+Each subcommand drives the same harness the benchmark suite uses and
+prints a compact report; seeds make every invocation reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import functools
+import sys
+
+from repro.faultinject.campaign import FaultInjectionCampaign
+from repro.faultinject.config import InjectionConfig
+from repro.harness.phoenix import run_phoenix
+from repro.harness.pipeline import (
+    PipelineConfig,
+    run_orthrus_server,
+    run_rbv_server,
+    run_vanilla_server,
+)
+from repro.harness.scenarios import (
+    lsmtree_scenario,
+    masstree_scenario,
+    memcached_scenario,
+    phoenix_scenario,
+)
+from repro.machine.units import Unit
+from repro.sim.metrics import slowdown
+
+#: app name → (scenario factory, orthrus runner, vanilla runner, rbv runner,
+#:             default workload size)
+_APPS = {
+    "memcached": (memcached_scenario, None, None, None, 2000),
+    "masstree": (masstree_scenario, None, None, None, 1500),
+    "lsmtree": (lsmtree_scenario, None, None, None, 1500),
+    "phoenix": (
+        phoenix_scenario,
+        functools.partial(run_phoenix, variant="orthrus"),
+        functools.partial(run_phoenix, variant="vanilla"),
+        functools.partial(run_phoenix, variant="rbv"),
+        30000,
+    ),
+}
+
+
+def _resolve(app: str):
+    if app not in _APPS:
+        raise SystemExit(f"unknown app {app!r}; choose from {', '.join(_APPS)}")
+    factory, orthrus, vanilla, rbv, default_size = _APPS[app]
+    return (
+        factory(),
+        orthrus or run_orthrus_server,
+        vanilla or run_vanilla_server,
+        rbv or run_rbv_server,
+        default_size,
+    )
+
+
+def cmd_list(_args) -> int:
+    print("applications:")
+    for name, (_, _, _, _, size) in _APPS.items():
+        print(f"  {name:<10} (default workload size {size})")
+    print("\nsubcommands: perf, latency, coverage")
+    return 0
+
+
+def cmd_perf(args) -> int:
+    scenario, orthrus, vanilla, rbv, default_size = _resolve(args.app)
+    size = args.ops or default_size
+    config = lambda: PipelineConfig(
+        app_threads=args.threads, validation_cores=args.cores, seed=args.seed
+    )
+    v = vanilla(scenario, size, config())
+    o = orthrus(scenario, size, config())
+    r = rbv(scenario, size, config())
+    if args.app == "phoenix":
+        base = v.metrics.duration
+        print(f"vanilla job time : {base * 1e3:.3f} ms")
+        print(f"orthrus overhead : {100 * (o.metrics.duration / base - 1):.1f}%")
+        print(f"rbv overhead     : {100 * (r.metrics.duration / base - 1):.1f}%")
+    else:
+        print(f"vanilla throughput : {v.metrics.throughput / 1e3:.0f} kop/s")
+        print(f"orthrus overhead   : {100 * slowdown(v.metrics.throughput, o.metrics.throughput):.1f}%")
+        print(f"rbv overhead       : {100 * slowdown(v.metrics.throughput, r.metrics.throughput):.1f}%")
+    print(f"orthrus memory ovh : {100 * o.metrics.memory_overhead:.1f}%")
+    print(f"validated/skipped  : {o.metrics.validated}/{o.metrics.skipped}")
+    return 0
+
+
+def cmd_latency(args) -> int:
+    scenario, orthrus, _vanilla, rbv, default_size = _resolve(args.app)
+    size = args.ops or default_size
+    config = lambda: PipelineConfig(
+        app_threads=args.threads, validation_cores=args.cores, seed=args.seed
+    )
+    o = orthrus(scenario, size, config())
+    r = rbv(scenario, size, config())
+    ol, rl = o.metrics.validation_latency, r.metrics.validation_latency
+    print(f"orthrus validation latency : mean {ol.mean * 1e6:.2f} us, p95 {ol.p95 * 1e6:.2f} us")
+    print(f"rbv validation latency     : mean {rl.mean * 1e6:.2f} us, p95 {rl.p95 * 1e6:.2f} us")
+    if ol.mean > 0:
+        print(f"ratio                      : {rl.mean / ol.mean:.0f}x")
+    return 0
+
+
+def cmd_coverage(args) -> int:
+    scenario, orthrus, _vanilla, rbv, default_size = _resolve(args.app)
+    size = args.ops or default_size
+    campaign = FaultInjectionCampaign(
+        scenario,
+        workload_size=size,
+        injection=InjectionConfig(
+            n_faults=args.faults, seed=args.seed, trigger_rate=args.trigger_rate
+        ),
+        make_pipeline=lambda: PipelineConfig(
+            app_threads=args.threads,
+            validation_cores=args.cores,
+            seed=args.seed,
+            drain_grace_fraction=args.grace,
+        ),
+        runner=orthrus,
+        rbv_runner=rbv if args.rbv else None,
+    )
+    result = campaign.run()
+    outcomes = result.outcome_counts()
+    print(f"profiled sites : {len(result.profiled_sites)}")
+    print(
+        "outcomes       : "
+        + ", ".join(f"{kind.value}={count}" for kind, count in outcomes.items())
+    )
+    for unit in Unit:
+        row = result.coverage_table()[unit]
+        if row.total_sdcs == 0:
+            continue
+        rbv_part = (
+            f", rbv {row.rbv_detected}/{row.total_sdcs}"
+            if row.rbv_detected is not None
+            else ""
+        )
+        print(
+            f"  {unit.value:<6}: {row.total_sdcs} SDCs, "
+            f"orthrus {row.orthrus_detected}/{row.total_sdcs}{rbv_part}"
+        )
+    print(f"detection rate : {result.detection_rate:.1%}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Run Orthrus-reproduction experiments from the command line.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list applications and subcommands")
+
+    def common(p):
+        p.add_argument("--app", default="memcached", help="application to drive")
+        p.add_argument("--ops", type=int, default=None, help="workload size")
+        p.add_argument("--threads", type=int, default=2, help="application threads")
+        p.add_argument("--cores", type=int, default=2, help="validation cores")
+        p.add_argument("--seed", type=int, default=1)
+
+    perf = sub.add_parser("perf", help="Fig 6-style performance comparison")
+    common(perf)
+
+    latency = sub.add_parser("latency", help="Fig 8-style validation latency")
+    common(latency)
+
+    coverage = sub.add_parser("coverage", help="Table 2-style fault campaign")
+    common(coverage)
+    coverage.add_argument("--faults", type=int, default=24)
+    coverage.add_argument("--trigger-rate", type=float, default=1.0)
+    coverage.add_argument("--grace", type=float, default=4.0,
+                          help="drain window as a fraction of run duration")
+    coverage.add_argument("--rbv", action="store_true",
+                          help="also run the RBV arm per SDC trial")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "list": cmd_list,
+        "perf": cmd_perf,
+        "latency": cmd_latency,
+        "coverage": cmd_coverage,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Time sources.
+
+Versioned memory, the sampler, and the validator all reason about *when*
+things happened (visible windows, active windows, validation latency).  In
+the paper these are wall-clock microseconds; here they are virtual times
+supplied by a clock object so the same logic runs under the discrete-event
+simulator (which supplies simulated seconds) and under plain unit tests
+(which use a logical counter).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+
+class Clock(Protocol):
+    def now(self) -> float: ...
+
+
+class LogicalClock:
+    """A monotonically increasing counter; every ``tick()`` advances it."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def tick(self, delta: float = 1.0) -> float:
+        if delta < 0:
+            raise ValueError("clock cannot move backwards")
+        self._now += delta
+        return self._now
+
+
+class ManualClock(LogicalClock):
+    """A clock tests can set directly."""
+
+    def set(self, value: float) -> None:
+        if value < self._now:
+            raise ValueError("clock cannot move backwards")
+        self._now = float(value)

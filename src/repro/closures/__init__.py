@@ -1,0 +1,36 @@
+"""Closure annotations, logs, and execution contexts."""
+
+from repro.closures.analysis import EscapeReport, analyze_escapes, infer_units
+from repro.closures.annotation import (
+    CLOSURE_REGISTRY,
+    USER_DATA_REGISTRY,
+    ClosureMeta,
+    closure,
+    is_user_data,
+    user_data,
+)
+from repro.closures.context import ExecutionContext, current, ops, syscall
+from repro.closures.log import ClosureLog
+from repro.closures.syscalls import sys_randint, sys_random, sys_read, sys_time, sys_write
+
+__all__ = [
+    "CLOSURE_REGISTRY",
+    "ClosureLog",
+    "ClosureMeta",
+    "EscapeReport",
+    "ExecutionContext",
+    "USER_DATA_REGISTRY",
+    "analyze_escapes",
+    "closure",
+    "current",
+    "infer_units",
+    "is_user_data",
+    "ops",
+    "syscall",
+    "sys_randint",
+    "sys_random",
+    "sys_read",
+    "sys_time",
+    "sys_write",
+    "user_data",
+]

@@ -1,0 +1,42 @@
+"""Record-and-replay wrappers for non-deterministic calls (§2.3, §3.1).
+
+A closure may need a random number, the time, or an external-device
+interaction.  Orthrus intercepts these, records their results in the
+closure log, and replays the recorded values during validation rather than
+re-executing them — system calls are outside the validation boundary (their
+instruction footprint is ~0.04% of execution, §2.3).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable
+
+from repro.closures.context import syscall
+
+
+def sys_random(rng: random.Random | None = None) -> float:
+    """Recorded random number in [0, 1)."""
+    source = rng.random if rng is not None else random.random
+    return syscall("random", source)
+
+
+def sys_randint(low: int, high: int, rng: random.Random | None = None) -> int:
+    source = rng if rng is not None else random
+    return syscall("randint", lambda: source.randint(low, high))
+
+
+def sys_time() -> float:
+    """Recorded timestamp."""
+    return syscall("time", time.time)
+
+
+def sys_read(fn: Callable[[], bytes]) -> bytes:
+    """Recorded read from an external device (socket, disk)."""
+    return syscall("read", fn)
+
+
+def sys_write(fn: Callable[[], int]) -> int:
+    """Recorded write to an external device; returns bytes written."""
+    return syscall("write", fn)

@@ -1,0 +1,50 @@
+"""Detection events and reports.
+
+Both detection mechanisms — checksum verification at the control/data-path
+boundary (§3.4) and re-execution mismatch in the validator (§3.3) — emit
+:class:`DetectionEvent` records.  The runtime aggregates them into a
+:class:`DetectionReport`; in strict safe mode it aborts instead (§3.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class DetectionEvent:
+    """One detected silent data corruption."""
+
+    #: ``"checksum"`` (control-path payload corruption), ``"mismatch"``
+    #: (data-path re-execution divergence), or ``"rbv"`` (baseline).
+    kind: str
+    closure: str
+    seq: int
+    time: float
+    detail: str = ""
+
+
+@dataclass
+class DetectionReport:
+    """Aggregated detections for one run."""
+
+    events: list[DetectionEvent] = field(default_factory=list)
+
+    def record(self, event: DetectionEvent) -> None:
+        self.events.append(event)
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.events)
+
+    @property
+    def first(self) -> DetectionEvent | None:
+        return self.events[0] if self.events else None
+
+    def count(self, kind: str | None = None) -> int:
+        if kind is None:
+            return len(self.events)
+        return sum(1 for event in self.events if event.kind == kind)
+
+    def clear(self) -> None:
+        self.events.clear()

@@ -1,0 +1,24 @@
+"""Compiler-style fault-injection framework (Appendix A)."""
+
+from repro.faultinject.campaign import CampaignResult, FaultInjectionCampaign
+from repro.faultinject.classify import (
+    CoverageRow,
+    OutcomeKind,
+    TrialResult,
+    classify_outcome,
+    coverage_by_unit,
+    overall_detection_rate,
+)
+from repro.faultinject.config import InjectionConfig
+
+__all__ = [
+    "CampaignResult",
+    "CoverageRow",
+    "FaultInjectionCampaign",
+    "InjectionConfig",
+    "OutcomeKind",
+    "TrialResult",
+    "classify_outcome",
+    "coverage_by_unit",
+    "overall_detection_rate",
+]

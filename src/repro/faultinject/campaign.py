@@ -1,0 +1,207 @@
+"""The three-phase fault-injection campaign (Appendix A.3).
+
+**Inspection + profiling.**  The workload runs once on an instrumented,
+healthy machine with site recording enabled; every executed instruction
+site is captured with its functional-unit classification (the paper does
+this with INT3 trapping over machine IR; here the simulated cores record
+sites natively).  The same run doubles as the *golden* run for outcome
+classification.
+
+**Injection.**  Fault counts are split across units by the configured
+ratio; each fault pins a mechanism (bitflip / stuck-at / nop) and a result
+bit to one executed site, armed on application core 0 — a single mercurial
+core, as observed in production [44].
+
+**Execution + classification.**  Each trial reruns the identical workload
+under the Orthrus deployment (and optionally the RBV baseline) and is
+classified fail-stop / masked / SDC against the golden run, recording who
+detected what.  Aggregations reproduce Table 2 and Figs 9–10.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import FaultInjectionError
+from repro.faultinject.classify import (
+    CoverageRow,
+    OutcomeKind,
+    TrialResult,
+    classify_outcome,
+    coverage_by_unit,
+    overall_detection_rate,
+)
+from repro.faultinject.config import InjectionConfig
+from repro.harness.pipeline import (
+    PipelineConfig,
+    RunResult,
+    run_orthrus_server,
+    run_rbv_server,
+)
+from repro.machine.faults import Fault
+from repro.machine.instruction import Site
+from repro.machine.units import Unit
+
+#: signature of a deployment runner: (scenario, n_units, pipeline_config)
+Runner = Callable[..., RunResult]
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign produced."""
+
+    scenario_name: str
+    profiled_sites: dict[Site, Unit]
+    golden: RunResult
+    trials: list[TrialResult] = field(default_factory=list)
+
+    @property
+    def sdc_trials(self) -> list[TrialResult]:
+        return [t for t in self.trials if t.is_sdc]
+
+    @property
+    def detection_rate(self) -> float:
+        return overall_detection_rate(self.trials)
+
+    def coverage_table(self) -> dict[Unit, CoverageRow]:
+        return coverage_by_unit(self.trials)
+
+    def outcome_counts(self) -> dict[OutcomeKind, int]:
+        counts = {kind: 0 for kind in OutcomeKind}
+        for trial in self.trials:
+            counts[trial.outcome] += 1
+        return counts
+
+
+class FaultInjectionCampaign:
+    """Runs the full inspection → profiling → injection pipeline."""
+
+    def __init__(
+        self,
+        scenario,
+        workload_size: int,
+        injection: InjectionConfig | None = None,
+        make_pipeline: Callable[[], PipelineConfig] | None = None,
+        runner: Runner = run_orthrus_server,
+        rbv_runner: Runner | None = run_rbv_server,
+    ):
+        self.scenario = scenario
+        self.workload_size = workload_size
+        self.injection = injection or InjectionConfig()
+        self.make_pipeline = make_pipeline or (lambda: PipelineConfig())
+        self.runner = runner
+        self.rbv_runner = rbv_runner
+        self._rng = random.Random(self.injection.seed)
+
+    # ------------------------------------------------------------------
+    # phase 1+2: inspection & profiling (and the golden run)
+    # ------------------------------------------------------------------
+    def profile(self) -> tuple[dict[Site, Unit], RunResult]:
+        config = self.make_pipeline()
+        machine = config.build_machine()
+        for core in machine.cores:
+            core.record_sites = True
+        config.machine = machine
+        golden = self.runner(self.scenario, self.workload_size, config)
+        if golden.crashed:
+            raise FaultInjectionError(
+                f"golden run crashed: {golden.crash_reason}"
+            )
+        sites: dict[Site, Unit] = {}
+        self._site_counts = {}
+        for core in machine.cores:
+            sites.update(core.site_units)
+            for site, count in core.site_counts.items():
+                self._site_counts[site] = self._site_counts.get(site, 0) + count
+            core.record_sites = False
+        if self.injection.target_functions is not None:
+            allowed = set(self.injection.target_functions)
+            sites = {s: u for s, u in sites.items() if s.function in allowed}
+        if not sites:
+            raise FaultInjectionError("profiling recorded no injectable sites")
+        return sites, golden
+
+    # ------------------------------------------------------------------
+    # phase 3: injection planning
+    # ------------------------------------------------------------------
+    def plan_faults(self, sites: dict[Site, Unit]) -> list[Fault]:
+        by_unit: dict[Unit, list[Site]] = {}
+        for site, unit in sites.items():
+            by_unit.setdefault(unit, []).append(site)
+        for unit_sites in by_unit.values():
+            unit_sites.sort(key=str)  # determinism across runs
+        counts = self.injection.fault_counts(set(by_unit))
+        low, high = self.injection.bit_range
+        site_counts = getattr(self, "_site_counts", {})
+        faults: list[Fault] = []
+        for unit in sorted(counts, key=lambda u: u.value):
+            # Sample *dynamic* instructions: sites weighted by how often
+            # they executed in the profiling run (REFINE's model — a
+            # random executed instruction, not a random static one).
+            weights = [max(1, site_counts.get(site, 1)) for site in by_unit[unit]]
+            for _ in range(counts[unit]):
+                site = self._rng.choices(by_unit[unit], weights=weights, k=1)[0]
+                faults.append(
+                    Fault(
+                        unit=unit,
+                        kind=self._rng.choice(self.injection.kinds),
+                        site=site,
+                        bit=self._rng.randrange(low, high),
+                        trigger_rate=self.injection.trigger_rate,
+                    )
+                )
+        return faults
+
+    # ------------------------------------------------------------------
+    # trial execution
+    # ------------------------------------------------------------------
+    def run_trial(
+        self, fault: Fault, golden: RunResult, trial_index: int = 0
+    ) -> TrialResult:
+        config = self.make_pipeline()
+        # One mercurial application core, armed after setup/preload so the
+        # campaign injects into the serving phase.  Which core is defective
+        # varies across trials — in production any core can go mercurial,
+        # and pinning it would alias against the round-robin scheduler.
+        core_id = (self.injection.seed * 31 + trial_index * 7) % config.app_threads
+        config.deferred_faults = ((core_id, fault),)
+        # Decorrelate sampler decisions across trials (the workload seed
+        # must stay fixed so the golden run remains comparable).
+        config.sampler_seed = self.injection.seed * 7919 + trial_index
+        trial = self.runner(self.scenario, self.workload_size, config)
+        outcome = classify_outcome(golden, trial)
+
+        orthrus_detected = trial.detections > 0
+        orthrus_kind = None
+        if trial.runtime is not None and trial.runtime.report.first is not None:
+            orthrus_kind = trial.runtime.report.first.kind
+
+        rbv_detected: bool | None = None
+        if self.rbv_runner is not None and outcome is OutcomeKind.SDC:
+            rbv_config = self.make_pipeline()
+            rbv_config.deferred_faults = ((core_id, fault),)
+            rbv_trial = self.rbv_runner(self.scenario, self.workload_size, rbv_config)
+            rbv_detected = rbv_trial.rbv_detections > 0 or rbv_trial.crashed
+
+        return TrialResult(
+            fault=fault,
+            unit=fault.unit,
+            outcome=outcome,
+            orthrus_detected=orthrus_detected,
+            orthrus_kind=orthrus_kind if orthrus_detected else None,
+            rbv_detected=rbv_detected,
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> CampaignResult:
+        sites, golden = self.profile()
+        result = CampaignResult(
+            scenario_name=self.scenario.name,
+            profiled_sites=sites,
+            golden=golden,
+        )
+        for index, fault in enumerate(self.plan_faults(sites)):
+            result.trials.append(self.run_trial(fault, golden, trial_index=index))
+        return result

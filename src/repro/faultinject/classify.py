@@ -1,0 +1,104 @@
+"""Trial-outcome classification (Appendix A.1).
+
+A fault-injected run is compared against the golden (fault-free) run of
+the identical workload:
+
+* **fail-stop** — the run crashed (exception / hardware-style trap);
+* **masked** — it completed with identical responses and end state;
+* **SDC** — it completed but responses or end state diverged silently.
+
+Only SDC trials count toward the coverage tables; each carries whether
+Orthrus (and, when measured, RBV) flagged the corruption.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.machine.faults import Fault
+from repro.machine.units import Unit
+
+
+class OutcomeKind(enum.Enum):
+    FAIL_STOP = "fail-stop"
+    MASKED = "masked"
+    SDC = "sdc"
+
+
+def classify_outcome(golden, trial) -> OutcomeKind:
+    """Compare a trial :class:`~repro.harness.pipeline.RunResult` against
+    the golden run."""
+    if trial.crashed:
+        return OutcomeKind.FAIL_STOP
+    if trial.responses != golden.responses:
+        return OutcomeKind.SDC
+    if golden.digest is not None and trial.digest != golden.digest:
+        return OutcomeKind.SDC
+    return OutcomeKind.MASKED
+
+
+@dataclass(frozen=True, slots=True)
+class TrialResult:
+    """One fault-injection trial."""
+
+    fault: Fault
+    unit: Unit
+    outcome: OutcomeKind
+    #: Orthrus flagged the corruption during the run
+    orthrus_detected: bool
+    #: which mechanism fired first: "checksum" / "mismatch" / None
+    orthrus_kind: str | None
+    #: RBV flagged it (None when the RBV arm was not run)
+    rbv_detected: bool | None = None
+
+    @property
+    def is_sdc(self) -> bool:
+        return self.outcome is OutcomeKind.SDC
+
+
+@dataclass
+class CoverageRow:
+    """One (application × unit) row of Table 2."""
+
+    unit: Unit
+    total_sdcs: int
+    orthrus_detected: int
+    rbv_detected: int | None
+
+    @property
+    def orthrus_rate(self) -> float:
+        if self.total_sdcs == 0:
+            return 0.0
+        return self.orthrus_detected / self.total_sdcs
+
+    @property
+    def rbv_rate(self) -> float:
+        if not self.total_sdcs or self.rbv_detected is None:
+            return 0.0
+        return self.rbv_detected / self.total_sdcs
+
+
+def coverage_by_unit(trials: list[TrialResult]) -> dict[Unit, CoverageRow]:
+    """Aggregate trials into Table-2-style per-unit rows."""
+    rows: dict[Unit, CoverageRow] = {}
+    for unit in Unit:
+        unit_sdcs = [t for t in trials if t.unit is unit and t.is_sdc]
+        rbv_counted = [t for t in unit_sdcs if t.rbv_detected is not None]
+        rows[unit] = CoverageRow(
+            unit=unit,
+            total_sdcs=len(unit_sdcs),
+            orthrus_detected=sum(t.orthrus_detected for t in unit_sdcs),
+            rbv_detected=sum(t.rbv_detected for t in rbv_counted)
+            if rbv_counted
+            else None,
+        )
+    return rows
+
+
+def overall_detection_rate(trials: list[TrialResult]) -> float:
+    """Fraction of SDC trials Orthrus detected (Fig 9/10's y-axis)."""
+    sdcs = [t for t in trials if t.is_sdc]
+    if not sdcs:
+        return 0.0
+    return sum(t.orthrus_detected for t in sdcs) / len(sdcs)

@@ -1,0 +1,87 @@
+"""Fault-injection configuration (Appendix A.3.1).
+
+Inputs to the framework: which fault mechanisms to use, how many faults to
+plant, the per-unit distribution, and optional function filters.  The
+defaults follow the paper: bitflip/stuckat0/stuckat1/nop mechanisms, and
+fault counts distributed across ALU:SIMD:FPU:CACHE at Alibaba's observed
+1:2:2:1 ratio (§A.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import FaultInjectionError
+from repro.machine.faults import FaultKind
+from repro.machine.units import ALIBABA_FAULT_RATIO, Unit
+
+
+@dataclass(frozen=True)
+class InjectionConfig:
+    """Parameters for one injection campaign."""
+
+    #: total faults to plant (one per trial run)
+    n_faults: int = 48
+    #: fault mechanisms, sampled uniformly; bitflip is repeated to weight
+    #: it higher, matching the prevalence of single-bit defects
+    kinds: tuple[FaultKind, ...] = (
+        FaultKind.BITFLIP,
+        FaultKind.BITFLIP,
+        FaultKind.STUCKAT0,
+        FaultKind.STUCKAT1,
+        FaultKind.NOP,
+    )
+    #: per-unit fault-count ratio (§A.2)
+    unit_ratio: dict[Unit, int] = field(
+        default_factory=lambda: dict(ALIBABA_FAULT_RATIO)
+    )
+    #: result-bit range the defect can occupy
+    bit_range: tuple[int, int] = (0, 64)
+    #: probability each matching execution corrupts (1.0 = the paper's
+    #: highly reproducible mercurial defect)
+    trigger_rate: float = 1.0
+    #: restrict injection to sites within these functions (closure names /
+    #: control-path labels); None = everything the profiling run executed
+    target_functions: tuple[str, ...] | None = None
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.n_faults < 1:
+            raise FaultInjectionError("n_faults must be positive")
+        if not self.kinds:
+            raise FaultInjectionError("at least one fault kind required")
+        low, high = self.bit_range
+        if not 0 <= low < high <= 64:
+            raise FaultInjectionError(f"invalid bit range {self.bit_range}")
+        if not 0 < self.trigger_rate <= 1.0:
+            raise FaultInjectionError("trigger_rate must be in (0, 1]")
+        if any(weight < 0 for weight in self.unit_ratio.values()):
+            raise FaultInjectionError("unit ratio weights must be non-negative")
+
+    def fault_counts(self, available_units: set[Unit]) -> dict[Unit, int]:
+        """Split ``n_faults`` across the units the program actually
+        executed, honouring the configured ratio (§A.3.2's example)."""
+        weights = {
+            unit: self.unit_ratio.get(unit, 0)
+            for unit in available_units
+            if self.unit_ratio.get(unit, 0) > 0
+        }
+        total_weight = sum(weights.values())
+        if total_weight == 0:
+            raise FaultInjectionError(
+                "no injectable units: the profile and the unit ratio are disjoint"
+            )
+        counts = {
+            unit: (self.n_faults * weight) // total_weight
+            for unit, weight in weights.items()
+        }
+        # Distribute the remainder to the heaviest units, deterministically.
+        remainder = self.n_faults - sum(counts.values())
+        for unit, _ in sorted(
+            weights.items(), key=lambda item: (-item[1], item[0].value)
+        ):
+            if remainder == 0:
+                break
+            counts[unit] += 1
+            remainder -= 1
+        return counts

@@ -1,0 +1,35 @@
+"""Benchmark harness: scenarios and virtual-time deployment drivers."""
+
+from repro.harness.phoenix import run_phoenix
+from repro.harness.pipeline import (
+    PipelineConfig,
+    RunResult,
+    run_orthrus_server,
+    run_rbv_server,
+    run_vanilla_server,
+)
+from repro.harness.scenarios import (
+    BatchScenario,
+    ServerScenario,
+    all_server_scenarios,
+    lsmtree_scenario,
+    masstree_scenario,
+    memcached_scenario,
+    phoenix_scenario,
+)
+
+__all__ = [
+    "BatchScenario",
+    "PipelineConfig",
+    "RunResult",
+    "ServerScenario",
+    "all_server_scenarios",
+    "lsmtree_scenario",
+    "masstree_scenario",
+    "memcached_scenario",
+    "phoenix_scenario",
+    "run_orthrus_server",
+    "run_phoenix",
+    "run_rbv_server",
+    "run_vanilla_server",
+]

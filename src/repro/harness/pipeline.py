@@ -1,0 +1,592 @@
+"""Virtual-time drivers: vanilla, Orthrus, and RBV deployments of a scenario.
+
+Each driver wires a scenario into the discrete-event engine:
+
+* **application threads** are closed-loop clients pinned to distinct app
+  cores; a request's service time is the cycles its control+data path
+  actually executed on the simulated machine, plus the deployment's
+  bookkeeping costs (:mod:`repro.sim.costs`);
+* **Orthrus validator cores** consume closure logs from a shared store
+  (work-conserving, equivalent to per-core queues with stealing), applying
+  the sampler under queueing-delay or memory-budget feedback;
+* **the RBV replica** replays full requests *in submission order* on a
+  separate healthy server, paying serialization + network transfer per
+  batch and stalling the primary when the replication lag bound is hit.
+
+Functional execution (what values are computed, what gets detected) and
+timing (when it happens in virtual seconds) are decoupled: closures run
+instantaneously in Python while the engine advances virtual time by their
+measured cycle cost.  This is the substitution that makes the paper's
+wall-clock figures reproducible on a laptop (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.closures.log import ClosureLog
+from repro.errors import ConfigurationError
+from repro.machine.cpu import Machine
+from repro.memory.version import approx_size
+from repro.runtime.orthrus import OrthrusRuntime
+from repro.runtime.sampling import AdaptiveSampler, SamplerConfig
+from repro.sim.costs import DEFAULT_COSTS, CostModel
+from repro.sim.events import Environment, SimClock, Store
+from repro.sim.metrics import RunMetrics
+
+_SENTINEL = object()
+
+
+@dataclass
+class PipelineConfig:
+    """Shared knobs for the timing drivers."""
+
+    app_threads: int = 2
+    validation_cores: int = 2
+    costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
+    sampler: Any = None  # sampler instance; overrides sampler_factory
+    #: called with (sampler_seed) to build the run's sampler; default
+    #: builds an AdaptiveSampler
+    sampler_factory: Any = None
+    #: decorrelates sampler decisions across fault-injection trials while
+    #: the workload seed stays fixed (the golden run must match)
+    sampler_seed: int | None = None
+    safe_mode: bool = False
+    #: §3.5 dynamic scaling: start with a single validation thread and let
+    #: the scheduler launch more (up to ``validation_cores``) when a
+    #: closure's recent validation latency runs 50% above the global
+    #: average.  False = all validation cores run from the start.
+    dynamic_scaling: bool = False
+    #: switch the sampling trigger from queueing delay to a memory budget
+    #: (bytes of versions + pending logs) — the Fig 10 experiment
+    memory_budget_bytes: float | None = None
+    #: pre-armed machine (fault-injection trials); topology must fit
+    machine: Machine | None = None
+    #: (core_id, Fault) pairs armed *after* application setup/preload —
+    #: the campaign injects into the serving phase, not the bulk load
+    deferred_faults: tuple = ()
+    #: how long validators may keep draining after the application
+    #: finishes, as a fraction of the run's duration.  Detection past this
+    #: window is not *timely* — the corrupted result has long been
+    #: externalized — so remaining logs are dropped, exactly as a
+    #: terminating production instance would drop them.
+    drain_grace_fraction: float = 0.25
+    #: versions reclaimed in batches of this size (§3.6); a huge value
+    #: effectively disables the GC (the reclamation ablation)
+    reclaim_batch: int = 16
+    seed: int = 1
+    rbv_batch_size: int | None = None
+    rbv_state_check_every: int = 64
+
+    def make_sampler(self):
+        if self.sampler is not None:
+            return self.sampler
+        seed = self.sampler_seed if self.sampler_seed is not None else self.seed
+        if self.sampler_factory is not None:
+            return self.sampler_factory(seed)
+        return AdaptiveSampler(SamplerConfig(), seed=seed)
+
+    def build_machine(self, extra_cores: int = 0) -> Machine:
+        if self.machine is not None:
+            return self.machine
+        cores = self.app_threads + max(1, self.validation_cores) + extra_cores
+        return Machine(cores_per_node=cores, numa_nodes=1, seed=self.seed)
+
+
+@dataclass
+class RunResult:
+    """Metrics plus the functional state a campaign needs to classify."""
+
+    metrics: RunMetrics
+    runtime: OrthrusRuntime | None = None
+    responses: list[Any] = field(default_factory=list)
+    digest: int | None = None
+    crashed: bool = False
+    crash_reason: str = ""
+    rbv_detections: int = 0
+
+    @property
+    def detections(self) -> int:
+        if self.runtime is not None:
+            return self.runtime.detections
+        return self.rbv_detections
+
+
+def _orthrus_overhead_cycles(log: ClosureLog, costs: CostModel) -> float:
+    """Per-closure bookkeeping the modified application pays (§4.2)."""
+    versions = len(log.output_versions)
+    tracked_accesses = len(log.inputs) + versions
+    cycles = costs.log_base_cycles
+    cycles += costs.log_per_version_cycles * versions
+    cycles += costs.pointer_indirection_cycles * tracked_accesses
+    # CRC generation per created version, plus one boundary probe for the
+    # payload that entered the closure from the control path (§3.4).
+    cycles += costs.checksum_cycles(64) * (versions + 1)
+    return cycles
+
+
+def validator_process(
+    env: Environment,
+    core,
+    runtime: OrthrusRuntime,
+    sampler,
+    log_store: Store,
+    pending_bytes: list[int],
+    done_events: dict[int, Any],
+    metrics: RunMetrics,
+    config: PipelineConfig,
+    memory_in_use: Callable[[], float],
+    on_step: Callable[[], None] = lambda: None,
+    deadline: list[float] | None = None,
+):
+    """One Orthrus validation core: dequeue → sample → re-execute (§3.3).
+
+    Shared between the server and Phoenix drivers.  Ends when it dequeues
+    the shutdown sentinel.  Logs dequeued past ``deadline`` (the end of
+    the timely-detection window) are dropped unvalidated.
+    """
+    while True:
+        log = yield log_store.get()
+        if log is _SENTINEL:
+            return
+        pending_bytes[0] -= log.approx_bytes()
+        now = env.now
+        if deadline is not None and now > deadline[0]:
+            runtime.validator.skip(log)
+            metrics.skipped += 1
+            event = done_events.pop(log.seq, None)
+            if event is not None:
+                event.succeed()
+            continue
+        if config.memory_budget_bytes is not None:
+            sampler.observe_memory(memory_in_use(), config.memory_budget_bytes)
+        else:
+            sampler.observe_delay(now - log.enqueue_time)
+        if sampler.should_validate(log, now):
+            # Comparison cost covers the actual output payloads (bitwise
+            # memcmp over the created versions) — significant for Phoenix's
+            # container-sized outputs, negligible for KV items.
+            output_bytes = log.approx_bytes()
+            for vid in log.output_versions:
+                try:
+                    output_bytes += runtime.heap.version(vid).size
+                except Exception:
+                    pass
+            outcome = runtime.validator.validate(log, core)
+            busy = config.costs.validation_dispatch_cycles + outcome.val_cycles
+            busy += config.costs.compare_cycles_per_byte * output_bytes
+            app_core = runtime.machine.core(log.core_id)
+            if app_core.numa_node != core.numa_node:
+                # Cross-socket validation: the log and its versions are
+                # cold in this core's L3 (§3.5 prefers same-node placement).
+                busy += config.costs.cross_numa_penalty_cycles
+            yield env.timeout(config.costs.seconds(busy))
+            log.validated_time = env.now
+            sampler.on_validated(log, env.now)
+            latency = env.now - log.enqueue_time
+            metrics.validation_latency.add(latency)
+            runtime.latency.record(log.closure_name, latency)
+            metrics.validated += 1
+        else:
+            runtime.validator.skip(log)
+            yield env.timeout(config.costs.seconds(config.costs.skip_cycles))
+            metrics.skipped += 1
+        event = done_events.pop(log.seq, None)
+        if event is not None:
+            event.succeed()
+        on_step()
+
+
+# ----------------------------------------------------------------------
+# Vanilla
+# ----------------------------------------------------------------------
+def run_vanilla_server(scenario, n_ops: int, config: PipelineConfig) -> RunResult:
+    """The unmodified application: no logging, no checksums, no validator."""
+    env = Environment()
+    machine = config.build_machine()
+    app_cores = list(range(config.app_threads))
+    runtime = OrthrusRuntime(
+        machine=machine,
+        app_cores=app_cores,
+        validation_cores=[config.app_threads],
+        clock=SimClock(env),
+        mode="external",
+        checksums=False,
+        hold_versions=False,
+    )
+    server = scenario.build(runtime)
+    try:
+        scenario.setup(server)
+    except Exception as exc:
+        metrics = RunMetrics()
+        return RunResult(
+            metrics=metrics,
+            runtime=runtime,
+            crashed=True,
+            crash_reason=f"setup: {type(exc).__name__}: {exc}",
+        )
+    for core_id, fault in config.deferred_faults:
+        machine.arm(core_id, fault)
+    ops = scenario.make_ops(n_ops, config.seed)
+    metrics = RunMetrics()
+    result = RunResult(metrics=metrics, runtime=runtime)
+    responses_by_index: dict[int, Any] = {}
+
+    def app_thread(thread_id: int):
+        core = machine.core(thread_id)
+        for index in range(thread_id, len(ops), config.app_threads):
+            began = env.now
+            before = core.total_cycles
+            with runtime.bind_core(thread_id):
+                try:
+                    responses_by_index[index] = server.handle(ops[index])
+                except Exception as exc:
+                    result.crashed = True
+                    result.crash_reason = f"{type(exc).__name__}: {exc}"
+                    return
+            cycles = core.total_cycles - before + config.costs.control_path_cycles
+            yield env.timeout(config.costs.seconds(cycles))
+            metrics.request_latency.add(env.now - began)
+            metrics.operations += 1
+            extra = (
+                server.resident_bytes_extra()
+                if hasattr(server, "resident_bytes_extra")
+                else 0
+            )
+            metrics.peak_live_bytes = max(
+                metrics.peak_live_bytes, runtime.heap.live_bytes + extra
+            )
+            metrics.peak_versioned_bytes = max(
+                metrics.peak_versioned_bytes, runtime.heap.versioned_bytes + extra
+            )
+
+    threads = [env.process(app_thread(i)) for i in range(config.app_threads)]
+    env.run(until=env.all_of(threads))
+    metrics.duration = env.now
+    result.responses = [responses_by_index.get(i) for i in range(len(ops))]
+    result.digest = server.state_digest() if not result.crashed else None
+    return result
+
+
+# ----------------------------------------------------------------------
+# Orthrus
+# ----------------------------------------------------------------------
+def run_orthrus_server(scenario, n_ops: int, config: PipelineConfig) -> RunResult:
+    """The Orthrus deployment: logging + asynchronous sampled validation."""
+    if config.validation_cores < 1:
+        raise ConfigurationError("Orthrus needs at least one validation core")
+    env = Environment()
+    machine = config.build_machine()
+    app_cores = list(range(config.app_threads))
+    val_cores = [config.app_threads + i for i in range(config.validation_cores)]
+    runtime = OrthrusRuntime(
+        machine=machine,
+        app_cores=app_cores,
+        validation_cores=val_cores,
+        clock=SimClock(env),
+        mode="external",
+        checksums=True,
+        reclaim_batch=config.reclaim_batch,
+    )
+    sampler = config.make_sampler()
+    server = scenario.build(runtime)
+    runtime._hold_versions = False  # setup closures are not validated
+    try:
+        scenario.setup(server)
+    except Exception as exc:
+        return RunResult(
+            metrics=RunMetrics(),
+            runtime=runtime,
+            crashed=True,
+            crash_reason=f"setup: {type(exc).__name__}: {exc}",
+        )
+    runtime._hold_versions = True
+    for core_id, fault in config.deferred_faults:
+        machine.arm(core_id, fault)
+    ops = scenario.make_ops(n_ops, config.seed)
+    metrics = RunMetrics()
+    result = RunResult(metrics=metrics, runtime=runtime)
+    responses_by_index: dict[int, Any] = {}
+
+    log_store = Store(env)
+    pending_bytes = [0]
+    request_logs: list[ClosureLog] = []
+    runtime._on_log = request_logs.append
+    done_events: dict[int, Any] = {}
+
+    def track_memory() -> None:
+        extra = (
+            server.resident_bytes_extra()
+            if hasattr(server, "resident_bytes_extra")
+            else 0
+        )
+        metrics.peak_live_bytes = max(
+            metrics.peak_live_bytes, runtime.heap.live_bytes + extra
+        )
+        metrics.peak_versioned_bytes = max(
+            metrics.peak_versioned_bytes,
+            runtime.heap.versioned_bytes + pending_bytes[0] + extra,
+        )
+
+    def memory_in_use() -> float:
+        return runtime.heap.versioned_bytes + pending_bytes[0]
+
+    def app_thread(thread_id: int):
+        core = machine.core(thread_id)
+        for index in range(thread_id, len(ops), config.app_threads):
+            began = env.now
+            before = core.total_cycles
+            with runtime.bind_core(thread_id):
+                try:
+                    responses_by_index[index] = server.handle(ops[index])
+                except Exception as exc:
+                    result.crashed = True
+                    result.crash_reason = f"{type(exc).__name__}: {exc}"
+                    return
+            logs = list(request_logs)
+            request_logs.clear()
+            cycles = core.total_cycles - before + config.costs.control_path_cycles
+            cycles += sum(_orthrus_overhead_cycles(log, config.costs) for log in logs)
+            yield env.timeout(config.costs.seconds(cycles))
+            hold: list[Any] = []
+            for log in logs:
+                log.enqueue_time = env.now
+                pending_bytes[0] += log.approx_bytes()
+                event = env.event()
+                done_events[log.seq] = event
+                if config.safe_mode and log.closure_name in scenario.externalizing:
+                    hold.append(event)
+                log_store.put(log)
+            if hold:
+                # Strict safe mode: withhold externalizing results until
+                # their closures validate (§3.5).
+                yield env.all_of(hold)
+            metrics.request_latency.add(env.now - began)
+            metrics.operations += 1
+            track_memory()
+
+    threads = [env.process(app_thread(i)) for i in range(config.app_threads)]
+    deadline = [float("inf")]
+    validators: list[Any] = []
+
+    def spawn_validator(core_id: int) -> None:
+        validators.append(
+            env.process(
+                validator_process(
+                    env=env,
+                    core=machine.core(core_id),
+                    runtime=runtime,
+                    sampler=sampler,
+                    log_store=log_store,
+                    pending_bytes=pending_bytes,
+                    done_events=done_events,
+                    metrics=metrics,
+                    config=config,
+                    memory_in_use=memory_in_use,
+                    on_step=track_memory,
+                    deadline=deadline,
+                )
+            )
+        )
+
+    apps_done = [False]
+    if config.dynamic_scaling:
+        # §3.5 dynamic scaling: one validation thread to start; the
+        # scheduler launches another whenever some closure's recent
+        # validation latency runs 50% above the global average, up to the
+        # configured core budget.
+        spawn_validator(val_cores[0])
+        reserve = list(val_cores[1:])
+
+        def scaling_monitor():
+            while reserve and not apps_done[0]:
+                yield env.timeout(5e-6)
+                if runtime.latency.closures_needing_help():
+                    spawn_validator(reserve.pop(0))
+
+        env.process(scaling_monitor())
+    else:
+        for cid in val_cores:
+            spawn_validator(cid)
+
+    def coordinator():
+        yield env.all_of(threads)
+        apps_done[0] = True
+        metrics.duration = env.now
+        deadline[0] = env.now * (1 + config.drain_grace_fraction)
+        for _ in validators:
+            log_store.put(_SENTINEL)
+        yield env.all_of(validators)
+
+    env.run(until=env.process(coordinator()))
+    metrics.detections = runtime.detections
+    result.responses = [responses_by_index.get(i) for i in range(len(ops))]
+    result.digest = server.state_digest() if not result.crashed else None
+    return result
+
+
+# ----------------------------------------------------------------------
+# RBV
+# ----------------------------------------------------------------------
+def run_rbv_server(scenario, n_ops: int, config: PipelineConfig) -> RunResult:
+    """Replication-based validation: full re-execution on a replica server.
+
+    The replica gets the same number of cores as the application (§4.2)
+    but data dependencies force it to replay requests sequentially; the
+    primary pays serialization + batched network forwarding and stalls at
+    the replication-lag bound.
+    """
+    env = Environment()
+    costs = config.costs
+    batch_size = config.rbv_batch_size or costs.rbv_batch_size
+
+    def build_instance(machine: Machine) -> tuple[OrthrusRuntime, Any]:
+        runtime = OrthrusRuntime(
+            machine=machine,
+            app_cores=list(range(config.app_threads)),
+            validation_cores=[config.app_threads],
+            clock=SimClock(env),
+            mode="external",
+            checksums=False,
+            hold_versions=False,
+        )
+        server = scenario.build(runtime)
+        scenario.setup(server)
+        return runtime, server
+
+    primary_machine = config.build_machine()
+    replica_machine = Machine(
+        cores_per_node=config.app_threads + 1, numa_nodes=1, seed=config.seed + 7919
+    )
+    try:
+        primary_runtime, primary = build_instance(primary_machine)
+        _, replica = build_instance(replica_machine)
+    except Exception as exc:
+        return RunResult(
+            metrics=RunMetrics(),
+            crashed=True,
+            crash_reason=f"setup: {type(exc).__name__}: {exc}",
+        )
+    for core_id, fault in config.deferred_faults:
+        primary_machine.arm(core_id, fault)
+
+    ops = scenario.make_ops(n_ops, config.seed)
+    metrics = RunMetrics()
+    result = RunResult(metrics=metrics, runtime=None)
+    responses_by_index: dict[int, Any] = {}
+    repl_store = Store(env)
+    inflight = [0]
+    stall_events: list[Any] = []
+    detections = [0]
+
+    def app_thread(thread_id: int):
+        core = primary_machine.core(thread_id)
+        for index in range(thread_id, len(ops), config.app_threads):
+            began = env.now
+            op = ops[index]
+            before = core.total_cycles
+            error: Exception | None = None
+            response: Any = None
+            with primary_runtime.bind_core(thread_id):
+                try:
+                    response = primary.handle(op)
+                except Exception as exc:
+                    error = exc
+            responses_by_index[index] = response
+            payload = approx_size(response) + approx_size(op.value) + 64
+            # Forward at execution time so the replica replays requests in
+            # the primary's processing order (§4.1) — forwarding after the
+            # service delay would let two primary threads reorder.
+            repl_store.put((op, response, error, env.now, payload))
+            cycles = core.total_cycles - before + costs.control_path_cycles
+            cycles += costs.rbv_primary_overhead_cycles
+            cycles += costs.serialize_cycles_per_byte * payload
+            yield env.timeout(costs.seconds(cycles))
+            inflight[0] += 1
+            if inflight[0] > costs.rbv_max_lag:
+                # Replication backpressure: the bounded queue is full; the
+                # primary blocks until the replica drains half the window
+                # (hysteresis — stalled requests wait out whole batch
+                # rounds), the source of RBV's enormous tail latencies.
+                gate = env.event()
+                stall_events.append(gate)
+                yield gate
+            metrics.request_latency.add(env.now - began)
+            metrics.operations += 1
+            metrics.peak_live_bytes = max(
+                metrics.peak_live_bytes, primary_runtime.heap.live_bytes
+            )
+            # RBV's memory cost: the full replica state plus the in-flight
+            # replication buffer.
+            metrics.peak_versioned_bytes = max(
+                metrics.peak_versioned_bytes,
+                primary_runtime.heap.live_bytes + replica.runtime.heap.live_bytes,
+            )
+            if error is not None:
+                result.crashed = True
+                result.crash_reason = f"{type(error).__name__}: {error}"
+                return
+
+    def replica_process():
+        # Response comparison is per-request; full state digests are only
+        # comparable at quiescence (the coordinator's final check) because
+        # the primary keeps executing while the replica replays.
+        replica_core = replica_machine.core(0)
+        while True:
+            first = yield repl_store.get()
+            if first is _SENTINEL:
+                return
+            batch = [first]
+            stop = False
+            while len(batch) < batch_size and len(repl_store):
+                item = yield repl_store.get()
+                if item is _SENTINEL:
+                    stop = True
+                    break
+                batch.append(item)
+            total_bytes = sum(item[4] for item in batch)
+            yield env.timeout(costs.network_transfer_s(total_bytes))
+            for op, primary_response, primary_error, completed_at, _ in batch:
+                before = replica_core.total_cycles
+                replica_error: Exception | None = None
+                replica_response: Any = None
+                with replica.runtime.bind_core(0):
+                    try:
+                        replica_response = replica.handle(op)
+                    except Exception as exc:
+                        replica_error = exc
+                cycles = replica_core.total_cycles - before + costs.control_path_cycles
+                yield env.timeout(costs.seconds(cycles))
+                diverged = (
+                    type(primary_error) is not type(replica_error)
+                    or primary_response != replica_response
+                )
+                if diverged:
+                    detections[0] += 1
+                metrics.validation_latency.add(env.now - completed_at)
+                metrics.validated += 1
+                inflight[0] -= 1
+                if inflight[0] <= costs.rbv_max_lag // 2:
+                    while stall_events:
+                        stall_events.pop(0).succeed()
+            if stop:
+                return
+
+    threads = [env.process(app_thread(i)) for i in range(config.app_threads)]
+    replica_proc = env.process(replica_process())
+
+    def coordinator():
+        yield env.all_of(threads)
+        metrics.duration = env.now
+        repl_store.put(_SENTINEL)
+        yield replica_proc
+        if not result.crashed and primary.state_digest() != replica.state_digest():
+            detections[0] += 1
+
+    env.run(until=env.process(coordinator()))
+    metrics.detections = detections[0]
+    result.rbv_detections = detections[0]
+    result.responses = [responses_by_index.get(i) for i in range(len(ops))]
+    result.digest = primary.state_digest() if not result.crashed else None
+    return result

@@ -1,0 +1,21 @@
+"""Simulated CPU substrate: cores, functional units, and mercurial faults."""
+
+from repro.machine.core import AtomicCell, Core
+from repro.machine.cpu import Machine
+from repro.machine.faults import Fault, FaultKind, corrupt_value
+from repro.machine.instruction import Site, Trace
+from repro.machine.units import ALIBABA_FAULT_RATIO, CYCLE_COST, Unit
+
+__all__ = [
+    "ALIBABA_FAULT_RATIO",
+    "AtomicCell",
+    "CYCLE_COST",
+    "Core",
+    "Fault",
+    "FaultKind",
+    "Machine",
+    "Site",
+    "Trace",
+    "Unit",
+    "corrupt_value",
+]

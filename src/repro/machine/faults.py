@@ -1,0 +1,147 @@
+"""Mercurial-core fault model.
+
+A *fault* arms one core with a persistent defect in one functional unit,
+optionally pinned to a single instruction site.  This mirrors the empirical
+fault model of the paper (§2.1, Appendix A.2): silent computation errors are
+highly reproducible, core-local, and correlated with specific instructions.
+Fault kinds follow the injection mechanisms used by LLFI/REFINE and the
+Orthrus framework: ``bitflip`` (invert a bit of the result), ``stuckat0`` /
+``stuckat1`` (force a result bit), and ``nop`` (the instruction does not
+execute; the result falls back to its first operand).
+
+Corruption is applied to the *result value* of an instruction, which is how
+compiler-level injection emulates a faulty execution unit.  Booleans model
+flag/branch-condition corruption (jump errors, Listing 1).
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+from repro.machine.instruction import Site
+from repro.machine.units import Unit
+
+_INT64_MASK = (1 << 64) - 1
+
+
+class FaultKind(enum.Enum):
+    BITFLIP = "bitflip"
+    STUCKAT0 = "stuckat0"
+    STUCKAT1 = "stuckat1"
+    NOP = "nop"
+
+
+@dataclass(frozen=True, slots=True)
+class Fault:
+    """A persistent defect armed on one core.
+
+    Attributes:
+        unit: functional unit the defect lives in.
+        kind: corruption mechanism.
+        site: when set, only this instruction site is affected (the common
+            mercurial-core case); when ``None``, every instruction executed
+            on the defective unit is affected.
+        bit: which result bit the defect touches.
+        trigger_rate: probability that a matching execution actually
+            corrupts.  Google observed errors recurring "at a certain
+            frequency" [44]; 1.0 reproduces the deterministic common case.
+    """
+
+    unit: Unit
+    kind: FaultKind
+    site: Site | None = None
+    bit: int = 0
+    trigger_rate: float = 1.0
+
+    def matches(self, unit: Unit, site: Site) -> bool:
+        if unit is not self.unit:
+            return False
+        return self.site is None or self.site == site
+
+
+def _corrupt_bits(value: int, kind: FaultKind, bit: int) -> int:
+    mask = 1 << bit
+    if kind is FaultKind.BITFLIP:
+        return value ^ mask
+    if kind is FaultKind.STUCKAT0:
+        return value & ~mask
+    if kind is FaultKind.STUCKAT1:
+        return value | mask
+    raise ValueError(f"no bit semantics for {kind}")
+
+
+def _corrupt_int(value: int, kind: FaultKind, bit: int) -> int:
+    negative = value < 0
+    raw = value & _INT64_MASK
+    raw = _corrupt_bits(raw, kind, bit % 64) & _INT64_MASK
+    if negative or raw >> 63:
+        # Interpret as two's-complement 64-bit, like the hardware would.
+        return raw - (1 << 64) if raw >> 63 else raw
+    return raw
+
+
+def _corrupt_float(value: float, kind: FaultKind, bit: int) -> float:
+    (raw,) = struct.unpack("<Q", struct.pack("<d", value))
+    raw = _corrupt_bits(raw, kind, bit % 64) & _INT64_MASK
+    (out,) = struct.unpack("<d", struct.pack("<Q", raw))
+    return out
+
+
+def corrupt_value(value, kind: FaultKind, bit: int):
+    """Apply a bit-level fault to an instruction result.
+
+    Supports the value shapes produced by the ops API: bool (flag /
+    branch-condition results), int, float, bytes, and sequences of numbers
+    (vector lanes).  For vectors the fault lands in one lane, selected by
+    the fault's bit index, matching single-lane SIMD defects.
+    """
+    if kind is FaultKind.NOP:
+        raise ValueError("NOP faults are applied by the core, not per-value")
+    if getattr(value, "__orthrus_ptr__", False):
+        # A corrupted pointer word: the reference now dangles or aliases
+        # another object (the misplaced-bucket scenario of Listing 2).
+        return type(value)(value.heap, _corrupt_int(value.obj_id, kind, bit % 32))
+    if isinstance(value, bool):
+        if kind is FaultKind.BITFLIP:
+            return not value
+        return kind is FaultKind.STUCKAT1
+    if isinstance(value, int):
+        return _corrupt_int(value, kind, bit)
+    if isinstance(value, float):
+        return _corrupt_float(value, kind, bit)
+    if value is None:
+        # A corrupted null reference stays null in this model (flipping a
+        # low bit of a null pointer still faults on dereference, which the
+        # surrounding code models as fail-stop elsewhere).
+        return None
+    if isinstance(value, str):
+        if not value:
+            return value
+        index = (bit // 8) % len(value)
+        flipped = chr((ord(value[index]) ^ (1 << (bit % 7))) & 0x10FFFF)
+        return value[:index] + flipped + value[index + 1 :]
+    if isinstance(value, bytes):
+        if not value:
+            return value
+        # Byte moves execute as 64-byte vector transfers; a defective bit
+        # lane corrupts byte (bit//8) of *every* 64-byte chunk it moves.
+        out = bytearray(value)
+        lane = bit // 8
+        for base in range(0, len(out), 64):
+            index = base + (lane % min(64, len(out) - base))
+            out[index] = _corrupt_bits(out[index], kind, bit % 8) & 0xFF
+        return bytes(out)
+    if isinstance(value, (tuple, list)):
+        if not value:
+            return value
+        # A defective physical lane: the bit selects both which lane the
+        # defect lives in and which bit of that lane it touches, so the
+        # full in-lane bit range (including sign/exponent bits) is
+        # reachable by faults — as observed in real vector-unit SDCs.
+        lane = bit % len(value)
+        items = list(value)
+        items[lane] = corrupt_value(items[lane], kind, bit)
+        return type(value)(items)
+    raise TypeError(f"cannot corrupt value of type {type(value).__name__}")

@@ -1,0 +1,24 @@
+"""Versioned memory: checksums, versions, heaps, pointers, reclamation."""
+
+from repro.memory.checksum import checksum_of, crc16, deserialize, serialize
+from repro.memory.heap import PrivateHeap, VersionedHeap
+from repro.memory.pointer import OrthrusPtr, orthrus_new, orthrus_receive, ptr
+from repro.memory.reclaim import ReclamationManager
+from repro.memory.version import RECLAIMED, Version, approx_size
+
+__all__ = [
+    "OrthrusPtr",
+    "PrivateHeap",
+    "RECLAIMED",
+    "ReclamationManager",
+    "Version",
+    "VersionedHeap",
+    "approx_size",
+    "checksum_of",
+    "crc16",
+    "deserialize",
+    "orthrus_new",
+    "orthrus_receive",
+    "ptr",
+    "serialize",
+]

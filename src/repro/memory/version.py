@@ -1,0 +1,90 @@
+"""Immutable data versions and their visible windows.
+
+Every store through an :class:`~repro.memory.pointer.OrthrusPtr` creates a
+new out-of-place version of the object (§3.1).  A version is immutable once
+created; its *visible window* (Figure 4) opens at creation and closes when
+the next version of the same object is created or the object is deleted.
+The reclamation watermark (§3.6) frees versions whose window closed before
+the earliest start time of any closure still running or awaiting
+validation.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Sentinel stored in place of a reclaimed payload so stale accesses fail
+#: loudly instead of returning garbage.
+RECLAIMED = object()
+
+
+def approx_size(value: Any) -> int:
+    """Cheap recursive estimate of a payload's memory footprint in bytes.
+
+    Used for the memory-overhead accounting of Figs 6/10; it does not need
+    to match CPython's allocator exactly, only to be consistent between the
+    vanilla baseline and the versioned heap.
+    """
+    if value is None or isinstance(value, bool):
+        return 8
+    if isinstance(value, int):
+        return 8 + value.bit_length() // 8
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, (str, bytes)):
+        return 16 + len(value)
+    if getattr(value, "__orthrus_ptr__", False):
+        return 8  # one pointer word
+    if isinstance(value, (tuple, list)):
+        return 16 + sum(approx_size(item) for item in value)
+    if isinstance(value, dict):
+        return 32 + sum(approx_size(k) + approx_size(v) for k, v in value.items())
+    if hasattr(value, "__orthrus_payload__"):
+        return 16 + approx_size(value.__orthrus_payload__())
+    return sys.getsizeof(value)
+
+
+@dataclass(slots=True)
+class Version:
+    """One immutable version of a user-data object.
+
+    Attributes:
+        version_id: globally unique, monotonically increasing.
+        obj_id: the object this version belongs to.
+        value: the payload (treated as immutable by convention).
+        checksum: CRC-16 of the payload, stored in the version header
+            (§3.4); ``None`` when checksums are disabled.
+        created_at: visible-window open time.
+        superseded_at: visible-window close time (next version created or
+            object deleted); ``None`` while this is the live version.
+        creator: sequence id of the closure execution that created it, or
+            ``None`` for versions created outside any closure.
+        size: approximate payload bytes, for memory accounting.
+    """
+
+    version_id: int
+    obj_id: int
+    value: Any
+    checksum: int | None
+    created_at: float
+    superseded_at: float | None = None
+    creator: int | None = None
+    size: int = field(default=0)
+
+    @property
+    def live(self) -> bool:
+        return self.superseded_at is None
+
+    @property
+    def reclaimed(self) -> bool:
+        return self.value is RECLAIMED
+
+    def window_ends_before(self, watermark: float) -> bool:
+        """True when the visible window closed strictly before ``watermark``."""
+        return self.superseded_at is not None and self.superseded_at < watermark
+
+    def __repr__(self) -> str:
+        state = "reclaimed" if self.reclaimed else ("live" if self.live else "stale")
+        return f"Version(v{self.version_id}, obj{self.obj_id}, {state})"

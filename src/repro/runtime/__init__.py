@@ -1,0 +1,23 @@
+"""Orthrus runtime: sampler, scheduler, safe mode, and the main façade."""
+
+from repro.runtime.orthrus import OrthrusRuntime, active
+from repro.runtime.safemode import SafeModePolicy
+from repro.runtime.sampling import (
+    AdaptiveSampler,
+    AlwaysSampler,
+    RandomSampler,
+    SamplerConfig,
+)
+from repro.runtime.scheduler import LatencyTracker, Scheduler
+
+__all__ = [
+    "AdaptiveSampler",
+    "AlwaysSampler",
+    "LatencyTracker",
+    "OrthrusRuntime",
+    "RandomSampler",
+    "SafeModePolicy",
+    "SamplerConfig",
+    "Scheduler",
+    "active",
+]

@@ -1,0 +1,287 @@
+"""The Orthrus runtime façade: the library's main entry point.
+
+Wires together the versioned heap, reclamation, validation queues,
+validator, sampler, and scheduler, and executes annotated closures:
+
+>>> runtime = OrthrusRuntime()
+>>> with runtime:
+...     result = my_annotated_operator(args)      # doctest: +SKIP
+
+Two validation modes:
+
+* ``"inline"`` — every closure is validated synchronously on a different
+  core right after it runs.  Deterministic and simple; the default for
+  library users and tests.
+* ``"queued"`` — closure logs are pushed to per-core validation queues and
+  validated asynchronously/out-of-order when :meth:`pump` (or the
+  discrete-event harness) drives the validator; the sampler decides which
+  logs to validate under load.  This is the production deployment shape of
+  the paper.
+
+Detection policy: ``"flag"`` records events in :attr:`report` and keeps
+running (the paper's default, non-blocking mode); ``"abort"`` raises
+:class:`~repro.errors.SdcDetected` — the strict deployment where a detected
+corruption stops the application before data is externalized.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from repro.clock import Clock, LogicalClock
+from repro.closures.annotation import ClosureMeta
+from repro.closures.context import ExecutionContext
+from repro.closures.log import ClosureLog
+from repro.detection import DetectionEvent, DetectionReport
+from repro.errors import ChecksumMismatch, ConfigurationError, ValidationMismatch
+from repro.machine.core import Core
+from repro.machine.cpu import Machine
+from repro.memory.heap import VersionedHeap
+from repro.memory.pointer import OrthrusPtr
+from repro.memory.reclaim import ReclamationManager
+from repro.runtime.sampling import AlwaysSampler
+from repro.runtime.scheduler import LatencyTracker, Scheduler
+from repro.validation.queues import QueueSet
+from repro.validation.validator import ValidationOutcome, Validator
+
+_active_lock = threading.Lock()
+_active_stack: list["OrthrusRuntime"] = []
+
+
+def active() -> "OrthrusRuntime | None":
+    """The innermost runtime entered with ``with runtime:`` on any thread."""
+    with _active_lock:
+        return _active_stack[-1] if _active_stack else None
+
+
+class OrthrusRuntime:
+    """Orchestrates closure execution, logging, and validation."""
+
+    def __init__(
+        self,
+        machine: Machine | None = None,
+        app_cores: list[int] | None = None,
+        validation_cores: list[int] | None = None,
+        clock: Clock | None = None,
+        mode: str = "inline",
+        checksums: bool = True,
+        detection_policy: str = "flag",
+        sampler=None,
+        reclaim_batch: int = 64,
+        hold_versions: bool = True,
+    ):
+        if mode not in ("inline", "queued", "external"):
+            raise ConfigurationError(f"unknown runtime mode {mode!r}")
+        if detection_policy not in ("flag", "abort"):
+            raise ConfigurationError(f"unknown detection policy {detection_policy!r}")
+        self.machine = machine if machine is not None else Machine(cores_per_node=4, numa_nodes=1)
+        if app_cores is None:
+            app_cores = [0]
+        if validation_cores is None:
+            validation_cores = [i for i in range(len(self.machine)) if i not in app_cores][:1]
+        self.mode = mode
+        self.detection_policy = detection_policy
+        self.clock = clock if clock is not None else LogicalClock()
+        self.heap = VersionedHeap(clock=self.clock, checksums=checksums)
+        self.reclaimer = ReclamationManager(self.heap, batch_size=reclaim_batch)
+        self.scheduler = Scheduler(self.machine, app_cores, validation_cores)
+        self.queues = QueueSet(len(validation_cores))
+        self.report = DetectionReport()
+        self.validator = Validator(
+            self.heap, self.clock, detector=self._on_detection, reclaimer=self.reclaimer
+        )
+        self.sampler = sampler if sampler is not None else AlwaysSampler()
+        self.latency = LatencyTracker()
+        self.outcomes: list[ValidationOutcome] = []
+        self._seq = 0
+        self._bound = threading.local()
+        self._on_log: Callable[[ClosureLog], None] | None = None
+        #: False = close each closure's active window immediately after the
+        #: APP run (no deferred validation will reference its versions) —
+        #: used by vanilla/RBV configurations that do not validate logs.
+        self._hold_versions = hold_versions
+
+    # ------------------------------------------------------------------
+    # activation
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "OrthrusRuntime":
+        with _active_lock:
+            _active_stack.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        with _active_lock:
+            _active_stack.remove(self)
+
+    # ------------------------------------------------------------------
+    # allocation helpers
+    # ------------------------------------------------------------------
+    def new(self, value: Any) -> OrthrusPtr:
+        """Allocate user data outside any closure (control-path setup)."""
+        return OrthrusPtr(self.heap, self.heap.allocate(value))
+
+    def receive(self, value: Any, checksum: int) -> OrthrusPtr:
+        """Materialize user data received over the control path (§3.4)."""
+        return OrthrusPtr(
+            self.heap, self.heap.allocate(value, checksum_override=checksum)
+        )
+
+    # ------------------------------------------------------------------
+    # closure execution (APP side)
+    # ------------------------------------------------------------------
+    def current_core(self) -> Core:
+        """The application core control-path code should execute on: the
+        thread's bound core, or the first application core."""
+        bound = getattr(self._bound, "core_id", None)
+        if bound is not None:
+            return self.machine.core(bound)
+        return self.scheduler.app_cores[0]
+
+    def bind_core(self, core_id: int) -> "_CoreBinding":
+        """Pin closures run on this thread to one application core.
+
+        Used by multi-threaded drivers (and the discrete-event harness) to
+        model several application threads on distinct cores.
+        """
+        return _CoreBinding(self, core_id)
+
+    def run_closure(
+        self,
+        meta: ClosureMeta,
+        args: tuple,
+        kwargs: dict,
+        caller: str = "<unknown>",
+        core: Core | None = None,
+    ) -> Any:
+        if core is None:
+            bound = getattr(self._bound, "core_id", None)
+            core = self.machine.core(bound) if bound is not None else self.scheduler.next_app_core()
+        self._seq += 1
+        start = self.clock.now()
+        log = ClosureLog(
+            seq=self._seq,
+            closure_name=meta.name,
+            caller=caller,
+            func=meta.fn,
+            args=args,
+            kwargs=kwargs,
+            start_time=start,
+            core_id=core.core_id,
+            compare=meta.compare,
+        )
+        self.reclaimer.closure_started(log.seq, start)
+        ctx = ExecutionContext(
+            ExecutionContext.APP,
+            core=core,
+            heap=self.heap,
+            log=log,
+            verify_checksums=self.heap._checksums,
+            detector=self._on_detection,
+        )
+        try:
+            with ctx:
+                retval = meta.fn(*args, **kwargs)
+        except BaseException:
+            # Fail-stop: the closure crashed.  Close its window so its
+            # versions do not leak, then let the crash propagate.
+            self.reclaimer.closure_finished(log.seq)
+            raise
+        log.retval = ctx.canonicalize(retval)
+        log.deletes = [ctx.canon_obj(oid) for oid in log.deletes]
+        log.end_time = self.clock.now()
+        if not self._hold_versions:
+            self.reclaimer.closure_finished(log.seq)
+        if self._on_log is not None:
+            self._on_log(log)
+        if self.mode == "inline":
+            val_core = self.scheduler.validation_core_for(core.core_id)
+            outcome = self.validator.validate(log, val_core)
+            self.sampler.on_validated(log, self.clock.now())
+            self.latency.record(log.closure_name, outcome.latency)
+            self.outcomes.append(outcome)
+        elif self.mode == "queued":
+            self.queues.push(log, self.clock.now())
+        # mode == "external": an external driver (the discrete-event
+        # harness, or an RBV baseline that validates whole requests) owns
+        # the log via the _on_log hook; nothing is queued here.
+        return retval
+
+    # ------------------------------------------------------------------
+    # validation pumping (queued mode)
+    # ------------------------------------------------------------------
+    def pump(self, max_logs: int | None = None) -> int:
+        """Drive the validator over pending logs; returns logs processed.
+
+        Applies the sampler to each dequeued log: skipped logs close their
+        active window without re-execution (§3.5).
+        """
+        processed = 0
+        while max_logs is None or processed < max_logs:
+            log = self._pop_any()
+            if log is None:
+                break
+            processed += 1
+            now = self.clock.now()
+            self.sampler.observe_delay(self.queues.queue_delay(now))
+            if not self.sampler.should_validate(log, now):
+                self.validator.skip(log)
+                continue
+            app_core_id = log.core_id
+            val_core = self.scheduler.validation_core_for(app_core_id)
+            outcome = self.validator.validate(log, val_core)
+            self.sampler.on_validated(log, self.clock.now())
+            self.latency.record(log.closure_name, outcome.latency)
+            self.outcomes.append(outcome)
+        return processed
+
+    def drain(self) -> int:
+        """Validate everything still pending (end-of-run flush)."""
+        return self.pump(max_logs=None)
+
+    def _pop_any(self) -> ClosureLog | None:
+        for queue in self.queues.queues:
+            log = queue.pop()
+            if log is not None:
+                return log
+        return None
+
+    # ------------------------------------------------------------------
+    # detection
+    # ------------------------------------------------------------------
+    def _on_detection(self, event: DetectionEvent) -> None:
+        self.report.record(event)
+        if self.detection_policy == "abort":
+            if event.kind == "checksum":
+                raise ChecksumMismatch(event.detail, closure=event.closure)
+            raise ValidationMismatch(event.detail, closure=event.closure)
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    @property
+    def detections(self) -> int:
+        return self.report.count()
+
+    @property
+    def validations(self) -> int:
+        return self.validator.validated_count
+
+    def reset_report(self) -> None:
+        self.report.clear()
+
+
+class _CoreBinding:
+    def __init__(self, runtime: OrthrusRuntime, core_id: int):
+        self._runtime = runtime
+        self._core_id = core_id
+        self._previous: int | None = None
+
+    def __enter__(self):
+        bound = self._runtime._bound
+        self._previous = getattr(bound, "core_id", None)
+        bound.core_id = self._core_id
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._runtime._bound.core_id = self._previous

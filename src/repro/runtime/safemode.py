@@ -1,0 +1,33 @@
+"""Strict safe mode (§3.5).
+
+By default validation never blocks results — an SDC is flagged after the
+fact.  Safe mode withholds *externalizing* results (those returned to a
+client, e.g. Memcached ``get``) until the producing closure's validation
+completes.  Only the externalizing subset pays the wait, which is why the
+paper measures the mode's cost at under 2%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SafeModePolicy:
+    """Which closures must be validated before their result is released."""
+
+    enabled: bool = False
+    #: closure names whose results reach clients (app-specific)
+    externalizing: frozenset[str] = field(default_factory=frozenset)
+
+    def must_hold(self, closure_name: str) -> bool:
+        """Should this closure's result be withheld until validated?"""
+        return self.enabled and closure_name in self.externalizing
+
+    @staticmethod
+    def strict(externalizing) -> "SafeModePolicy":
+        return SafeModePolicy(enabled=True, externalizing=frozenset(externalizing))
+
+    @staticmethod
+    def off() -> "SafeModePolicy":
+        return SafeModePolicy(enabled=False)

@@ -1,0 +1,21 @@
+"""Discrete-event simulation substrate: engine, metrics, cost model."""
+
+from repro.sim.costs import CPU_FREQ_HZ, DEFAULT_COSTS, CostModel, cycles_to_seconds
+from repro.sim.events import Environment, Event, Process, SimClock, Store, Timeout
+from repro.sim.metrics import Histogram, RunMetrics, slowdown
+
+__all__ = [
+    "CPU_FREQ_HZ",
+    "CostModel",
+    "DEFAULT_COSTS",
+    "Environment",
+    "Event",
+    "Histogram",
+    "Process",
+    "RunMetrics",
+    "SimClock",
+    "Store",
+    "Timeout",
+    "cycles_to_seconds",
+    "slowdown",
+]

@@ -1,0 +1,101 @@
+"""Cycle- and time-cost model for the virtual-time experiments.
+
+The absolute numbers do not need to match the paper's testbed — the
+*relative* structure does.  The model separates exactly the cost sources
+the paper attributes overhead to:
+
+* data-path computation — cycles traced by the simulated machine;
+* control-path work — a per-request cycle budget (parsing, dispatch; the
+  control path is ~20× the data-path code, §2.2);
+* Orthrus bookkeeping — per-closure log creation plus per-version logging
+  and OrthrusPtr indirection (the ~4% time overhead of §4.2);
+* checksum generation/verification — a few dozen cycles per object (§3.4,
+  <1% overhead);
+* RBV costs — request serialization, 100 Gbps-class network transfer, and
+  dependency-ordered replica execution (§4.1 baselines).
+
+All knobs live in one dataclass so the ablation benchmarks can switch
+individual terms off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: Xeon Gold 6342-class clock (2.8 GHz).
+CPU_FREQ_HZ = 2.8e9
+
+
+def cycles_to_seconds(cycles: float, freq_hz: float = CPU_FREQ_HZ) -> float:
+    return cycles / freq_hz
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Knobs for the virtual-time accounting."""
+
+    freq_hz: float = CPU_FREQ_HZ
+
+    # --- application structure ----------------------------------------
+    #: control-path cycles per request (parse/dispatch/respond); the
+    #: control path dominates instruction count in real servers.
+    control_path_cycles: int = 4000
+
+    # --- Orthrus overheads ---------------------------------------------
+    #: per-closure log creation and bookkeeping (cache-locality-aware log
+    #: allocator, §3.1)
+    log_base_cycles: int = 60
+    #: per-version logging (out-of-place copy + log entry)
+    log_per_version_cycles: int = 35
+    #: OrthrusPtr indirection per tracked load/store
+    pointer_indirection_cycles: int = 2
+    #: CRC generation/verification: base + per-byte (SSE4.2-class)
+    checksum_base_cycles: int = 24
+    checksum_cycles_per_byte: float = 0.15
+
+    # --- validator -------------------------------------------------------
+    #: dequeue/dispatch per validated log
+    validation_dispatch_cycles: int = 1500
+    #: extra cycles when the validation core sits on a different NUMA node
+    #: than the APP core that produced the log: the closure log and its
+    #: versions miss the shared L3 and cross the interconnect (§3.5's
+    #: rationale for same-socket placement)
+    cross_numa_penalty_cycles: int = 1200
+    #: result comparison per output byte (bitwise memcmp)
+    compare_cycles_per_byte: float = 0.12
+    #: sampler decision for a skipped log
+    skip_cycles: int = 40
+
+    # --- RBV baseline -----------------------------------------------------
+    #: one-way network latency between primary and replica (InfiniBand-class)
+    network_latency_s: float = 5e-6
+    #: network bandwidth for forwarded requests/results
+    network_bandwidth_bps: float = 100e9
+    #: serialization cycles per byte forwarded to the replica
+    serialize_cycles_per_byte: float = 0.8
+    #: per-request replication bookkeeping on the primary (batching,
+    #: ordering, ack tracking) — RBV burns ~43% of CPU on communication
+    rbv_primary_overhead_cycles: int = 2400
+    #: requests per replication batch
+    rbv_batch_size: int = 16
+    #: maximum primary-to-replica lag (requests) before the primary stalls
+    #: (bounded replication queue: the backpressure that creates RBV's
+    #: 1000x tail latencies)
+    rbv_max_lag: int = 256
+
+    # ------------------------------------------------------------------
+    def seconds(self, cycles: float) -> float:
+        return cycles / self.freq_hz
+
+    def network_transfer_s(self, payload_bytes: int) -> float:
+        return self.network_latency_s + payload_bytes * 8 / self.network_bandwidth_bps
+
+    def checksum_cycles(self, payload_bytes: int) -> float:
+        return self.checksum_base_cycles + self.checksum_cycles_per_byte * payload_bytes
+
+    def without_checksums(self) -> "CostModel":
+        return replace(self, checksum_base_cycles=0, checksum_cycles_per_byte=0.0)
+
+
+#: Default model used by the benchmark harness.
+DEFAULT_COSTS = CostModel()

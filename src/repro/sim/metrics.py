@@ -1,0 +1,124 @@
+"""Measurement helpers for the benchmark harness.
+
+Latency distributions (Fig 7's p95, Fig 8's validation-latency CDFs) and
+throughput counters, kept dependency-light (numpy only for percentiles).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class Histogram:
+    """Accumulates samples; answers mean/percentile/min/max queries."""
+
+    def __init__(self):
+        self._values: list[float] = []
+
+    def add(self, value: float) -> None:
+        self._values.append(value)
+
+    def extend(self, values) -> None:
+        self._values.extend(values)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def mean(self) -> float:
+        if not self._values:
+            return 0.0
+        return float(np.mean(self._values))
+
+    def percentile(self, p: float) -> float:
+        """The p-th percentile (p in [0, 100])."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile {p} out of range")
+        if not self._values:
+            return 0.0
+        return float(np.percentile(self._values, p))
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    @property
+    def max(self) -> float:
+        return max(self._values) if self._values else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self._values) if self._values else 0.0
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.max,
+        }
+
+
+@dataclass
+class RunMetrics:
+    """Everything one simulated run reports."""
+
+    #: completed operations (requests / tasks)
+    operations: int = 0
+    #: virtual seconds elapsed
+    duration: float = 0.0
+    #: per-request latency (virtual seconds)
+    request_latency: Histogram = field(default_factory=Histogram)
+    #: closure-validation latency: closure completion → validation done
+    validation_latency: Histogram = field(default_factory=Histogram)
+    #: peak versioned-heap footprint in bytes (Orthrus memory accounting)
+    peak_versioned_bytes: int = 0
+    #: peak vanilla (live-only) footprint in bytes
+    peak_live_bytes: int = 0
+    #: logs validated / skipped by the sampler
+    validated: int = 0
+    skipped: int = 0
+    #: SDC detections flagged during the run
+    detections: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Operations per virtual second."""
+        if self.duration <= 0:
+            return 0.0
+        return self.operations / self.duration
+
+    @property
+    def memory_overhead(self) -> float:
+        """Peak versioned footprint relative to the vanilla footprint."""
+        if self.peak_live_bytes == 0:
+            return 0.0
+        return self.peak_versioned_bytes / self.peak_live_bytes - 1.0
+
+    @property
+    def sampling_fraction(self) -> float:
+        total = self.validated + self.skipped
+        if total == 0:
+            return 1.0
+        return self.validated / total
+
+
+def slowdown(vanilla_throughput: float, system_throughput: float) -> float:
+    """Relative time overhead of a system versus vanilla (0.04 = 4%)."""
+    if system_throughput <= 0:
+        return math.inf
+    return vanilla_throughput / system_throughput - 1.0

@@ -1,0 +1,15 @@
+"""Out-of-order validation: queues, re-execution, result comparison."""
+
+from repro.validation.comparator import ComparisonResult, compare_execution, values_equal
+from repro.validation.queues import LogQueue, QueueSet
+from repro.validation.validator import ValidationOutcome, Validator
+
+__all__ = [
+    "ComparisonResult",
+    "LogQueue",
+    "QueueSet",
+    "ValidationOutcome",
+    "Validator",
+    "compare_execution",
+    "values_equal",
+]

@@ -1,0 +1,94 @@
+"""Result comparison between the original and the re-executed closure (§3.3).
+
+The default comparison is the paper's bitwise memory compare: both values
+are canonically serialized (type-tagged, bit-exact for floats) and the byte
+strings compared.  Closures may override it with a custom ``compare``
+callable — the analogue of overloading ``==`` on the output pointer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.memory.checksum import serialize
+
+
+def canonicalize_ptrs(value: Any, canon: Callable[[int], Any]) -> Any:
+    """Recursively replace embedded Orthrus pointers with canonical ids.
+
+    APP and VAL re-executions allocate the "same" logical objects at
+    different raw ids (shared vs shadow), so pointer-valued fields inside
+    output payloads must be mapped through each side's allocation-order
+    canonicalization before a bitwise comparison is meaningful (§3.3).
+    """
+    if getattr(value, "__orthrus_ptr__", False):
+        return canon(value.obj_id)
+    if isinstance(value, tuple):
+        return tuple(canonicalize_ptrs(item, canon) for item in value)
+    if isinstance(value, list):
+        return [canonicalize_ptrs(item, canon) for item in value]
+    if isinstance(value, dict):
+        return {key: canonicalize_ptrs(item, canon) for key, item in value.items()}
+    return value
+
+
+def values_equal(a: Any, b: Any) -> bool:
+    """Bitwise comparison of two payloads.
+
+    Serialization is bit-exact (IEEE-754 doubles compared by their bits, so
+    ``nan == nan`` here and ``0.0 != -0.0``), matching a memcmp over the
+    two memory regions.  Falls back to ``==`` for payloads the canonical
+    serializer does not cover.
+    """
+    try:
+        return serialize(a) == serialize(b)
+    except TypeError:
+        return bool(a == b)
+
+
+@dataclass(frozen=True, slots=True)
+class ComparisonResult:
+    """Outcome of comparing one APP execution against its VAL re-execution."""
+
+    matches: bool
+    detail: str = ""
+
+    @staticmethod
+    def ok() -> "ComparisonResult":
+        return ComparisonResult(True)
+
+    @staticmethod
+    def mismatch(detail: str) -> "ComparisonResult":
+        return ComparisonResult(False, detail)
+
+
+def compare_execution(
+    app_outputs: list[Any],
+    val_outputs: list[Any],
+    app_retval: Any,
+    val_retval: Any,
+    app_deletes: list[Any],
+    val_deletes: list[Any],
+    compare: Callable[[Any, Any], bool] | None = None,
+) -> ComparisonResult:
+    """Compare the full observable effect of a closure execution.
+
+    Outputs are the version payloads created by stores/allocations, in
+    creation order (§3.1: the output is the set of new data versions plus
+    the return value); a count difference means the two executions took
+    different paths.  ``compare`` overrides per-value output comparison.
+    """
+    equal = compare if compare is not None else values_equal
+    if len(app_outputs) != len(val_outputs):
+        return ComparisonResult.mismatch(
+            f"output count diverged: app={len(app_outputs)} val={len(val_outputs)}"
+        )
+    for index, (app_value, val_value) in enumerate(zip(app_outputs, val_outputs)):
+        if not equal(app_value, val_value):
+            return ComparisonResult.mismatch(f"output #{index} diverged")
+    if app_deletes != val_deletes:
+        return ComparisonResult.mismatch("delete sets diverged")
+    if not values_equal(app_retval, val_retval):
+        return ComparisonResult.mismatch("return value diverged")
+    return ComparisonResult.ok()

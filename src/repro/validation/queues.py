@@ -1,0 +1,106 @@
+"""Per-core validation log queues with work stealing (§3.3, §3.5).
+
+Each validation core owns a FIFO of closure logs.  The scheduler pushes a
+log onto the queue of a core different from the one that ran the closure.
+Validation threads drain their own queues first and *steal* from the
+longest other queue when idle — the paper's mitigation for the tail-latency
+problem of out-of-order validation (a stranded log both delays detection
+and wastes the validation of its successors).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.closures.log import ClosureLog
+from repro.errors import ConfigurationError
+
+
+class LogQueue:
+    """FIFO of pending closure logs for one validation core."""
+
+    def __init__(self, queue_id: int):
+        self.queue_id = queue_id
+        self._logs: deque[ClosureLog] = deque()
+
+    def push(self, log: ClosureLog, now: float) -> None:
+        log.enqueue_time = now
+        self._logs.append(log)
+
+    def pop(self) -> ClosureLog | None:
+        if not self._logs:
+            return None
+        return self._logs.popleft()
+
+    def steal(self) -> ClosureLog | None:
+        """Steal from the tail (the newest log), classic work-stealing order."""
+        if not self._logs:
+            return None
+        return self._logs.pop()
+
+    def __len__(self) -> int:
+        return len(self._logs)
+
+    @property
+    def oldest_enqueue_time(self) -> float | None:
+        return self._logs[0].enqueue_time if self._logs else None
+
+
+class QueueSet:
+    """All validation queues plus placement and stealing policy."""
+
+    def __init__(self, n_queues: int):
+        if n_queues < 1:
+            raise ConfigurationError("need at least one validation queue")
+        self.queues = [LogQueue(i) for i in range(n_queues)]
+        self._next = 0
+
+    def push(self, log: ClosureLog, now: float) -> LogQueue:
+        """Place a log round-robin across queues (each queue maps to a
+        validation core different from any application core)."""
+        queue = self.queues[self._next]
+        self._next = (self._next + 1) % len(self.queues)
+        queue.push(log, now)
+        return queue
+
+    def pop(self, queue_id: int, allow_steal: bool = True) -> ClosureLog | None:
+        """Pop from the owner's queue, stealing from the longest other
+        queue when the owner's is empty."""
+        log = self.queues[queue_id].pop()
+        if log is not None or not allow_steal:
+            return log
+        victim = max(
+            (q for q in self.queues if q.queue_id != queue_id),
+            key=len,
+            default=None,
+        )
+        if victim is None or len(victim) == 0:
+            return None
+        return victim.steal()
+
+    @property
+    def pending(self) -> int:
+        return sum(len(q) for q in self.queues)
+
+    def queue_delay(self, now: float) -> float:
+        """Age of the oldest pending log — the sampler's load signal (§3.5)."""
+        oldest = [
+            q.oldest_enqueue_time
+            for q in self.queues
+            if q.oldest_enqueue_time is not None
+        ]
+        if not oldest:
+            return 0.0
+        return now - min(oldest)
+
+    def drain(self):
+        """Pop every pending log (oldest-first across queues)."""
+        logs = []
+        for queue in self.queues:
+            while True:
+                log = queue.pop()
+                if log is None:
+                    break
+                logs.append(log)
+        logs.sort(key=lambda log: log.enqueue_time)
+        return logs

@@ -1,0 +1,153 @@
+"""The validator: out-of-order re-execution of closure logs (§3.3).
+
+A closure log is self-contained — inputs pinned to exact versions, recorded
+syscall results, a reference to the closure code — so the validator can
+re-execute it at any later time, on any core other than the one that ran
+the original, with no synchronization against the application.  Stores land
+in a private heap; the observable effect (output versions, deletes, return
+value) is compared against the log, and any divergence is a detected SDC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.clock import Clock
+from repro.closures.context import ExecutionContext
+from repro.closures.log import ClosureLog
+from repro.detection import DetectionEvent
+from repro.errors import ConfigurationError
+from repro.machine.core import Core
+from repro.memory.heap import VersionedHeap
+from repro.memory.reclaim import ReclamationManager
+from repro.validation.comparator import (
+    ComparisonResult,
+    canonicalize_ptrs,
+    compare_execution,
+)
+
+
+@dataclass(slots=True)
+class ValidationOutcome:
+    """Result of validating one closure log."""
+
+    log: ClosureLog
+    passed: bool
+    detail: str
+    #: cycles the re-execution consumed (charged to the validation core)
+    val_cycles: int
+    #: validation latency: log completion to validation completion
+    latency: float
+
+    @property
+    def detected_sdc(self) -> bool:
+        return not self.passed
+
+
+class Validator:
+    """Re-executes closure logs and reports divergences."""
+
+    def __init__(
+        self,
+        heap: VersionedHeap,
+        clock: Clock,
+        detector: Callable[[DetectionEvent], None] | None = None,
+        reclaimer: ReclamationManager | None = None,
+    ):
+        self._heap = heap
+        self._clock = clock
+        self._detector = detector
+        self._reclaimer = reclaimer
+        self.validated_count = 0
+        self.mismatch_count = 0
+
+    def validate(self, log: ClosureLog, core: Core) -> ValidationOutcome:
+        """Re-execute ``log`` on ``core`` and compare results."""
+        if core.core_id == log.core_id:
+            raise ConfigurationError(
+                f"validation of {log.closure_name} scheduled on its own APP "
+                f"core {core.core_id}; a faulty unit would corrupt both runs"
+            )
+        ctx = ExecutionContext(
+            ExecutionContext.VAL,
+            core=core,
+            heap=self._heap,
+            log=log,
+            verify_checksums=False,
+        )
+        failure: str | None = None
+        val_retval = None
+        try:
+            with ctx:
+                raw = log.func(*log.args, **log.kwargs)
+                val_retval = ctx.canonicalize(raw)
+        except Exception as exc:  # divergence: the APP run did not raise
+            failure = f"re-execution raised {type(exc).__name__}: {exc}"
+        val_cycles = ctx.trace.cycles if ctx.trace is not None else 0
+
+        if failure is not None:
+            result = ComparisonResult.mismatch(failure)
+        else:
+            app_positions = {oid: k for k, oid in enumerate(log.allocated)}
+
+            def canon_app(obj_id: int):
+                position = app_positions.get(obj_id)
+                return ("ptr:new", position) if position is not None else ("ptr", obj_id)
+
+            # Outputs are (target, value) pairs: a store of the right value
+            # to the *wrong object* (e.g. a mis-hashed bucket, Listing 2)
+            # must diverge even though the stored bytes match.
+            app_outputs = []
+            for vid in log.output_versions:
+                version = self._heap.version(vid)
+                app_outputs.append(
+                    (
+                        canon_app(version.obj_id),
+                        canonicalize_ptrs(version.value, canon_app),
+                    )
+                )
+            val_outputs = [
+                (ctx.canon_obj(obj_id), canonicalize_ptrs(value, ctx.canon_obj))
+                for obj_id, value in ctx.private.writes
+            ]
+            val_deletes = [ctx.canon_obj(oid) for oid in ctx.private.deleted]
+            result = compare_execution(
+                app_outputs=app_outputs,
+                val_outputs=val_outputs,
+                app_retval=log.retval,
+                val_retval=val_retval,
+                app_deletes=log.deletes,
+                val_deletes=val_deletes,
+                compare=log.compare,
+            )
+
+        now = self._clock.now()
+        log.validated_time = now
+        self.validated_count += 1
+        if not result.matches:
+            self.mismatch_count += 1
+            if self._detector is not None:
+                self._detector(
+                    DetectionEvent(
+                        kind="mismatch",
+                        closure=log.closure_name,
+                        seq=log.seq,
+                        time=now,
+                        detail=result.detail,
+                    )
+                )
+        if self._reclaimer is not None:
+            self._reclaimer.closure_finished(log.seq)
+        return ValidationOutcome(
+            log=log,
+            passed=result.matches,
+            detail=result.detail,
+            val_cycles=val_cycles,
+            latency=now - log.end_time,
+        )
+
+    def skip(self, log: ClosureLog) -> None:
+        """Drop a log unvalidated (sampler decision); closes its window."""
+        if self._reclaimer is not None:
+            self._reclaimer.closure_finished(log.seq)

@@ -1,0 +1,19 @@
+"""Workload generators modelling the paper's datasets (Table 1)."""
+
+from repro.workloads.alex import AlexWorkload
+from repro.workloads.base import Op, OpKind
+from repro.workloads.cachelib import CacheLibWorkload
+from repro.workloads.wordcount import WordCountCorpus, make_vocabulary
+from repro.workloads.ycsb import YcsbWriteWorkload
+from repro.workloads.zipf import ZipfSampler
+
+__all__ = [
+    "AlexWorkload",
+    "CacheLibWorkload",
+    "Op",
+    "OpKind",
+    "WordCountCorpus",
+    "YcsbWriteWorkload",
+    "ZipfSampler",
+    "make_vocabulary",
+]

@@ -1,0 +1,52 @@
+"""ALEX-style workload: read-intensive range/update mix (Table 1, Masstree).
+
+The ALEX benchmark keys are numeric and skewed; the paper's Masstree
+evaluation uses 50% range queries / 50% updates, where each range query
+locates a key and scans forward, and each update is a lookup-then-modify.
+The same key appearing in both scans and updates creates the
+scan/update dependencies §4.2 discusses.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.workloads.base import Op, OpKind
+from repro.workloads.zipf import ZipfSampler
+
+
+class AlexWorkload:
+    """Deterministic ALEX-like op stream over an ordered key space."""
+
+    def __init__(
+        self,
+        n_keys: int = 1000,
+        skew: float = 0.8,
+        scan_fraction: float = 0.5,
+        max_scan: int = 16,
+        seed: int = 0,
+    ):
+        if not 0 <= scan_fraction <= 1:
+            raise ValueError("scan_fraction must be in [0, 1]")
+        self.n_keys = n_keys
+        self.scan_fraction = scan_fraction
+        self.max_scan = max_scan
+        self._sampler = ZipfSampler(n_keys, skew, seed=seed)
+        self._rng = random.Random(seed ^ 0xA1E)
+
+    def initial_keys(self) -> list[int]:
+        """Keys pre-loaded into the tree before the timed run."""
+        return [self._encode(rank) for rank in range(self.n_keys)]
+
+    def _encode(self, rank: int) -> int:
+        # Spread ranks over a sparse numeric key space, like ALEX keys.
+        return rank * 17 + 3
+
+    def ops(self, n_ops: int) -> Iterator[Op]:
+        for _ in range(n_ops):
+            key = self._encode(self._sampler.sample())
+            if self._rng.random() < self.scan_fraction:
+                yield Op(OpKind.SCAN, key, count=self._rng.randint(2, self.max_scan))
+            else:
+                yield Op(OpKind.UPDATE, key, value=self._rng.randint(0, 1 << 30))

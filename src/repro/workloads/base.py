@@ -1,0 +1,34 @@
+"""Shared workload types.
+
+A workload is a deterministic, seeded stream of :class:`Op` records that a
+driver feeds into an application server.  Table 1's datasets are modelled
+by their published characteristics (skew, churn, op mix), which is what the
+paper's results actually depend on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+
+class OpKind(enum.Enum):
+    GET = "get"
+    SET = "set"
+    REMOVE = "remove"
+    INCR = "incr"
+    SCAN = "scan"
+    UPDATE = "update"
+    PUT = "put"
+
+
+@dataclass(frozen=True, slots=True)
+class Op:
+    """One client operation."""
+
+    kind: OpKind
+    key: Any
+    value: Any = None
+    #: scan length for range queries
+    count: int = 0

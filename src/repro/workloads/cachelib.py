@@ -1,0 +1,67 @@
+"""CacheLib-style workload: skewed with churn (Table 1, Memcached).
+
+Meta's CacheLib traces are highly skewed (top 20% of objects take ~80% of
+requests) and *churn*: the popular set drifts over time.  We model churn by
+rotating the rank→key mapping every ``churn_period`` operations, so a new
+subset of keys becomes hot while the skew shape stays constant.  The op mix
+is read-dominated, matching the paper's observation that most Memcached
+requests are GETs that create no versions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.workloads.base import Op, OpKind
+from repro.workloads.zipf import ZipfSampler
+
+
+class CacheLibWorkload:
+    """Deterministic CacheLib-like op stream."""
+
+    def __init__(
+        self,
+        n_keys: int = 1000,
+        skew: float = 0.99,
+        get_fraction: float = 0.9,
+        remove_fraction: float = 0.02,
+        churn_period: int = 5000,
+        value_bytes: int = 64,
+        seed: int = 0,
+    ):
+        if not 0 <= get_fraction <= 1:
+            raise ValueError("get_fraction must be in [0, 1]")
+        if get_fraction + remove_fraction > 1:
+            raise ValueError("op-mix fractions exceed 1")
+        self.n_keys = n_keys
+        self.get_fraction = get_fraction
+        self.remove_fraction = remove_fraction
+        self.churn_period = churn_period
+        self.value_bytes = value_bytes
+        self._sampler = ZipfSampler(n_keys, skew, seed=seed)
+        self._rng = random.Random(seed ^ 0x5EED)
+        self._rotation = 0
+
+    def _key(self, rank: int) -> str:
+        # Churn: rotate which keys occupy the popular ranks.
+        return f"key-{(rank + self._rotation) % self.n_keys:08d}"
+
+    def _value(self, key: str) -> str:
+        filler = "v" * max(0, self.value_bytes - len(key))
+        return f"{key}:{filler}"
+
+    def ops(self, n_ops: int) -> Iterator[Op]:
+        """Yield a deterministic stream of ``n_ops`` operations."""
+        for index in range(n_ops):
+            if self.churn_period and index and index % self.churn_period == 0:
+                self._rotation += max(1, self.n_keys // 10)
+            rank = self._sampler.sample()
+            key = self._key(rank)
+            roll = self._rng.random()
+            if roll < self.get_fraction:
+                yield Op(OpKind.GET, key)
+            elif roll < self.get_fraction + self.remove_fraction:
+                yield Op(OpKind.REMOVE, key)
+            else:
+                yield Op(OpKind.SET, key, self._value(key))

@@ -1,0 +1,69 @@
+"""Synthetic text corpus for the Phoenix word-count workload (Table 1).
+
+Stands in for the WMT news subset: word frequencies follow a Zipf
+distribution over a fixed vocabulary (natural language is famously
+Zipfian), split into fixed-size chunks the MapReduce splitter hands to
+mappers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.workloads.zipf import ZipfSampler
+
+_SYLLABLES = (
+    "ta", "ri", "mo", "ne", "ka", "lu", "se", "vi", "do", "pa",
+    "ze", "ku", "ha", "re", "ny", "wo", "qi", "ba", "fe", "gu",
+)
+
+
+def make_vocabulary(size: int) -> list[str]:
+    """Deterministic pronounceable vocabulary of ``size`` distinct words."""
+    words = []
+    n = len(_SYLLABLES)
+    for index in range(size):
+        parts = [_SYLLABLES[index % n]]
+        rest = index // n
+        while True:
+            parts.append(_SYLLABLES[rest % n])
+            rest //= n
+            if rest == 0:
+                break
+        words.append("".join(parts))
+    return words
+
+
+class WordCountCorpus:
+    """A seeded Zipfian corpus, chunked for map tasks."""
+
+    def __init__(
+        self,
+        n_words: int = 20000,
+        vocabulary_size: int = 500,
+        words_per_chunk: int = 500,
+        skew: float = 1.0,
+        seed: int = 0,
+    ):
+        if words_per_chunk < 1:
+            raise ValueError("chunks need at least one word")
+        self.vocabulary = make_vocabulary(vocabulary_size)
+        sampler = ZipfSampler(vocabulary_size, skew, seed=seed)
+        ranks = sampler.sample_many(n_words)
+        self._words = [self.vocabulary[rank] for rank in ranks]
+        self.words_per_chunk = words_per_chunk
+
+    @property
+    def n_words(self) -> int:
+        return len(self._words)
+
+    def chunks(self) -> list[str]:
+        """The corpus as whitespace-joined chunks (the splitter's output)."""
+        out = []
+        for start in range(0, len(self._words), self.words_per_chunk):
+            out.append(" ".join(self._words[start : start + self.words_per_chunk]))
+        return out
+
+    def reference_counts(self) -> dict[str, int]:
+        """Ground-truth word counts (pure Python; used as the golden model)."""
+        return dict(Counter(self._words))

@@ -1,0 +1,30 @@
+"""YCSB-style synthetic workload: 100% random writes (Table 1, LSMTree).
+
+The paper stresses LSMTree's memory tier with pure random writes — an
+intentionally unrealistic worst case for versioning overhead.  Keys are
+uniform over the key space; values are fixed-size payloads.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.workloads.base import Op, OpKind
+
+
+class YcsbWriteWorkload:
+    """Deterministic uniform-random write stream."""
+
+    def __init__(self, n_keys: int = 1000, value_bytes: int = 64, seed: int = 0):
+        if n_keys < 1:
+            raise ValueError("need at least one key")
+        self.n_keys = n_keys
+        self.value_bytes = value_bytes
+        self._rng = random.Random(seed ^ 0xCB5)
+
+    def ops(self, n_ops: int) -> Iterator[Op]:
+        for index in range(n_ops):
+            key = self._rng.randrange(self.n_keys)
+            value = f"w{index:08d}" + "x" * max(0, self.value_bytes - 9)
+            yield Op(OpKind.PUT, key, value)

@@ -1,0 +1,24 @@
+"""Shared fixtures for application tests."""
+
+import pytest
+
+from repro.machine.cpu import Machine
+from repro.runtime.orthrus import OrthrusRuntime
+
+
+@pytest.fixture
+def machine():
+    return Machine(cores_per_node=4, numa_nodes=1)
+
+
+@pytest.fixture
+def runtime(machine):
+    return OrthrusRuntime(machine=machine, app_cores=[0], validation_cores=[1])
+
+
+def make_faulty_runtime(fault, core_id=0, **kwargs):
+    machine = Machine(cores_per_node=4, numa_nodes=1)
+    machine.arm(core_id, fault)
+    return OrthrusRuntime(
+        machine=machine, app_cores=[0], validation_cores=[1], **kwargs
+    )

@@ -1,0 +1,77 @@
+"""Packet / transfer / server-base plumbing tests."""
+
+import pytest
+
+from repro.apps.common import Packet, transfer, unwrap
+from repro.machine.core import Core
+from repro.machine.faults import Fault, FaultKind
+from repro.machine.instruction import Site
+from repro.machine.units import Unit
+from repro.memory.checksum import crc16, deserialize, serialize
+
+
+class TestPacket:
+    def test_wrap_roundtrip(self):
+        packet = Packet.wrap({"key": [1, 2.5, "x"]})
+        value, checksum = unwrap(packet)
+        assert value == {"key": [1, 2.5, "x"]}
+        assert checksum == crc16(packet.data)
+
+    def test_checksum_matches_payload(self):
+        packet = Packet.wrap("payload")
+        assert crc16(packet.data) == packet.checksum
+
+
+class TestTransfer:
+    def test_healthy_hop_preserves_bytes(self):
+        packet = Packet.wrap(("k", "v"))
+        moved = transfer(Core(0), packet, "hop")
+        assert moved.data == packet.data
+        assert moved.checksum == packet.checksum
+
+    def test_corrupted_hop_keeps_original_crc(self):
+        core = Core(0)
+        core.arm(Fault(unit=Unit.ALU, kind=FaultKind.BITFLIP, bit=100,
+                       site=Site("hop", "copy", 0)))
+        packet = Packet.wrap(("key-123", "v" * 40))
+        moved = transfer(core, packet, "hop")
+        assert moved.data != packet.data        # payload corrupted...
+        assert moved.checksum == packet.checksum  # ...but the CRC travelled
+        assert crc16(moved.data) != moved.checksum  # so the receiver can tell
+
+    def test_heavily_corrupted_packet_fails_to_decode(self):
+        core = Core(0)
+        core.arm(Fault(unit=Unit.ALU, kind=FaultKind.BITFLIP, bit=0,
+                       site=Site("hop", "copy", 0)))  # hits the type tag
+        packet = Packet.wrap(("k", "v"))
+        moved = transfer(core, packet, "hop")
+        with pytest.raises(ValueError):
+            unwrap(moved)
+
+
+class TestDeserialize:
+    def test_roundtrip_all_shapes(self):
+        values = [
+            None, True, False, 0, -17, 2**80, 3.25, "text", b"bytes",
+            (1, "a"), [1, [2, [3]]], {"k": (1.5, None)},
+        ]
+        for value in values:
+            assert deserialize(serialize(value)) == value
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            deserialize(serialize(1) + b"junk")
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            deserialize(serialize("hello")[:-2])
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ValueError):
+            deserialize(b"Z")
+
+    def test_absurd_length_rejected(self):
+        # A corrupted length field must not trigger a giant allocation.
+        bad = b"S" + (1 << 30).to_bytes(4, "little") + b"x"
+        with pytest.raises(ValueError):
+            deserialize(bad)

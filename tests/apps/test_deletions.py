@@ -1,0 +1,127 @@
+"""Deletion semantics: LSM tombstones and Masstree lazy removal."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.lsmtree import TOMBSTONE, LsmTreeServer
+from repro.apps.masstree import Masstree, MasstreeServer, mt_get, mt_remove, mt_update
+from repro.machine.cpu import Machine
+from repro.runtime.orthrus import OrthrusRuntime
+from repro.workloads.base import Op, OpKind
+
+
+def make_runtime():
+    machine = Machine(cores_per_node=4, numa_nodes=1)
+    return OrthrusRuntime(machine=machine, app_cores=[0], validation_cores=[1])
+
+
+class TestLsmTombstones:
+    def test_remove_hides_key(self, runtime):
+        server = LsmTreeServer(runtime, memtable_limit=100, seed=1)
+        with runtime:
+            server.handle(Op(OpKind.PUT, 5, "five"))
+            assert server.handle(Op(OpKind.REMOVE, 5)) == "DELETED"
+            assert server.handle(Op(OpKind.GET, 5)) is None
+        assert 5 not in server.items()
+
+    def test_tombstone_shadows_older_disk_version(self, runtime):
+        server = LsmTreeServer(
+            runtime, memtable_limit=2, compaction_threshold=99, seed=1
+        )
+        with runtime:
+            server.handle(Op(OpKind.PUT, 1, "v"))
+            server.handle(Op(OpKind.PUT, 2, "w"))   # flush: 1,2 to disk
+            server.handle(Op(OpKind.REMOVE, 1))
+            assert server.handle(Op(OpKind.GET, 1)) is None  # masked by tombstone
+            assert server.handle(Op(OpKind.GET, 2)) == "w"
+
+    def test_compaction_drops_tombstoned_keys(self, runtime):
+        server = LsmTreeServer(
+            runtime, memtable_limit=2, compaction_threshold=2, seed=1
+        )
+        with runtime:
+            server.handle(Op(OpKind.PUT, 1, "v"))
+            server.handle(Op(OpKind.PUT, 2, "w"))
+            server.handle(Op(OpKind.REMOVE, 1))
+            server.handle(Op(OpKind.PUT, 3, "x"))   # triggers flush+compaction
+        assert server.compactions >= 1
+        merged_keys = {k for pairs, _ in server.tree.disk for k, _ in pairs}
+        assert 1 not in merged_keys
+
+    def test_reput_after_remove(self, runtime):
+        server = LsmTreeServer(runtime, memtable_limit=100, seed=1)
+        with runtime:
+            server.handle(Op(OpKind.PUT, 7, "old"))
+            server.handle(Op(OpKind.REMOVE, 7))
+            server.handle(Op(OpKind.PUT, 7, "new"))
+            assert server.handle(Op(OpKind.GET, 7)) == "new"
+
+    def test_clean_removes_validate(self, runtime):
+        server = LsmTreeServer(runtime, memtable_limit=100, seed=1)
+        with runtime:
+            for key in range(10):
+                server.handle(Op(OpKind.PUT, key, str(key)))
+            for key in range(0, 10, 2):
+                server.handle(Op(OpKind.REMOVE, key))
+        assert runtime.detections == 0
+        assert set(server.items()) == {1, 3, 5, 7, 9}
+
+
+class TestMasstreeRemove:
+    def test_remove_existing(self, runtime):
+        server = MasstreeServer(runtime, order=4)
+        with runtime:
+            mt_update(server.tree, runtime.new((10, 100)))
+            assert mt_remove(server.tree, 10) is True
+            assert mt_get(server.tree, 10) is None
+        assert server.items() == []
+
+    def test_remove_missing(self, runtime):
+        server = MasstreeServer(runtime, order=4)
+        with runtime:
+            assert mt_remove(server.tree, 42) is False
+
+    def test_remove_keeps_siblings(self, runtime):
+        server = MasstreeServer(runtime, order=4)
+        with runtime:
+            for key in range(20):
+                mt_update(server.tree, runtime.new((key, key)))
+            mt_remove(server.tree, 7)
+        assert server.items() == [(k, k) for k in range(20) if k != 7]
+
+    def test_clean_removes_validate(self, runtime):
+        server = MasstreeServer(runtime, order=4)
+        with runtime:
+            for key in range(16):
+                mt_update(server.tree, runtime.new((key, key)))
+            for key in range(0, 16, 3):
+                mt_remove(server.tree, key)
+        assert runtime.detections == 0
+
+
+@pytest.fixture
+def runtime():
+    return make_runtime()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.integers(0, 30)), min_size=1, max_size=50
+    )
+)
+def test_masstree_insert_remove_matches_dict(operations):
+    runtime = make_runtime()
+    server = MasstreeServer(runtime, order=4)
+    model: dict[int, int] = {}
+    with runtime:
+        for is_insert, key in operations:
+            if is_insert:
+                mt_update(server.tree, runtime.new((key, key * 2)))
+                model[key] = key * 2
+            else:
+                removed = mt_remove(server.tree, key)
+                assert removed == (key in model)
+                model.pop(key, None)
+    assert server.items() == sorted(model.items())
+    assert runtime.detections == 0

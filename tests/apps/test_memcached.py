@@ -1,0 +1,179 @@
+"""Memcached application tests: functional correctness + fault behaviour."""
+
+import pytest
+
+from repro.apps.memcached import MemcachedServer
+from repro.machine.faults import Fault, FaultKind
+from repro.machine.instruction import Site
+from repro.machine.units import Unit
+from repro.workloads.base import Op, OpKind
+from repro.workloads.cachelib import CacheLibWorkload
+
+from tests.apps.conftest import make_faulty_runtime
+
+
+def set_op(key, value):
+    return Op(OpKind.SET, key, value)
+
+
+def get_op(key):
+    return Op(OpKind.GET, key)
+
+
+class TestFunctional:
+    def test_set_then_get(self, runtime):
+        server = MemcachedServer(runtime, n_buckets=16)
+        with runtime:
+            assert server.handle(set_op("k", "v")) == "STORED"
+            assert server.handle(get_op("k")) == "v"
+
+    def test_get_missing_returns_none(self, runtime):
+        server = MemcachedServer(runtime, n_buckets=16)
+        with runtime:
+            assert server.handle(get_op("missing")) is None
+
+    def test_overwrite(self, runtime):
+        server = MemcachedServer(runtime, n_buckets=16)
+        with runtime:
+            server.handle(set_op("k", "v1"))
+            server.handle(set_op("k", "v2"))
+            assert server.handle(get_op("k")) == "v2"
+
+    def test_remove(self, runtime):
+        server = MemcachedServer(runtime, n_buckets=16)
+        with runtime:
+            server.handle(set_op("k", "v"))
+            assert server.handle(Op(OpKind.REMOVE, "k")) == "DELETED"
+            assert server.handle(get_op("k")) is None
+
+    def test_remove_missing(self, runtime):
+        server = MemcachedServer(runtime, n_buckets=16)
+        with runtime:
+            assert server.handle(Op(OpKind.REMOVE, "nope")) == "NOT_FOUND"
+
+    def test_incr(self, runtime):
+        server = MemcachedServer(runtime, n_buckets=16)
+        with runtime:
+            server.handle(set_op("counter", "10"))
+            assert server.handle(Op(OpKind.INCR, "counter", "5")) == "15"
+            assert server.handle(get_op("counter")) == "15"
+
+    def test_bucket_collisions_handled(self, runtime):
+        # Two buckets force heavy chaining.
+        server = MemcachedServer(runtime, n_buckets=2)
+        with runtime:
+            for index in range(20):
+                server.handle(set_op(f"key{index}", f"value{index}"))
+            for index in range(20):
+                assert server.handle(get_op(f"key{index}")) == f"value{index}"
+
+    def test_matches_dict_model_under_workload(self, runtime):
+        server = MemcachedServer(runtime, n_buckets=32)
+        model = {}
+        workload = CacheLibWorkload(n_keys=40, seed=7)
+        with runtime:
+            for op in workload.ops(400):
+                result = server.handle(op)
+                if op.kind is OpKind.SET:
+                    model[op.key] = op.value
+                elif op.kind is OpKind.REMOVE:
+                    model.pop(op.key, None)
+                elif op.kind is OpKind.GET:
+                    assert result == model.get(op.key)
+        assert server.items() == model
+
+    def test_clean_run_validates_without_detection(self, runtime):
+        server = MemcachedServer(runtime, n_buckets=16)
+        with runtime:
+            for op in CacheLibWorkload(n_keys=20, seed=1).ops(200):
+                server.handle(op)
+        assert runtime.detections == 0
+        assert runtime.validations == 200
+
+    def test_state_digest_stable_and_content_sensitive(self, runtime):
+        server = MemcachedServer(runtime, n_buckets=16)
+        with runtime:
+            server.handle(set_op("k", "v"))
+            d1 = server.state_digest()
+            assert server.state_digest() == d1
+            server.handle(set_op("k", "w"))
+            assert server.state_digest() != d1
+
+    def test_rejects_non_power_of_two_buckets(self, runtime):
+        with pytest.raises(ValueError):
+            MemcachedServer(runtime, n_buckets=10)
+
+
+class TestFaultBehaviour:
+    def test_data_path_hash_fault_detected(self):
+        runtime = make_faulty_runtime(
+            Fault(unit=Unit.ALU, kind=FaultKind.BITFLIP, bit=2,
+                  site=Site("mc.set", "hash64", 0))
+        )
+        server = MemcachedServer(runtime, n_buckets=16)
+        with runtime:
+            for op in CacheLibWorkload(n_keys=20, seed=1).ops(100):
+                server.handle(op)
+        assert runtime.report.count("mismatch") > 0
+
+    def test_control_payload_fault_caught_by_checksum(self):
+        runtime = make_faulty_runtime(
+            Fault(unit=Unit.ALU, kind=FaultKind.BITFLIP, bit=100,
+                  site=Site("mc.control.rx", "copy", 0))
+        )
+        server = MemcachedServer(runtime, n_buckets=16)
+        with runtime:
+            for op in CacheLibWorkload(n_keys=20, seed=1).ops(100):
+                server.handle(op)
+        assert runtime.report.count("checksum") > 0
+        assert runtime.report.count("mismatch") == 0
+
+    def test_response_corruption_caught_client_side(self):
+        runtime = make_faulty_runtime(
+            Fault(unit=Unit.ALU, kind=FaultKind.BITFLIP, bit=100,
+                  site=Site("mc.control.tx", "copy", 0))
+        )
+        server = MemcachedServer(runtime, n_buckets=16)
+        with runtime:
+            server.handle(set_op("k", "valuevaluevalue"))
+            server.handle(get_op("k"))
+        assert runtime.report.count("checksum") == 1
+
+    def test_dispatch_fault_is_invisible_to_orthrus(self):
+        # Flip the "is it a get?" comparison: a REMOVE request matches it
+        # (False→True) and is silently served as a GET — the delete is
+        # dropped without any checksum or re-execution divergence (§2.3).
+        runtime = make_faulty_runtime(
+            Fault(unit=Unit.ALU, kind=FaultKind.BITFLIP, bit=0,
+                  site=Site("mc.control.dispatch", "eq", 1))
+        )
+        server = MemcachedServer(runtime, n_buckets=16)
+        with runtime:
+            server.handle(set_op("k", "v"))
+            server.handle(Op(OpKind.REMOVE, "k"))
+        # The remove was silently dropped: data still present, no detection.
+        assert server.items() == {"k": "v"}
+        assert runtime.detections == 0
+
+    def test_simd_digest_fault_detected(self):
+        runtime = make_faulty_runtime(
+            Fault(unit=Unit.SIMD, kind=FaultKind.BITFLIP, bit=40,
+                  site=Site("mc.set", "vsum", 0))
+        )
+        server = MemcachedServer(runtime, n_buckets=16)
+        with runtime:
+            server.handle(set_op("k", "v"))
+        assert runtime.report.count("mismatch") == 1
+
+    def test_validation_core_fault_detected_symmetrically(self):
+        runtime = make_faulty_runtime(
+            Fault(unit=Unit.ALU, kind=FaultKind.BITFLIP, bit=2,
+                  site=Site("mc.set", "hash64", 0)),
+            core_id=1,
+        )
+        server = MemcachedServer(runtime, n_buckets=16)
+        with runtime:
+            server.handle(set_op("k", "v"))
+        assert runtime.detections == 1
+        # The user data itself is intact (fault was on the VAL core).
+        assert server.items() == {"k": "v"}

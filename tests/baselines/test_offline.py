@@ -1,0 +1,38 @@
+"""Offline CPU-check baseline tests."""
+
+from repro.baselines.offline import OfflineCpuCheck
+from repro.machine.cpu import Machine
+from repro.machine.faults import Fault, FaultKind
+from repro.machine.instruction import Site
+from repro.machine.units import Unit
+
+
+def test_healthy_fleet_scans_clean():
+    checker = OfflineCpuCheck(Machine(cores_per_node=4, numa_nodes=1))
+    assert checker.scan().clean
+
+
+def test_unitwide_fault_flagged():
+    machine = Machine(cores_per_node=4, numa_nodes=1)
+    machine.arm(2, Fault(unit=Unit.FPU, kind=FaultKind.BITFLIP, bit=30))
+    result = OfflineCpuCheck(machine).scan()
+    assert result.flagged_cores == [2]
+    assert any(name.startswith("fpu") for name in result.failures[2])
+
+
+def test_app_site_fault_invisible_to_battery():
+    # The paper's core argument: a fault pinned to an application
+    # instruction site never fires on the battery's own sites, so fleet
+    # scanning cannot see it — only online validation can.
+    machine = Machine(cores_per_node=4, numa_nodes=1)
+    machine.arm(0, Fault(unit=Unit.ALU, kind=FaultKind.BITFLIP, bit=2,
+                         site=Site("mc.set", "hash64", 0)))
+    result = OfflineCpuCheck(machine).scan()
+    assert result.clean
+
+
+def test_scan_counter():
+    checker = OfflineCpuCheck(Machine(cores_per_node=2, numa_nodes=1))
+    checker.scan()
+    checker.scan()
+    assert checker.scans == 2

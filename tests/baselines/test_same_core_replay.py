@@ -1,0 +1,87 @@
+"""Same-core replay baseline: catches transient, misses persistent (§5)."""
+
+from repro.baselines.same_core_replay import SameCoreReplayValidator
+from repro.closures.annotation import closure
+from repro.closures.context import ops
+from repro.machine.cpu import Machine
+from repro.machine.faults import Fault, FaultKind
+from repro.machine.instruction import Site
+from repro.machine.units import Unit
+from repro.runtime.orthrus import OrthrusRuntime
+
+
+@closure(name="scr_test.square_add")
+def square_add(ptr, delta):
+    value = ptr.load()
+    o = ops()
+    # Square-and-reduce keeps the accumulator bounded (iterated squaring
+    # without the modulus would grow doubly exponentially).
+    result = o.alu.add(o.alu.mod(o.alu.mul(value, value), 1_000_003), delta)
+    ptr.store(result)
+    return result
+
+
+def run_with(fault=None, n_ops=40):
+    """Run the workload in queued mode, then replay every log on the APP
+    core (the same-core baseline) AND validate on a different core
+    (Orthrus), returning both mismatch counts."""
+    machine = Machine(cores_per_node=4, numa_nodes=1)
+    if fault is not None:
+        machine.arm(0, fault)
+    runtime = OrthrusRuntime(
+        machine=machine, app_cores=[0], validation_cores=[1], mode="queued"
+    )
+    replayer = SameCoreReplayValidator(runtime.heap, runtime.clock)
+    with runtime:
+        ptr = runtime.new(3)
+        for index in range(n_ops):
+            square_add(ptr, index)
+        logs = runtime.queues.drain()
+        for log in logs:
+            replayer.replay(log, machine.core(log.core_id))   # same core
+        for log in logs:
+            runtime.validator.validate(log, machine.core(1))  # Orthrus
+    return replayer.mismatch_count, runtime.validator.mismatch_count
+
+
+class TestFaultModelDistinction:
+    def test_clean_run_matches_everywhere(self):
+        same_core, orthrus = run_with(fault=None)
+        assert same_core == 0
+        assert orthrus == 0
+
+    def test_persistent_fault_invisible_to_same_core_replay(self):
+        # The paper's fault model: deterministic, core-pinned.  The replay
+        # reproduces the corruption identically; Orthrus's different-core
+        # validation catches every corrupted execution.
+        fault = Fault(unit=Unit.ALU, kind=FaultKind.BITFLIP, bit=4,
+                      site=Site("scr_test.square_add", "mul", 0))
+        same_core, orthrus = run_with(fault=fault)
+        assert same_core == 0          # blind
+        assert orthrus > 0             # caught
+
+    def test_transient_fault_caught_by_both(self):
+        # Transient (low-recurrence) errors are what time redundancy was
+        # designed for: the replay usually takes the healthy path and
+        # disagrees with the corrupted original.
+        fault = Fault(unit=Unit.ALU, kind=FaultKind.BITFLIP, bit=4,
+                      trigger_rate=0.15,
+                      site=Site("scr_test.square_add", "mul", 0))
+        same_core, orthrus = run_with(fault=fault, n_ops=120)
+        assert same_core > 0
+        assert orthrus > 0
+
+    def test_replay_counts(self):
+        fault = Fault(unit=Unit.ALU, kind=FaultKind.BITFLIP, bit=4)
+        machine = Machine(cores_per_node=4, numa_nodes=1)
+        machine.arm(0, fault)
+        runtime = OrthrusRuntime(
+            machine=machine, app_cores=[0], validation_cores=[1], mode="queued"
+        )
+        replayer = SameCoreReplayValidator(runtime.heap, runtime.clock)
+        with runtime:
+            ptr = runtime.new(1)
+            square_add(ptr, 1)
+            log = runtime.queues.drain()[0]
+            replayer.replay(log, machine.core(0))
+        assert replayer.replayed_count == 1

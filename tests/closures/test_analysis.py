@@ -1,0 +1,100 @@
+"""Static analysis pass: unit inference and escape analysis."""
+
+from repro.closures.analysis import analyze_escapes, infer_units
+from repro.closures.context import ops
+from repro.machine.units import Unit
+
+
+class TestInferUnits:
+    def test_alu_only(self):
+        def fn(x):
+            return ops().alu.add(x, 1)
+
+        assert infer_units(fn) == frozenset({Unit.ALU})
+
+    def test_mixed_units(self):
+        def fn(x):
+            a = ops().fpu.fadd(x, 1.0)
+            b = ops().simd.vdot((1,), (2,))
+            return ops().alu.add(int(a), int(b))
+
+        assert infer_units(fn) == frozenset({Unit.ALU, Unit.FPU, Unit.SIMD})
+
+    def test_cache_ops(self):
+        def fn(cell):
+            return ops().cache.atomic_add(cell, 1)
+
+        assert infer_units(fn) == frozenset({Unit.CACHE})
+
+    def test_nested_function_scanned(self):
+        def fn(x):
+            def helper(y):
+                return ops().fpu.fmul(y, 2.0)
+
+            return helper(x)
+
+        assert Unit.FPU in infer_units(fn)
+
+    def test_no_ops_empty(self):
+        def fn(x):
+            return x + 1
+
+        assert infer_units(fn) == frozenset()
+
+    def test_non_function_is_empty(self):
+        assert infer_units("not a function") == frozenset()
+
+
+class TestEscapeAnalysis:
+    def test_returned_allocation_escapes(self):
+        def fn():
+            from repro.memory.pointer import orthrus_new
+
+            item = orthrus_new({"v": 1})
+            return item
+
+        report = analyze_escapes(fn)
+        assert "item" in report.escaping
+
+    def test_local_allocation_stays_private(self):
+        def fn():
+            from repro.memory.pointer import orthrus_new
+
+            scratch = orthrus_new({"v": 1})
+            value = scratch.load()
+            return value["v"]
+
+        report = analyze_escapes(fn)
+        assert "scratch" in report.local
+        assert "scratch" in report.private_heap_eligible
+
+    def test_stored_into_container_escapes(self):
+        def fn(table):
+            from repro.memory.pointer import orthrus_new
+
+            entry = orthrus_new({"v": 1})
+            table["slot"] = entry
+
+        report = analyze_escapes(fn)
+        assert "entry" in report.escaping
+
+    def test_passed_to_call_escapes(self):
+        def fn(sink):
+            from repro.memory.pointer import orthrus_new
+
+            leaked = orthrus_new({"v": 1})
+            sink(leaked)
+
+        report = analyze_escapes(fn)
+        assert "leaked" in report.escaping
+
+    def test_no_allocations_empty_report(self):
+        def fn(x):
+            return x
+
+        report = analyze_escapes(fn)
+        assert not report.escaping and not report.local
+
+    def test_unsourceable_function_is_safe(self):
+        report = analyze_escapes(len)
+        assert not report.escaping

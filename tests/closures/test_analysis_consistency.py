@@ -1,0 +1,45 @@
+"""Consistency between the ops API and the static-analysis opcode table.
+
+If someone adds an instruction to the simulated machine without teaching
+the compiler pass about it, unit tagging (and therefore sampler priority,
+§3.5) silently degrades.  This test pins the two surfaces together.
+"""
+
+import inspect
+
+from repro.closures.analysis import OP_UNITS
+from repro.machine.core import _Alu, _Cache, _Fpu, _Simd
+from repro.machine.units import Unit
+
+_EXPECTED_UNIT = {
+    _Alu: Unit.ALU,
+    _Fpu: Unit.FPU,
+    _Simd: Unit.SIMD,
+    _Cache: Unit.CACHE,
+}
+
+
+def _public_ops(cls):
+    return [
+        name
+        for name, member in inspect.getmembers(cls, predicate=inspect.isfunction)
+        if not name.startswith("_")
+    ]
+
+
+def test_every_ops_method_has_a_unit_classification():
+    for cls, unit in _EXPECTED_UNIT.items():
+        for name in _public_ops(cls):
+            assert name in OP_UNITS, f"{cls.__name__}.{name} missing from OP_UNITS"
+            assert OP_UNITS[name] is unit, (
+                f"{cls.__name__}.{name} classified as {OP_UNITS[name]}, "
+                f"expected {unit}"
+            )
+
+
+def test_no_stale_entries_in_op_table():
+    known = {
+        name for cls in _EXPECTED_UNIT for name in _public_ops(cls)
+    }
+    stale = set(OP_UNITS) - known
+    assert not stale, f"OP_UNITS entries without a machine op: {stale}"

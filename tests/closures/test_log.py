@@ -1,0 +1,56 @@
+"""Closure-log structure tests."""
+
+from repro.closures.log import LOG_HEADER_BYTES, ClosureLog
+from repro.machine.instruction import Trace
+from repro.machine.units import Unit
+
+
+def make_log(**kwargs):
+    return ClosureLog(seq=1, closure_name="op", caller="ctl", **kwargs)
+
+
+class TestUnits:
+    def test_no_trace_no_units(self):
+        assert make_log().units == frozenset()
+        assert not make_log().error_prone
+
+    def test_units_from_trace(self):
+        trace = Trace()
+        trace.unit_counts[Unit.ALU] = 3
+        trace.unit_counts[Unit.FPU] = 1
+        log = make_log(trace=trace)
+        assert log.units == frozenset({Unit.ALU, Unit.FPU})
+        assert log.error_prone
+
+    def test_zero_count_units_excluded(self):
+        trace = Trace()
+        trace.unit_counts[Unit.SIMD] = 0
+        trace.unit_counts[Unit.ALU] = 1
+        log = make_log(trace=trace)
+        assert log.units == frozenset({Unit.ALU})
+        assert not log.error_prone
+
+    def test_app_cycles(self):
+        trace = Trace()
+        trace.cycles = 42
+        assert make_log(trace=trace).app_cycles == 42
+        assert make_log().app_cycles == 0
+
+
+class TestFootprint:
+    def test_empty_log_is_header_only(self):
+        assert make_log().approx_bytes() == LOG_HEADER_BYTES
+
+    def test_inputs_and_outputs_grow_footprint(self):
+        log = make_log(inputs={1: 10, 2: 20}, output_versions=[30, 31, 32])
+        assert log.approx_bytes() == LOG_HEADER_BYTES + 16 * 5
+
+    def test_syscall_results_counted(self):
+        small = make_log(syscalls=[1.0])
+        big = make_log(syscalls=["x" * 1000])
+        assert big.approx_bytes() > small.approx_bytes() + 900
+
+
+def test_repr_mentions_closure_and_caller():
+    text = repr(make_log())
+    assert "op" in text and "ctl" in text

@@ -1,0 +1,112 @@
+"""End-to-end fault-injection campaign tests (small scale)."""
+
+import pytest
+
+from repro.faultinject.campaign import FaultInjectionCampaign
+from repro.faultinject.classify import OutcomeKind
+from repro.faultinject.config import InjectionConfig
+from repro.harness.pipeline import PipelineConfig
+from repro.harness.scenarios import memcached_scenario
+from repro.machine.units import Unit
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return FaultInjectionCampaign(
+        memcached_scenario(n_keys=40),
+        workload_size=200,
+        injection=InjectionConfig(n_faults=16, seed=7),
+        make_pipeline=lambda: PipelineConfig(
+            app_threads=2, validation_cores=2, seed=9
+        ),
+        rbv_runner=None,
+    )
+
+
+@pytest.fixture(scope="module")
+def result(campaign):
+    return campaign.run()
+
+
+class TestProfiling:
+    def test_sites_cover_data_and_control_path(self, campaign):
+        sites, _ = campaign.profile()
+        functions = {site.function for site in sites}
+        assert "mc.set" in functions
+        assert "mc.get" in functions
+        assert any(fn.startswith("mc.control") for fn in functions)
+
+    def test_units_classified(self, campaign):
+        sites, _ = campaign.profile()
+        units = set(sites.values())
+        assert Unit.ALU in units
+        assert Unit.SIMD in units
+        assert Unit.CACHE in units
+        assert Unit.FPU not in units  # memcached has no fp instructions
+
+    def test_golden_run_clean(self, campaign):
+        _, golden = campaign.profile()
+        assert not golden.crashed
+        assert golden.detections == 0
+
+
+class TestPlanning:
+    def test_fault_count_matches_config(self, campaign):
+        sites, _ = campaign.profile()
+        faults = campaign.plan_faults(sites)
+        assert len(faults) == 16
+
+    def test_no_fp_faults_for_memcached(self, campaign):
+        sites, _ = campaign.profile()
+        faults = campaign.plan_faults(sites)
+        assert all(fault.unit is not Unit.FPU for fault in faults)
+
+    def test_faults_pinned_to_profiled_sites(self, campaign):
+        sites, _ = campaign.profile()
+        for fault in campaign.plan_faults(sites):
+            assert fault.site in sites
+            assert sites[fault.site] is fault.unit
+
+    def test_planning_deterministic(self):
+        def fresh():
+            return FaultInjectionCampaign(
+                memcached_scenario(n_keys=40),
+                workload_size=200,
+                injection=InjectionConfig(n_faults=8, seed=7),
+                make_pipeline=lambda: PipelineConfig(seed=9),
+                rbv_runner=None,
+            )
+
+        a, b = fresh(), fresh()
+        sites_a, _ = a.profile()
+        sites_b, _ = b.profile()
+        assert a.plan_faults(sites_a) == b.plan_faults(sites_b)
+
+
+class TestTrials:
+    def test_every_trial_classified(self, result):
+        assert len(result.trials) == 16
+        assert all(t.outcome in OutcomeKind for t in result.trials)
+
+    def test_sdc_trials_exist(self, result):
+        # With 16 deterministic persistent faults on a 200-op run, some
+        # must silently corrupt data.
+        assert len(result.sdc_trials) > 0
+
+    def test_full_capacity_detects_data_path_sdcs(self, result):
+        # Control-path dispatch faults are Orthrus's documented blind spot;
+        # everything else must be caught at full validation capacity.
+        missed = [
+            t
+            for t in result.sdc_trials
+            if not t.orthrus_detected
+            and not t.fault.site.function.startswith("mc.control")
+        ]
+        assert missed == []
+
+    def test_coverage_table_consistent(self, result):
+        rows = result.coverage_table()
+        assert sum(r.total_sdcs for r in rows.values()) == len(result.sdc_trials)
+
+    def test_outcome_counts_total(self, result):
+        assert sum(result.outcome_counts().values()) == 16

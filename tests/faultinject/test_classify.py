@@ -1,0 +1,82 @@
+"""Outcome classification and coverage aggregation."""
+
+from repro.faultinject.classify import (
+    OutcomeKind,
+    TrialResult,
+    classify_outcome,
+    coverage_by_unit,
+    overall_detection_rate,
+)
+from repro.harness.pipeline import RunResult
+from repro.machine.faults import Fault, FaultKind
+from repro.machine.units import Unit
+from repro.sim.metrics import RunMetrics
+
+
+def run(responses=("a", "b"), digest=42, crashed=False):
+    return RunResult(
+        metrics=RunMetrics(),
+        responses=list(responses),
+        digest=digest,
+        crashed=crashed,
+    )
+
+
+class TestClassifyOutcome:
+    def test_identical_is_masked(self):
+        assert classify_outcome(run(), run()) is OutcomeKind.MASKED
+
+    def test_crash_is_fail_stop(self):
+        assert classify_outcome(run(), run(crashed=True)) is OutcomeKind.FAIL_STOP
+
+    def test_response_divergence_is_sdc(self):
+        assert classify_outcome(run(), run(responses=("a", "X"))) is OutcomeKind.SDC
+
+    def test_state_divergence_is_sdc(self):
+        assert classify_outcome(run(), run(digest=43)) is OutcomeKind.SDC
+
+    def test_crash_takes_precedence_over_divergence(self):
+        trial = run(responses=("X",), digest=1, crashed=True)
+        assert classify_outcome(run(), trial) is OutcomeKind.FAIL_STOP
+
+
+def trial(unit, outcome, orthrus=False, rbv=None):
+    return TrialResult(
+        fault=Fault(unit=unit, kind=FaultKind.BITFLIP),
+        unit=unit,
+        outcome=outcome,
+        orthrus_detected=orthrus,
+        orthrus_kind="mismatch" if orthrus else None,
+        rbv_detected=rbv,
+    )
+
+
+class TestAggregation:
+    def test_coverage_by_unit(self):
+        trials = [
+            trial(Unit.ALU, OutcomeKind.SDC, orthrus=True, rbv=True),
+            trial(Unit.ALU, OutcomeKind.SDC, orthrus=False, rbv=True),
+            trial(Unit.ALU, OutcomeKind.MASKED),
+            trial(Unit.FPU, OutcomeKind.SDC, orthrus=True, rbv=False),
+        ]
+        rows = coverage_by_unit(trials)
+        assert rows[Unit.ALU].total_sdcs == 2
+        assert rows[Unit.ALU].orthrus_detected == 1
+        assert rows[Unit.ALU].rbv_detected == 2
+        assert rows[Unit.ALU].orthrus_rate == 0.5
+        assert rows[Unit.FPU].total_sdcs == 1
+        assert rows[Unit.SIMD].total_sdcs == 0
+
+    def test_overall_detection_rate_ignores_non_sdc(self):
+        trials = [
+            trial(Unit.ALU, OutcomeKind.MASKED),
+            trial(Unit.ALU, OutcomeKind.FAIL_STOP),
+            trial(Unit.ALU, OutcomeKind.SDC, orthrus=True),
+            trial(Unit.ALU, OutcomeKind.SDC, orthrus=False),
+        ]
+        assert overall_detection_rate(trials) == 0.5
+
+    def test_empty_trials(self):
+        assert overall_detection_rate([]) == 0.0
+        rows = coverage_by_unit([])
+        assert all(row.total_sdcs == 0 for row in rows.values())

@@ -1,0 +1,60 @@
+"""Injection-config validation and fault-count splitting."""
+
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.faultinject.config import InjectionConfig
+from repro.machine.units import Unit
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        InjectionConfig()
+
+    def test_zero_faults_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            InjectionConfig(n_faults=0)
+
+    def test_empty_kinds_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            InjectionConfig(kinds=())
+
+    def test_bad_bit_range_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            InjectionConfig(bit_range=(10, 5))
+        with pytest.raises(FaultInjectionError):
+            InjectionConfig(bit_range=(0, 65))
+
+    def test_bad_trigger_rate_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            InjectionConfig(trigger_rate=0.0)
+        with pytest.raises(FaultInjectionError):
+            InjectionConfig(trigger_rate=1.5)
+
+
+class TestFaultCounts:
+    def test_ratio_respected_when_all_units_available(self):
+        config = InjectionConfig(n_faults=60)
+        counts = config.fault_counts(set(Unit))
+        assert counts[Unit.SIMD] == 20
+        assert counts[Unit.FPU] == 20
+        assert counts[Unit.ALU] == 10
+        assert counts[Unit.CACHE] == 10
+
+    def test_total_always_matches(self):
+        for n in (1, 7, 13, 60, 101):
+            counts = InjectionConfig(n_faults=n).fault_counts(set(Unit))
+            assert sum(counts.values()) == n
+
+    def test_missing_units_excluded(self):
+        # A program with no fp instructions gets no fp faults (Table 2's
+        # zero cells).
+        config = InjectionConfig(n_faults=40)
+        counts = config.fault_counts({Unit.ALU, Unit.SIMD, Unit.CACHE})
+        assert Unit.FPU not in counts
+        assert sum(counts.values()) == 40
+
+    def test_disjoint_units_raise(self):
+        config = InjectionConfig(unit_ratio={Unit.FPU: 1})
+        with pytest.raises(FaultInjectionError):
+            config.fault_counts({Unit.ALU})

@@ -1,0 +1,64 @@
+"""Determinism: identical seeds reproduce identical runs bit-for-bit.
+
+The whole evaluation methodology rests on this — golden runs must be
+comparable with trial runs, and published numbers must be regenerable.
+"""
+
+from repro.harness.phoenix import run_phoenix
+from repro.harness.pipeline import (
+    PipelineConfig,
+    run_orthrus_server,
+    run_rbv_server,
+    run_vanilla_server,
+)
+from repro.harness.scenarios import memcached_scenario, phoenix_scenario
+
+
+def _snapshot(result):
+    m = result.metrics
+    return (
+        result.responses,
+        result.digest,
+        m.operations,
+        m.duration,
+        m.validated,
+        m.skipped,
+        m.peak_versioned_bytes,
+        m.request_latency.summary(),
+        m.validation_latency.summary(),
+    )
+
+
+def test_vanilla_runs_identical():
+    scenario = memcached_scenario(n_keys=40)
+    a = run_vanilla_server(scenario, 250, PipelineConfig(seed=9))
+    b = run_vanilla_server(scenario, 250, PipelineConfig(seed=9))
+    assert _snapshot(a) == _snapshot(b)
+
+
+def test_orthrus_runs_identical():
+    scenario = memcached_scenario(n_keys=40)
+    a = run_orthrus_server(scenario, 250, PipelineConfig(seed=9))
+    b = run_orthrus_server(scenario, 250, PipelineConfig(seed=9))
+    assert _snapshot(a) == _snapshot(b)
+
+
+def test_rbv_runs_identical():
+    scenario = memcached_scenario(n_keys=40)
+    a = run_rbv_server(scenario, 250, PipelineConfig(seed=9))
+    b = run_rbv_server(scenario, 250, PipelineConfig(seed=9))
+    assert _snapshot(a) == _snapshot(b)
+
+
+def test_phoenix_runs_identical():
+    scenario = phoenix_scenario(words_per_chunk=150, vocabulary_size=60)
+    a = run_phoenix(scenario, 1500, PipelineConfig(app_threads=4, seed=9))
+    b = run_phoenix(scenario, 1500, PipelineConfig(app_threads=4, seed=9))
+    assert _snapshot(a) == _snapshot(b)
+
+
+def test_different_seeds_differ():
+    scenario = memcached_scenario(n_keys=40)
+    a = run_orthrus_server(scenario, 250, PipelineConfig(seed=9))
+    b = run_orthrus_server(scenario, 250, PipelineConfig(seed=10))
+    assert a.responses != b.responses

@@ -1,0 +1,47 @@
+"""Dynamic validator scaling in the timing harness (§3.5)."""
+
+from repro.harness.pipeline import PipelineConfig, run_orthrus_server
+from repro.harness.scenarios import masstree_scenario, memcached_scenario
+
+
+def test_dynamic_scaling_matches_static_results():
+    scenario = memcached_scenario(n_keys=50)
+    static = run_orthrus_server(
+        scenario, 400, PipelineConfig(app_threads=2, validation_cores=2, seed=3)
+    )
+    dynamic = run_orthrus_server(
+        scenario, 400,
+        PipelineConfig(app_threads=2, validation_cores=2, seed=3,
+                       dynamic_scaling=True),
+    )
+    assert dynamic.responses == static.responses
+    assert dynamic.digest == static.digest
+    assert dynamic.detections == static.detections == 0
+
+
+def test_dynamic_scaling_adds_capacity_under_pressure():
+    scenario = masstree_scenario(n_keys=80)
+    frozen_one = run_orthrus_server(
+        scenario, 800, PipelineConfig(app_threads=4, validation_cores=1, seed=3)
+    )
+    dynamic = run_orthrus_server(
+        scenario, 800,
+        PipelineConfig(app_threads=4, validation_cores=4, seed=3,
+                       dynamic_scaling=True),
+    )
+    assert dynamic.metrics.validated >= frozen_one.metrics.validated
+    assert (
+        dynamic.metrics.validation_latency.mean
+        <= frozen_one.metrics.validation_latency.mean
+    )
+
+
+def test_dynamic_scaling_never_exceeds_core_budget():
+    scenario = memcached_scenario(n_keys=50)
+    result = run_orthrus_server(
+        scenario, 300,
+        PipelineConfig(app_threads=2, validation_cores=3, seed=3,
+                       dynamic_scaling=True),
+    )
+    # All logs accounted for, none lost by the spawning machinery.
+    assert result.metrics.validated + result.metrics.skipped == 300

@@ -1,0 +1,61 @@
+"""Scenario-definition tests."""
+
+import pytest
+
+from repro.harness.scenarios import (
+    BatchScenario,
+    ServerScenario,
+    all_server_scenarios,
+    lsmtree_scenario,
+    masstree_scenario,
+    memcached_scenario,
+    phoenix_scenario,
+)
+from repro.machine.cpu import Machine
+from repro.runtime.orthrus import OrthrusRuntime
+
+
+@pytest.fixture
+def runtime():
+    machine = Machine(cores_per_node=4, numa_nodes=1)
+    return OrthrusRuntime(machine=machine, app_cores=[0], validation_cores=[1])
+
+
+class TestServerScenarios:
+    def test_all_scenarios_build_and_serve(self, runtime):
+        for scenario in all_server_scenarios():
+            machine = Machine(cores_per_node=4, numa_nodes=1)
+            rt = OrthrusRuntime(machine=machine, app_cores=[0], validation_cores=[1])
+            server = scenario.build(rt)
+            scenario.setup(server)
+            for op in scenario.make_ops(20, seed=1):
+                server.handle(op)
+            assert isinstance(server.state_digest(), int)
+
+    def test_ops_deterministic_per_seed(self):
+        scenario = memcached_scenario()
+        assert scenario.make_ops(50, 3) == scenario.make_ops(50, 3)
+        assert scenario.make_ops(50, 3) != scenario.make_ops(50, 4)
+
+    def test_externalizing_closures_declared(self):
+        assert "mc.get" in memcached_scenario().externalizing
+        assert "mt.scan" in masstree_scenario().externalizing
+        assert "lsm.get" in lsmtree_scenario().externalizing
+
+    def test_control_functions_declared(self):
+        for scenario in all_server_scenarios():
+            assert scenario.control_functions
+            assert all(".control." in fn for fn in scenario.control_functions)
+
+
+class TestBatchScenario:
+    def test_phoenix_chunks_cover_words(self):
+        scenario = phoenix_scenario(words_per_chunk=100)
+        chunks = scenario.make_chunks(1000, seed=2)
+        assert sum(len(c.split()) for c in chunks) == 1000
+
+    def test_phoenix_builds_job(self, runtime):
+        scenario = phoenix_scenario(words_per_chunk=100, vocabulary_size=50)
+        job = scenario.build(runtime)
+        result = job.run(scenario.make_chunks(300, seed=2))
+        assert sum(result.values()) == 300

@@ -1,0 +1,173 @@
+"""Cross-module integration tests: the full detect/miss matrix.
+
+These tests exercise the complete pipeline — machine → apps → runtime →
+validator → detection — and pin down Orthrus's documented capabilities
+*and* blind spots (§2.3) across all four applications.
+"""
+
+import pytest
+
+from repro.apps.lsmtree import LsmTreeServer
+from repro.apps.masstree import MasstreeServer
+from repro.apps.memcached import MemcachedServer
+from repro.apps.phoenix import WordCountJob
+from repro.machine.cpu import Machine
+from repro.machine.faults import Fault, FaultKind
+from repro.machine.instruction import Site
+from repro.machine.units import Unit
+from repro.runtime.orthrus import OrthrusRuntime
+from repro.workloads import (
+    AlexWorkload,
+    CacheLibWorkload,
+    WordCountCorpus,
+    YcsbWriteWorkload,
+)
+
+
+def make_runtime(fault=None, **kwargs):
+    machine = Machine(cores_per_node=4, numa_nodes=1)
+    if fault is not None:
+        machine.arm(0, fault)
+    return OrthrusRuntime(
+        machine=machine, app_cores=[0], validation_cores=[1], **kwargs
+    )
+
+
+UNIT_FAULTS = {
+    Unit.ALU: Fault(unit=Unit.ALU, kind=FaultKind.BITFLIP, bit=5, trigger_rate=0.3),
+    Unit.FPU: Fault(unit=Unit.FPU, kind=FaultKind.BITFLIP, bit=62, trigger_rate=0.3),
+    Unit.SIMD: Fault(unit=Unit.SIMD, kind=FaultKind.BITFLIP, bit=40, trigger_rate=0.3),
+    Unit.CACHE: Fault(unit=Unit.CACHE, kind=FaultKind.BITFLIP, bit=3, trigger_rate=0.1),
+}
+
+
+def drive_memcached(runtime, n_ops=200):
+    server = MemcachedServer(runtime, n_buckets=32)
+    for op in CacheLibWorkload(n_keys=50, seed=5).ops(n_ops):
+        try:
+            server.handle(op)
+        except Exception:
+            pass
+    return server
+
+
+class TestDetectionMatrix:
+    """Unit-level faults against the app that exercises each unit."""
+
+    def test_memcached_alu(self):
+        runtime = make_runtime(UNIT_FAULTS[Unit.ALU])
+        drive_memcached(runtime)
+        assert runtime.detections > 0
+
+    def test_memcached_simd(self):
+        runtime = make_runtime(UNIT_FAULTS[Unit.SIMD])
+        drive_memcached(runtime)
+        assert runtime.detections > 0
+
+    def test_masstree_cache(self):
+        runtime = make_runtime(UNIT_FAULTS[Unit.CACHE])
+        server = MasstreeServer(runtime, order=8)
+        for op in AlexWorkload(n_keys=60, seed=5).ops(150):
+            try:
+                server.handle(op)
+            except Exception:
+                pass
+        assert runtime.detections > 0
+
+    def test_lsmtree_fpu(self):
+        runtime = make_runtime(UNIT_FAULTS[Unit.FPU])
+        server = LsmTreeServer(runtime, memtable_limit=64, seed=5)
+        for op in YcsbWriteWorkload(n_keys=60, seed=5).ops(150):
+            try:
+                server.handle(op)
+            except Exception:
+                pass
+        assert runtime.detections > 0
+
+    def test_phoenix_fpu(self):
+        runtime = make_runtime(UNIT_FAULTS[Unit.FPU])
+        corpus = WordCountCorpus(n_words=2000, vocabulary_size=80, seed=5)
+        WordCountJob(runtime, n_partitions=4).run(corpus.chunks())
+        assert runtime.detections > 0
+
+
+class TestBlindSpots:
+    """The §2.3 limitations must actually be blind spots."""
+
+    def test_masked_error_not_reported(self):
+        # A fault in a unit the app never uses produces nothing.
+        runtime = make_runtime(Fault(unit=Unit.FPU, kind=FaultKind.BITFLIP, bit=30))
+        server = drive_memcached(runtime)
+        assert runtime.detections == 0
+        assert len(server.items()) > 0
+
+    def test_syscall_internal_error_invisible(self):
+        # LSMTree's level randomness is a recorded syscall: corrupting the
+        # replayed value is impossible (replay returns the recorded
+        # result), so nothing diverges and nothing is flagged.
+        runtime = make_runtime()
+        server = LsmTreeServer(runtime, memtable_limit=500, seed=5)
+        for op in YcsbWriteWorkload(n_keys=40, seed=5).ops(100):
+            server.handle(op)
+        assert runtime.detections == 0
+
+    def test_control_dispatch_error_invisible_but_corrupting(self):
+        from repro.workloads.base import Op, OpKind
+
+        fault = Fault(unit=Unit.ALU, kind=FaultKind.BITFLIP, bit=0,
+                      site=Site("mc.control.dispatch", "eq", 1))
+        runtime = make_runtime(fault)
+        server = MemcachedServer(runtime, n_buckets=32)
+        server.handle(Op(OpKind.SET, "k", "v"))
+        server.handle(Op(OpKind.REMOVE, "k"))  # silently served as GET
+        assert server.items() == {"k": "v"}     # data corrupted (not removed)
+        assert runtime.detections == 0           # and Orthrus cannot see it
+
+
+class TestDualCorruption:
+    def test_identical_faults_on_both_cores_undetectable(self):
+        # §2.3 limitation 4: APP and VAL cores corrupt identically.
+        machine = Machine(cores_per_node=4, numa_nodes=1)
+        fault = Fault(unit=Unit.ALU, kind=FaultKind.BITFLIP, bit=5,
+                      site=Site("mc.set", "hash64", 0))
+        machine.arm(0, fault)
+        machine.arm(1, fault)
+        runtime = OrthrusRuntime(machine=machine, app_cores=[0], validation_cores=[1])
+        from repro.workloads.base import Op, OpKind
+
+        server = MemcachedServer(runtime, n_buckets=32)
+        server.handle(Op(OpKind.SET, "k", "v"))
+        assert runtime.detections == 0  # both executions equally wrong
+
+
+class TestMultiAppIsolation:
+    def test_two_runtimes_do_not_interfere(self):
+        faulty = make_runtime(UNIT_FAULTS[Unit.ALU])
+        clean = make_runtime()
+        server_faulty = MemcachedServer(faulty, n_buckets=32)
+        server_clean = MemcachedServer(clean, n_buckets=32)
+        for op in CacheLibWorkload(n_keys=30, seed=5).ops(100):
+            try:
+                server_faulty.handle(op)
+            except Exception:
+                pass
+            server_clean.handle(op)
+        assert faulty.detections > 0
+        assert clean.detections == 0
+
+
+class TestAbortOnDetection:
+    def test_strict_deployment_stops_before_externalizing(self):
+        from repro.errors import SdcDetected
+        from repro.workloads.base import Op, OpKind
+
+        runtime = make_runtime(
+            # bit 2 lands inside the bucket mask, so the flipped hash
+            # inserts into the wrong bucket — a guaranteed divergence
+            Fault(unit=Unit.ALU, kind=FaultKind.BITFLIP, bit=2,
+                  site=Site("mc.set", "hash64", 0)),
+            detection_policy="abort",
+        )
+        server = MemcachedServer(runtime, n_buckets=32)
+        with pytest.raises(SdcDetected):
+            server.handle(Op(OpKind.SET, "k", "v"))

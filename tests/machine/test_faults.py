@@ -1,0 +1,126 @@
+"""Fault-model corruption semantics."""
+
+import math
+import struct
+
+import pytest
+
+from repro.machine.faults import Fault, FaultKind, corrupt_value
+from repro.machine.instruction import Site
+from repro.machine.units import Unit
+
+
+class TestIntCorruption:
+    def test_bitflip_flips_the_requested_bit(self):
+        assert corrupt_value(0, FaultKind.BITFLIP, 3) == 8
+        assert corrupt_value(8, FaultKind.BITFLIP, 3) == 0
+
+    def test_bitflip_is_an_involution(self):
+        for value in (0, 1, 12345, 2**40 + 17):
+            once = corrupt_value(value, FaultKind.BITFLIP, 7)
+            assert corrupt_value(once, FaultKind.BITFLIP, 7) == value
+
+    def test_stuckat0_clears_bit(self):
+        assert corrupt_value(0b1111, FaultKind.STUCKAT0, 1) == 0b1101
+
+    def test_stuckat1_sets_bit(self):
+        assert corrupt_value(0b0000, FaultKind.STUCKAT1, 2) == 0b0100
+
+    def test_stuckat_is_idempotent(self):
+        once = corrupt_value(0xABCD, FaultKind.STUCKAT1, 5)
+        assert corrupt_value(once, FaultKind.STUCKAT1, 5) == once
+
+    def test_bit_index_wraps_at_64(self):
+        assert corrupt_value(0, FaultKind.BITFLIP, 64) == 1
+
+    def test_high_bit_flip_produces_negative_two_complement(self):
+        corrupted = corrupt_value(0, FaultKind.BITFLIP, 63)
+        assert corrupted == -(1 << 63)
+
+    def test_negative_value_roundtrip(self):
+        corrupted = corrupt_value(-1, FaultKind.BITFLIP, 0)
+        assert corrupted == -2
+
+
+class TestFloatCorruption:
+    def test_bitflip_changes_float(self):
+        corrupted = corrupt_value(1.0, FaultKind.BITFLIP, 52)
+        assert corrupted != 1.0
+
+    def test_bitflip_is_involution_on_floats(self):
+        once = corrupt_value(3.14159, FaultKind.BITFLIP, 13)
+        assert corrupt_value(once, FaultKind.BITFLIP, 13) == 3.14159
+
+    def test_sign_bit_flip_negates(self):
+        assert corrupt_value(2.5, FaultKind.BITFLIP, 63) == -2.5
+
+    def test_exponent_flip_can_produce_inf_or_large(self):
+        (bits,) = struct.unpack("<Q", struct.pack("<d", 1.0))
+        corrupted = corrupt_value(1.0, FaultKind.STUCKAT1, 62)
+        assert corrupted != 1.0
+        assert math.isfinite(corrupted) or math.isinf(corrupted)
+
+
+class TestBoolCorruption:
+    def test_bitflip_inverts(self):
+        assert corrupt_value(True, FaultKind.BITFLIP, 0) is False
+        assert corrupt_value(False, FaultKind.BITFLIP, 0) is True
+
+    def test_stuckat_forces_value(self):
+        assert corrupt_value(True, FaultKind.STUCKAT0, 0) is False
+        assert corrupt_value(False, FaultKind.STUCKAT1, 0) is True
+
+
+class TestBytesCorruption:
+    def test_one_bit_changes_one_byte(self):
+        data = b"hello world"
+        corrupted = corrupt_value(data, FaultKind.BITFLIP, 8)
+        assert corrupted != data
+        diffs = [i for i, (a, b) in enumerate(zip(data, corrupted)) if a != b]
+        assert len(diffs) == 1
+
+    def test_empty_bytes_unchanged(self):
+        assert corrupt_value(b"", FaultKind.BITFLIP, 3) == b""
+
+
+class TestVectorCorruption:
+    def test_single_lane_corrupted(self):
+        vector = (1.0, 2.0, 3.0, 4.0)
+        corrupted = corrupt_value(vector, FaultKind.BITFLIP, 1)
+        diffs = [i for i in range(4) if vector[i] != corrupted[i]]
+        assert len(diffs) == 1
+
+    def test_preserves_sequence_type(self):
+        assert isinstance(corrupt_value([1, 2], FaultKind.BITFLIP, 0), list)
+        assert isinstance(corrupt_value((1, 2), FaultKind.BITFLIP, 0), tuple)
+
+    def test_empty_vector_unchanged(self):
+        assert corrupt_value((), FaultKind.BITFLIP, 0) == ()
+
+
+class TestFaultMatching:
+    def test_unit_must_match(self):
+        fault = Fault(unit=Unit.FPU, kind=FaultKind.BITFLIP)
+        assert fault.matches(Unit.FPU, Site("f", "fadd", 0))
+        assert not fault.matches(Unit.ALU, Site("f", "add", 0))
+
+    def test_sitewide_fault_matches_any_site(self):
+        fault = Fault(unit=Unit.ALU, kind=FaultKind.BITFLIP, site=None)
+        assert fault.matches(Unit.ALU, Site("f", "add", 0))
+        assert fault.matches(Unit.ALU, Site("g", "mul", 7))
+
+    def test_pinned_fault_matches_only_its_site(self):
+        site = Site("f", "add", 2)
+        fault = Fault(unit=Unit.ALU, kind=FaultKind.BITFLIP, site=site)
+        assert fault.matches(Unit.ALU, site)
+        assert not fault.matches(Unit.ALU, Site("f", "add", 3))
+
+
+def test_nop_has_no_value_semantics():
+    with pytest.raises(ValueError):
+        corrupt_value(1, FaultKind.NOP, 0)
+
+
+def test_unsupported_type_raises():
+    with pytest.raises(TypeError):
+        corrupt_value(object(), FaultKind.BITFLIP, 0)

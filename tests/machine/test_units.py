@@ -1,0 +1,31 @@
+"""Unit taxonomy tests."""
+
+from repro.machine.units import ALIBABA_FAULT_RATIO, CYCLE_COST, Unit
+
+
+def test_all_units_have_cycle_costs():
+    for unit in Unit:
+        assert CYCLE_COST[unit] >= 1
+
+
+def test_all_units_have_fault_ratio():
+    for unit in Unit:
+        assert ALIBABA_FAULT_RATIO[unit] >= 1
+
+
+def test_alibaba_ratio_is_1_2_2_1():
+    assert ALIBABA_FAULT_RATIO[Unit.ALU] == 1
+    assert ALIBABA_FAULT_RATIO[Unit.SIMD] == 2
+    assert ALIBABA_FAULT_RATIO[Unit.FPU] == 2
+    assert ALIBABA_FAULT_RATIO[Unit.CACHE] == 1
+
+
+def test_fp_and_vector_are_error_prone():
+    assert Unit.FPU.error_prone
+    assert Unit.SIMD.error_prone
+    assert not Unit.ALU.error_prone
+    assert not Unit.CACHE.error_prone
+
+
+def test_cache_instructions_cost_most():
+    assert CYCLE_COST[Unit.CACHE] > CYCLE_COST[Unit.FPU] > CYCLE_COST[Unit.ALU]

@@ -1,0 +1,98 @@
+"""CRC-16 and canonical serialization tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.checksum import checksum_of, crc16, serialize
+
+
+class TestCrc16:
+    def test_known_vector(self):
+        # CRC-16/CCITT-FALSE("123456789") is the standard check value.
+        assert crc16(b"123456789") == 0x29B1
+
+    def test_empty_input(self):
+        assert crc16(b"") == 0xFFFF
+
+    def test_single_bit_sensitivity(self):
+        base = crc16(b"hello world")
+        flipped = crc16(b"hello worle")
+        assert base != flipped
+
+    def test_range(self):
+        assert 0 <= crc16(b"anything") <= 0xFFFF
+
+
+class TestSerialize:
+    def test_type_tags_disambiguate(self):
+        assert serialize(1) != serialize(1.0)
+        assert serialize(True) != serialize(1)
+        assert serialize("1") != serialize(b"1")
+        assert serialize((1,)) != serialize([1])
+
+    def test_none(self):
+        assert serialize(None) == b"N"
+
+    def test_nested_structures(self):
+        value = {"k": [1, (2.5, "x")], "j": None}
+        assert serialize(value) == serialize({"j": None, "k": [1, (2.5, "x")]})
+
+    def test_float_bit_exactness(self):
+        assert serialize(0.0) != serialize(-0.0)
+        assert serialize(float("nan")) == serialize(float("nan"))
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            serialize(object())
+
+    def test_user_data_payload_hook(self):
+        class Widget:
+            def __orthrus_payload__(self):
+                return ("widget", 7)
+
+        assert serialize(Widget()) == b"O" + serialize(("widget", 7))
+
+
+class TestChecksumOf:
+    def test_equal_values_equal_checksums(self):
+        assert checksum_of([1, "two", 3.0]) == checksum_of([1, "two", 3.0])
+
+    def test_different_values_usually_differ(self):
+        assert checksum_of("payload-a") != checksum_of("payload-b")
+
+
+@given(st.binary(max_size=256))
+def test_crc_deterministic(data):
+    assert crc16(data) == crc16(data)
+
+
+@given(st.binary(min_size=1, max_size=64), st.integers(min_value=0, max_value=7))
+def test_crc_detects_single_bit_flips(data, bit):
+    corrupted = bytearray(data)
+    corrupted[0] ^= 1 << bit
+    assert crc16(bytes(corrupted)) != crc16(data)
+
+
+payloads = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers()
+    | st.floats(allow_nan=False)
+    | st.text(max_size=20)
+    | st.binary(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.tuples(children, children)
+    | st.dictionaries(st.text(max_size=5), children, max_size=4),
+    max_leaves=10,
+)
+
+
+@given(payloads)
+def test_serialize_total_and_deterministic(value):
+    assert serialize(value) == serialize(value)
+
+
+@given(payloads, payloads)
+def test_serialize_injective_on_samples(a, b):
+    if a != b:
+        assert serialize(a) != serialize(b)

@@ -1,0 +1,84 @@
+"""OrthrusPtr semantics in and out of execution contexts."""
+
+import pytest
+
+from repro.closures.context import ExecutionContext
+from repro.closures.log import ClosureLog
+from repro.errors import NoActiveContext
+from repro.machine.core import Core
+from repro.memory.heap import VersionedHeap
+from repro.memory.pointer import OrthrusPtr, orthrus_new, orthrus_receive, ptr
+
+
+@pytest.fixture
+def heap():
+    return VersionedHeap()
+
+
+class TestUnmanagedAccess:
+    def test_load_store_roundtrip(self, heap):
+        handle = orthrus_new("v0", heap=heap)
+        assert handle.load() == "v0"
+        handle.store("v1")
+        assert handle.load() == "v1"
+
+    def test_store_creates_version(self, heap):
+        handle = orthrus_new("v0", heap=heap)
+        first = handle.version_id
+        handle.store("v1")
+        assert handle.version_id > first
+
+    def test_delete(self, heap):
+        handle = orthrus_new("x", heap=heap)
+        handle.delete()
+        assert not heap.exists(handle.obj_id)
+
+    def test_new_without_heap_or_context_raises(self):
+        with pytest.raises(ValueError):
+            orthrus_new("x")
+
+    def test_receive_requires_heap_outside_context(self):
+        with pytest.raises(ValueError):
+            orthrus_receive("x", 0x1234)
+
+    def test_receive_installs_checksum(self, heap):
+        handle = orthrus_receive("x", 0x1234, heap=heap)
+        assert heap.latest(handle.obj_id).checksum == 0x1234
+
+
+class TestIdentity:
+    def test_equality_by_heap_and_id(self, heap):
+        a = OrthrusPtr(heap, 1)
+        b = OrthrusPtr(heap, 1)
+        c = OrthrusPtr(heap, 2)
+        assert a == b
+        assert a != c
+        assert a != OrthrusPtr(VersionedHeap(), 1)
+
+    def test_hashable(self, heap):
+        assert len({OrthrusPtr(heap, 1), OrthrusPtr(heap, 1)}) == 1
+
+    def test_marker_attribute(self, heap):
+        assert OrthrusPtr(heap, 1).__orthrus_ptr__ is True
+
+
+class TestContextRouting:
+    def test_ptr_helper_requires_context(self):
+        with pytest.raises(NoActiveContext):
+            ptr(1)
+
+    def test_ptr_helper_rehydrates_inside_context(self, heap):
+        obj = heap.allocate("payload")
+        log = ClosureLog(seq=1, closure_name="op", caller="t")
+        ctx = ExecutionContext(ExecutionContext.APP, Core(0), heap, log)
+        with ctx:
+            assert ptr(obj).load() == "payload"
+
+    def test_load_routes_through_context(self, heap):
+        obj = heap.allocate("original")
+        handle = OrthrusPtr(heap, obj)
+        log = ClosureLog(seq=1, closure_name="op", caller="t")
+        ctx = ExecutionContext(ExecutionContext.APP, Core(0), heap, log)
+        with ctx:
+            handle.load()
+        assert obj in log.inputs

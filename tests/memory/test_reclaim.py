@@ -1,0 +1,102 @@
+"""Reclamation manager: windows, watermarks, batching (§3.6)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.heap import VersionedHeap
+from repro.memory.reclaim import ReclamationManager
+
+
+@pytest.fixture
+def heap():
+    return VersionedHeap()
+
+
+def manager(heap, batch=1):
+    return ReclamationManager(heap, batch_size=batch)
+
+
+class TestWatermark:
+    def test_no_open_windows_means_infinite_watermark(self, heap):
+        assert manager(heap).watermark == math.inf
+
+    def test_watermark_is_earliest_open_start(self, heap):
+        gc = manager(heap)
+        gc.closure_started(1, 10.0)
+        gc.closure_started(2, 20.0)
+        assert gc.watermark == 10.0
+
+    def test_watermark_advances_when_earliest_finishes(self, heap):
+        gc = manager(heap)
+        gc.closure_started(1, 10.0)
+        gc.closure_started(2, 20.0)
+        gc.closure_finished(1)
+        assert gc.watermark == 20.0
+
+    def test_out_of_order_completion(self, heap):
+        gc = manager(heap)
+        gc.closure_started(1, 10.0)
+        gc.closure_started(2, 20.0)
+        gc.closure_started(3, 30.0)
+        gc.closure_finished(2)  # out-of-order validation
+        assert gc.watermark == 10.0
+        gc.closure_finished(1)
+        assert gc.watermark == 30.0
+
+    def test_non_monotonic_starts_rejected(self, heap):
+        gc = manager(heap)
+        gc.closure_started(1, 10.0)
+        with pytest.raises(ConfigurationError):
+            gc.closure_started(2, 5.0)
+
+
+class TestReclamation:
+    def test_stale_version_reclaimed_after_all_windows_close(self, heap):
+        gc = manager(heap)
+        obj = heap.allocate(1)
+        gc.closure_started(1, heap.latest(obj).created_at)
+        heap.store(obj, 2)
+        old_version_count = len(heap)
+        assert gc.closure_finished(1) == 1
+        assert len(heap) == old_version_count - 1
+
+    def test_version_kept_while_early_closure_pending(self, heap):
+        gc = manager(heap)
+        obj = heap.allocate(1)
+        v1 = heap.latest(obj)
+        gc.closure_started(1, v1.created_at)  # may reference v1
+        heap.store(obj, 2)
+        gc.closure_started(2, heap.latest(obj).created_at)
+        assert gc.closure_finished(2) == 0  # closure 1 still open
+        assert not v1.reclaimed
+
+    def test_batching_defers_passes(self, heap):
+        gc = manager(heap, batch=3)
+        obj = heap.allocate(1)
+        for seq in range(1, 4):
+            gc.closure_started(seq, heap.latest(obj).created_at)
+            heap.store(obj, seq)
+        assert gc.closure_finished(1) == 0
+        assert gc.closure_finished(2) == 0
+        assert gc.closure_finished(3) >= 1
+        assert gc.reclaim_passes == 1
+
+    def test_reclaim_now_forces_pass(self, heap):
+        gc = manager(heap, batch=100)
+        obj = heap.allocate(1)
+        heap.store(obj, 2)
+        assert gc.reclaim_now() == 1
+
+    def test_invalid_batch_size(self, heap):
+        with pytest.raises(ConfigurationError):
+            ReclamationManager(heap, batch_size=0)
+
+    def test_open_windows_counter(self, heap):
+        gc = manager(heap)
+        gc.closure_started(1, 1.0)
+        gc.closure_started(2, 2.0)
+        assert gc.open_windows == 2
+        gc.closure_finished(1)
+        assert gc.open_windows == 1

@@ -1,0 +1,178 @@
+"""OrthrusRuntime façade tests: modes, policies, reclamation wiring."""
+
+import pytest
+
+from repro.closures.annotation import closure
+from repro.closures.context import ops
+from repro.errors import ConfigurationError, SdcDetected, ValidationMismatch
+from repro.machine.cpu import Machine
+from repro.machine.faults import Fault, FaultKind
+from repro.machine.units import Unit
+from repro.runtime.orthrus import OrthrusRuntime, active
+from repro.runtime.safemode import SafeModePolicy
+
+
+@closure(name="rt_test.incr")
+def incr(ptr):
+    value = ptr.load()
+    ptr.store(ops().alu.add(value, 1))
+    return value + 1
+
+
+@closure(name="rt_test.boom")
+def boom():
+    raise RuntimeError("fail-stop")
+
+
+def make_runtime(**kwargs):
+    machine = Machine(cores_per_node=4, numa_nodes=1)
+    return OrthrusRuntime(machine=machine, app_cores=[0], validation_cores=[1], **kwargs)
+
+
+class TestActivation:
+    def test_active_inside_with(self):
+        runtime = make_runtime()
+        assert active() is None
+        with runtime:
+            assert active() is runtime
+        assert active() is None
+
+    def test_nested_runtimes_innermost_wins(self):
+        outer, inner = make_runtime(), make_runtime()
+        with outer:
+            with inner:
+                assert active() is inner
+            assert active() is outer
+
+
+class TestConfiguration:
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_runtime(mode="warp")
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_runtime(detection_policy="shrug")
+
+    def test_default_validation_core_chosen_automatically(self):
+        runtime = OrthrusRuntime(machine=Machine(cores_per_node=2, numa_nodes=1))
+        assert runtime.scheduler.validation_cores[0].core_id == 1
+
+
+class TestDetectionPolicy:
+    def test_flag_policy_records_and_continues(self):
+        machine = Machine(cores_per_node=4, numa_nodes=1)
+        machine.arm(0, Fault(unit=Unit.ALU, kind=FaultKind.BITFLIP, bit=5))
+        runtime = OrthrusRuntime(machine=machine, app_cores=[0], validation_cores=[1])
+        with runtime:
+            ptr = runtime.new(1)
+            incr(ptr)
+            incr(ptr)  # keeps running after the first detection
+        assert runtime.detections == 2
+
+    def test_abort_policy_raises(self):
+        machine = Machine(cores_per_node=4, numa_nodes=1)
+        machine.arm(0, Fault(unit=Unit.ALU, kind=FaultKind.BITFLIP, bit=5))
+        runtime = OrthrusRuntime(
+            machine=machine,
+            app_cores=[0],
+            validation_cores=[1],
+            detection_policy="abort",
+        )
+        with runtime:
+            ptr = runtime.new(1)
+            with pytest.raises(ValidationMismatch):
+                incr(ptr)
+
+    def test_reset_report(self):
+        machine = Machine(cores_per_node=4, numa_nodes=1)
+        machine.arm(0, Fault(unit=Unit.ALU, kind=FaultKind.BITFLIP, bit=5))
+        runtime = OrthrusRuntime(machine=machine, app_cores=[0], validation_cores=[1])
+        with runtime:
+            incr(runtime.new(1))
+        runtime.reset_report()
+        assert runtime.detections == 0
+
+
+class TestFailStop:
+    def test_closure_exception_propagates(self):
+        runtime = make_runtime()
+        with runtime:
+            with pytest.raises(RuntimeError):
+                boom()
+
+    def test_crashed_closure_window_closed(self):
+        runtime = make_runtime()
+        with runtime:
+            with pytest.raises(RuntimeError):
+                boom()
+        assert runtime.reclaimer.open_windows == 0
+
+
+class TestReclamationWiring:
+    def test_inline_mode_reclaims_promptly(self):
+        runtime = make_runtime(reclaim_batch=1)
+        with runtime:
+            ptr = runtime.new(0)
+            for _ in range(10):
+                incr(ptr)
+        runtime.reclaimer.reclaim_now()
+        # Only live versions (plus their headers) remain.
+        assert runtime.heap.stale_bytes == 0
+
+    def test_queued_mode_holds_versions_until_validated(self):
+        runtime = make_runtime(mode="queued", reclaim_batch=1)
+        with runtime:
+            ptr = runtime.new(0)
+            for _ in range(10):
+                incr(ptr)
+            held = runtime.heap.stale_bytes
+            assert held > 0
+            runtime.drain()
+        runtime.reclaimer.reclaim_now()
+        assert runtime.heap.stale_bytes == 0
+
+
+class TestCoreBinding:
+    def test_bound_core_used_for_app_execution(self):
+        captured = []
+        runtime = make_runtime()
+        runtime._on_log = lambda log: captured.append(log.core_id)
+        with runtime:
+            ptr = runtime.new(0)
+            with runtime.bind_core(2):
+                incr(ptr)
+            incr(ptr)
+        assert captured[0] == 2
+        assert captured[1] == 0  # default scheduler pick
+
+    def test_binding_restores_previous(self):
+        runtime = make_runtime()
+        with runtime.bind_core(2):
+            with runtime.bind_core(3):
+                assert runtime._bound.core_id == 3
+            assert runtime._bound.core_id == 2
+
+
+class TestSafeModePolicy:
+    def test_must_hold_only_externalizing(self):
+        policy = SafeModePolicy.strict({"kv.get"})
+        assert policy.must_hold("kv.get")
+        assert not policy.must_hold("kv.set")
+
+    def test_off_policy_never_holds(self):
+        assert not SafeModePolicy.off().must_hold("kv.get")
+
+
+class TestRuntimeHelpers:
+    def test_new_allocates_outside_closures(self):
+        runtime = make_runtime()
+        ptr = runtime.new({"k": "v"})
+        assert ptr.load() == {"k": "v"}
+
+    def test_receive_installs_transported_checksum(self):
+        from repro.memory.checksum import checksum_of
+
+        runtime = make_runtime()
+        ptr = runtime.receive("payload", checksum_of("payload"))
+        assert runtime.heap.latest(ptr.obj_id).checksum == checksum_of("payload")

@@ -1,0 +1,97 @@
+"""Queued-mode pumping with sampling: the library-level async path."""
+
+import pytest
+
+from repro.closures.annotation import closure
+from repro.closures.context import ops
+from repro.machine.cpu import Machine
+from repro.machine.faults import Fault, FaultKind
+from repro.machine.units import Unit
+from repro.runtime.orthrus import OrthrusRuntime
+from repro.runtime.sampling import AdaptiveSampler, RandomSampler, SamplerConfig
+
+
+@closure(name="pump_test.work")
+def work(ptr, delta):
+    value = ptr.load()
+    ptr.store(ops().alu.add(value, delta))
+    return value + delta
+
+
+def make_runtime(sampler=None, fault=None):
+    machine = Machine(cores_per_node=4, numa_nodes=1)
+    if fault is not None:
+        machine.arm(0, fault)
+    return OrthrusRuntime(
+        machine=machine,
+        app_cores=[0],
+        validation_cores=[1],
+        mode="queued",
+        sampler=sampler,
+    )
+
+
+class TestPump:
+    def test_pump_respects_max_logs(self):
+        runtime = make_runtime()
+        with runtime:
+            ptr = runtime.new(0)
+            for _ in range(10):
+                work(ptr, 1)
+            assert runtime.pump(max_logs=4) == 4
+            assert runtime.queues.pending == 6
+            runtime.drain()
+        assert runtime.validations == 10
+
+    def test_sampler_skips_counted(self):
+        sampler = RandomSampler(SamplerConfig(min_rate=0.0, increase=0.0), seed=1)
+        sampler._controller.rate = 0.0  # force all skips
+        runtime = make_runtime(sampler=sampler)
+        with runtime:
+            ptr = runtime.new(0)
+            for _ in range(20):
+                work(ptr, 1)
+            runtime.drain()
+        assert runtime.validations == 0
+        assert sampler.skipped == 20
+
+    def test_skipped_logs_still_close_windows(self):
+        sampler = RandomSampler(SamplerConfig(min_rate=0.0, increase=0.0), seed=1)
+        sampler._controller.rate = 0.0
+        runtime = make_runtime(sampler=sampler)
+        with runtime:
+            ptr = runtime.new(0)
+            for _ in range(20):
+                work(ptr, 1)
+            runtime.drain()
+        assert runtime.reclaimer.open_windows == 0
+        runtime.reclaimer.reclaim_now()
+        assert runtime.heap.stale_bytes == 0
+
+    def test_adaptive_sampler_first_execution_always_validated(self):
+        sampler = AdaptiveSampler(SamplerConfig(), seed=1)
+        for _ in range(100):
+            sampler.observe_delay(1.0)  # crush the rate before anything runs
+        runtime = make_runtime(sampler=sampler)
+        with runtime:
+            ptr = runtime.new(0)
+            work(ptr, 1)
+            runtime.drain()
+        assert runtime.validations == 1  # never-validated pair rule
+
+    def test_faulty_run_detected_despite_partial_sampling(self):
+        sampler = AdaptiveSampler(
+            SamplerConfig(staleness_threshold=5.0), seed=1
+        )
+        runtime = make_runtime(
+            sampler=sampler,
+            fault=Fault(unit=Unit.ALU, kind=FaultKind.BITFLIP, bit=6),
+        )
+        with runtime:
+            ptr = runtime.new(0)
+            for _ in range(30):
+                work(ptr, 1)
+            runtime.drain()
+        # Deterministic persistent fault: any validated execution diverges.
+        assert runtime.detections > 0
+        assert runtime.detections == runtime.validations

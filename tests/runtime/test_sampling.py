@@ -1,0 +1,163 @@
+"""Adaptive and random sampler behaviour (§3.5)."""
+
+import pytest
+
+from repro.closures.log import ClosureLog
+from repro.machine.instruction import Trace
+from repro.machine.units import Unit
+from repro.runtime.sampling import (
+    AdaptiveSampler,
+    AlwaysSampler,
+    RandomSampler,
+    SamplerConfig,
+)
+
+
+def make_log(name="op", caller="ctl", units=(Unit.ALU,)):
+    trace = Trace()
+    for unit in units:
+        trace.unit_counts[unit] = 1
+    return ClosureLog(seq=1, closure_name=name, caller=caller, trace=trace)
+
+
+CFG = SamplerConfig(delay_threshold=1.0, staleness_threshold=10.0)
+
+
+class TestRateControl:
+    def test_starts_at_full_rate(self):
+        assert AdaptiveSampler(CFG).rate == 1.0
+
+    def test_high_delay_decreases_rate(self):
+        sampler = AdaptiveSampler(CFG)
+        sampler.observe_delay(5.0)
+        assert sampler.rate < 1.0
+
+    def test_low_delay_recovers_rate(self):
+        sampler = AdaptiveSampler(CFG)
+        for _ in range(10):
+            sampler.observe_delay(5.0)
+        degraded = sampler.rate
+        for _ in range(50):
+            sampler.observe_delay(0.0)
+        assert sampler.rate > degraded
+
+    def test_rate_never_below_floor(self):
+        sampler = AdaptiveSampler(CFG)
+        for _ in range(200):
+            sampler.observe_delay(100.0)
+        assert sampler.rate >= CFG.min_rate
+
+    def test_rate_never_above_one(self):
+        sampler = AdaptiveSampler(CFG)
+        for _ in range(50):
+            sampler.observe_delay(0.0)
+        assert sampler.rate == 1.0
+
+    def test_memory_trigger_decreases_rate(self):
+        sampler = AdaptiveSampler(CFG)
+        sampler.observe_memory(used_bytes=200, budget_bytes=100)
+        assert sampler.rate < 1.0
+
+    def test_memory_trigger_recovers_below_low_water(self):
+        sampler = AdaptiveSampler(CFG)
+        sampler.observe_memory(200, 100)
+        degraded = sampler.rate
+        for _ in range(10):
+            sampler.observe_memory(10, 100)
+        assert sampler.rate > degraded
+
+    def test_zero_budget_ignored(self):
+        sampler = AdaptiveSampler(CFG)
+        sampler.observe_memory(100, 0)
+        assert sampler.rate == 1.0
+
+
+class TestAdaptiveSelection:
+    def test_never_validated_pair_always_chosen(self):
+        sampler = AdaptiveSampler(CFG)
+        for _ in range(100):
+            sampler.observe_delay(100.0)  # crush the rate
+        assert sampler.should_validate(make_log(), now=0.0)
+
+    def test_stale_pair_always_chosen(self):
+        sampler = AdaptiveSampler(CFG, seed=1)
+        log = make_log()
+        sampler.on_validated(log, now=0.0)
+        assert sampler.should_validate(log, now=CFG.staleness_threshold + 1)
+
+    def test_recently_validated_pair_skipped_under_load(self):
+        sampler = AdaptiveSampler(CFG, seed=1)
+        log = make_log()
+        sampler.on_validated(log, now=0.0)
+        for _ in range(100):
+            sampler.observe_delay(100.0)
+        decisions = [sampler.should_validate(log, now=0.01) for _ in range(50)]
+        assert sum(decisions) < 10
+
+    def test_distinct_callers_tracked_separately(self):
+        sampler = AdaptiveSampler(CFG, seed=1)
+        sampler.on_validated(make_log(caller="a"), now=0.0)
+        # Same closure from a different caller has never been validated.
+        assert sampler.should_validate(make_log(caller="b"), now=0.01)
+
+    def test_error_prone_closures_prioritized(self):
+        config = SamplerConfig(delay_threshold=1.0, staleness_threshold=1000.0)
+        fp_sampler = AdaptiveSampler(config, seed=3)
+        alu_sampler = AdaptiveSampler(config, seed=3)
+        fp_log = make_log(name="fp", units=(Unit.FPU,))
+        alu_log = make_log(name="alu", units=(Unit.ALU,))
+        fp_sampler.on_validated(fp_log, now=0.0)
+        alu_sampler.on_validated(alu_log, now=0.0)
+        for sampler in (fp_sampler, alu_sampler):
+            for _ in range(20):
+                sampler.observe_delay(100.0)
+        fp_hits = sum(fp_sampler.should_validate(fp_log, now=500.0) for _ in range(300))
+        alu_hits = sum(alu_sampler.should_validate(alu_log, now=500.0) for _ in range(300))
+        assert fp_hits > alu_hits * 1.5
+
+    def test_counters(self):
+        sampler = AdaptiveSampler(CFG, seed=1)
+        log = make_log()
+        sampler.should_validate(log, now=0.0)
+        assert sampler.chosen == 1
+        assert sampler.skipped == 0
+
+    def test_reset(self):
+        sampler = AdaptiveSampler(CFG)
+        log = make_log()
+        sampler.on_validated(log, now=0.0)
+        sampler.observe_delay(100.0)
+        sampler.reset()
+        assert sampler.rate == 1.0
+        assert sampler.should_validate(log, now=0.01)  # recency forgotten
+
+
+class TestRandomSampler:
+    def test_full_rate_always_validates(self):
+        sampler = RandomSampler(CFG, seed=1)
+        assert all(sampler.should_validate(make_log(), 0.0) for _ in range(50))
+
+    def test_reduced_rate_skips_proportionally(self):
+        sampler = RandomSampler(CFG, seed=1)
+        for _ in range(100):
+            sampler.observe_delay(100.0)
+        hits = sum(sampler.should_validate(make_log(), 0.0) for _ in range(1000))
+        assert hits < 150  # rate floored at min_rate=0.02
+
+    def test_no_staleness_guarantee(self):
+        # The defining difference from the adaptive sampler: a stale pair
+        # gets no special treatment.
+        sampler = RandomSampler(CFG, seed=1)
+        for _ in range(100):
+            sampler.observe_delay(100.0)
+        log = make_log()
+        decisions = [sampler.should_validate(log, now=1e9) for _ in range(200)]
+        assert sum(decisions) < 50
+
+
+class TestAlwaysSampler:
+    def test_always_validates(self):
+        sampler = AlwaysSampler()
+        assert sampler.should_validate(make_log(), 0.0)
+        sampler.observe_delay(1e9)
+        assert sampler.rate == 1.0

@@ -1,0 +1,89 @@
+"""Scheduler and latency-tracker tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.cpu import Machine
+from repro.runtime.scheduler import LatencyTracker, Scheduler
+
+
+@pytest.fixture
+def machine():
+    return Machine(cores_per_node=4, numa_nodes=2)
+
+
+class TestScheduler:
+    def test_rejects_overlapping_cores(self, machine):
+        with pytest.raises(ConfigurationError):
+            Scheduler(machine, app_cores=[0, 1], validation_cores=[1, 2])
+
+    def test_rejects_empty_assignments(self, machine):
+        with pytest.raises(ConfigurationError):
+            Scheduler(machine, app_cores=[], validation_cores=[1])
+        with pytest.raises(ConfigurationError):
+            Scheduler(machine, app_cores=[0], validation_cores=[])
+
+    def test_rejects_out_of_range_core(self, machine):
+        with pytest.raises(ConfigurationError):
+            Scheduler(machine, app_cores=[0], validation_cores=[99])
+
+    def test_app_cores_round_robin(self, machine):
+        scheduler = Scheduler(machine, app_cores=[0, 1], validation_cores=[2])
+        ids = [scheduler.next_app_core().core_id for _ in range(4)]
+        assert ids == [0, 1, 0, 1]
+
+    def test_validation_core_differs_from_app_core(self, machine):
+        scheduler = Scheduler(machine, app_cores=[0], validation_cores=[1, 2])
+        for _ in range(10):
+            assert scheduler.validation_core_for(0).core_id != 0
+
+    def test_validation_prefers_same_numa_node(self, machine):
+        # App on node 0 (core 1); validation cores on both nodes.
+        scheduler = Scheduler(machine, app_cores=[1], validation_cores=[2, 5])
+        core = scheduler.validation_core_for(1)
+        assert core.numa_node == 0
+
+    def test_validation_crosses_node_when_forced(self, machine):
+        scheduler = Scheduler(machine, app_cores=[1], validation_cores=[5])
+        assert scheduler.validation_core_for(1).numa_node == 1
+
+    def test_queue_index_mapping(self, machine):
+        scheduler = Scheduler(machine, app_cores=[0], validation_cores=[2, 3])
+        core = scheduler.validation_core_for(0)
+        index = scheduler.queue_index_for(core)
+        assert scheduler.validation_cores[index] is core
+
+
+class TestLatencyTracker:
+    def test_global_average(self):
+        tracker = LatencyTracker()
+        tracker.record("a", 1.0)
+        tracker.record("b", 3.0)
+        assert tracker.global_average == 2.0
+
+    def test_window_is_last_eight(self):
+        tracker = LatencyTracker()
+        for value in range(20):
+            tracker.record("a", float(value))
+        assert tracker.closure_average("a") == sum(range(12, 20)) / 8
+
+    def test_slow_closure_flagged_for_help(self):
+        tracker = LatencyTracker(help_ratio=1.5)
+        for _ in range(8):
+            tracker.record("fast", 1.0)
+        for _ in range(8):
+            tracker.record("slow", 100.0)
+        assert tracker.closures_needing_help() == ["slow"]
+
+    def test_no_help_without_full_window(self):
+        tracker = LatencyTracker()
+        tracker.record("slow", 1000.0)
+        tracker.record("fast", 1.0)
+        assert tracker.closures_needing_help() == []
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LatencyTracker(help_ratio=1.0)
+
+    def test_unknown_closure_average_zero(self):
+        assert LatencyTracker().closure_average("none") == 0.0

@@ -1,0 +1,47 @@
+"""Cost-model tests."""
+
+import pytest
+
+from repro.sim.costs import CPU_FREQ_HZ, DEFAULT_COSTS, CostModel, cycles_to_seconds
+
+
+class TestConversions:
+    def test_cycles_to_seconds(self):
+        assert cycles_to_seconds(CPU_FREQ_HZ) == 1.0
+        assert cycles_to_seconds(0) == 0.0
+
+    def test_model_seconds_uses_own_frequency(self):
+        model = CostModel(freq_hz=1e9)
+        assert model.seconds(1e9) == 1.0
+
+
+class TestNetworkTransfer:
+    def test_latency_floor(self):
+        model = DEFAULT_COSTS
+        assert model.network_transfer_s(0) == model.network_latency_s
+
+    def test_bandwidth_term_scales(self):
+        model = DEFAULT_COSTS
+        small = model.network_transfer_s(1_000)
+        big = model.network_transfer_s(1_000_000)
+        assert big > small
+        assert big - model.network_latency_s == pytest.approx(
+            1_000_000 * 8 / model.network_bandwidth_bps
+        )
+
+
+class TestChecksumCosts:
+    def test_checksum_cycles_scale_with_bytes(self):
+        model = DEFAULT_COSTS
+        assert model.checksum_cycles(1000) > model.checksum_cycles(10)
+
+    def test_without_checksums_zeroes_terms(self):
+        model = DEFAULT_COSTS.without_checksums()
+        assert model.checksum_cycles(1_000_000) == 0
+        # other knobs untouched
+        assert model.log_base_cycles == DEFAULT_COSTS.log_base_cycles
+
+
+def test_model_is_frozen():
+    with pytest.raises(Exception):
+        DEFAULT_COSTS.log_base_cycles = 0

@@ -1,0 +1,239 @@
+"""Discrete-event engine tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import Environment, SimClock
+
+
+class TestTimeouts:
+    def test_time_advances_to_timeout(self):
+        env = Environment()
+        env.timeout(5.0)
+        env.run()
+        assert env.now == 5.0
+
+    def test_negative_timeout_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout(-1.0)
+
+    def test_run_until_horizon_stops_early(self):
+        env = Environment()
+        env.timeout(10.0)
+        env.run(until=3.0)
+        assert env.now <= 3.0
+
+
+class TestProcesses:
+    def test_process_sequences_timeouts(self):
+        trace = []
+
+        def proc(env):
+            trace.append(env.now)
+            yield env.timeout(1.0)
+            trace.append(env.now)
+            yield env.timeout(2.0)
+            trace.append(env.now)
+
+        env = Environment()
+        env.process(proc(env))
+        env.run()
+        assert trace == [0.0, 1.0, 3.0]
+
+    def test_processes_interleave_by_time(self):
+        order = []
+
+        def worker(env, name, delay):
+            yield env.timeout(delay)
+            order.append(name)
+
+        env = Environment()
+        env.process(worker(env, "late", 2.0))
+        env.process(worker(env, "early", 1.0))
+        env.run()
+        assert order == ["early", "late"]
+
+    def test_process_return_value_via_run_until(self):
+        def proc(env):
+            yield env.timeout(1.0)
+            return 42
+
+        env = Environment()
+        process = env.process(proc(env))
+        assert env.run(until=process) == 42
+
+    def test_process_can_wait_on_process(self):
+        def inner(env):
+            yield env.timeout(2.0)
+            return "inner-result"
+
+        def outer(env):
+            result = yield env.process(inner(env))
+            return result
+
+        env = Environment()
+        process = env.process(outer(env))
+        assert env.run(until=process) == "inner-result"
+
+    def test_yielding_non_event_raises(self):
+        def bad(env):
+            yield 42
+
+        env = Environment()
+        env.process(bad(env))
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_timeout_value_delivered(self):
+        def proc(env):
+            value = yield env.timeout(1.0, value="payload")
+            return value
+
+        env = Environment()
+        process = env.process(proc(env))
+        assert env.run(until=process) == "payload"
+
+
+class TestEvents:
+    def test_succeed_wakes_waiter(self):
+        env = Environment()
+        gate = env.event()
+        results = []
+
+        def waiter(env):
+            value = yield gate
+            results.append((env.now, value))
+
+        def opener(env):
+            yield env.timeout(3.0)
+            gate.succeed("open")
+
+        env.process(waiter(env))
+        env.process(opener(env))
+        env.run()
+        assert results == [(3.0, "open")]
+
+    def test_double_trigger_raises(self):
+        env = Environment()
+        event = env.event()
+        event.succeed(1)
+        with pytest.raises(SimulationError):
+            event.succeed(2)
+
+    def test_all_of(self):
+        def worker(env, delay, value):
+            yield env.timeout(delay)
+            return value
+
+        def coordinator(env):
+            tasks = [env.process(worker(env, d, d * 10)) for d in (3.0, 1.0, 2.0)]
+            results = yield env.all_of(tasks)
+            return results
+
+        env = Environment()
+        process = env.process(coordinator(env))
+        assert env.run(until=process) == [30.0, 10.0, 20.0]
+        assert env.now == 3.0
+
+    def test_all_of_empty(self):
+        env = Environment()
+        done = env.all_of([])
+        assert done.triggered or done._scheduled
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = env.store()
+        store.put("item")
+
+        def consumer(env):
+            item = yield store.get()
+            return item
+
+        process = env.process(consumer(env))
+        assert env.run(until=process) == "item"
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = env.store()
+        times = []
+
+        def consumer(env):
+            item = yield store.get()
+            times.append((env.now, item))
+
+        def producer(env):
+            yield env.timeout(4.0)
+            store.put("late-item")
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert times == [(4.0, "late-item")]
+
+    def test_fifo_ordering(self):
+        env = Environment()
+        store = env.store()
+        received = []
+
+        def consumer(env):
+            for _ in range(3):
+                item = yield store.get()
+                received.append(item)
+
+        def producer(env):
+            for item in ("a", "b", "c"):
+                yield env.timeout(1.0)
+                store.put(item)
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert received == ["a", "b", "c"]
+
+    def test_multiple_getters_served_in_order(self):
+        env = Environment()
+        store = env.store()
+        served = []
+
+        def consumer(env, name):
+            item = yield store.get()
+            served.append((name, item))
+
+        env.process(consumer(env, "first"))
+        env.process(consumer(env, "second"))
+
+        def producer(env):
+            yield env.timeout(1.0)
+            store.put("x")
+            store.put("y")
+
+        env.process(producer(env))
+        env.run()
+        assert served == [("first", "x"), ("second", "y")]
+
+    def test_len_counts_buffered_items(self):
+        env = Environment()
+        store = env.store()
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+
+
+class TestDeadlockDetection:
+    def test_run_until_unreachable_event_raises(self):
+        env = Environment()
+        never = env.event()
+        with pytest.raises(SimulationError):
+            env.run(until=never)
+
+
+def test_sim_clock_tracks_env():
+    env = Environment()
+    clock = SimClock(env)
+    assert clock.now() == 0.0
+    env.timeout(7.5)
+    env.run()
+    assert clock.now() == 7.5

@@ -1,0 +1,60 @@
+"""Metrics helpers."""
+
+import math
+
+import pytest
+
+from repro.sim.metrics import Histogram, RunMetrics, slowdown
+
+
+class TestHistogram:
+    def test_empty_histogram_is_zero(self):
+        histogram = Histogram()
+        assert histogram.mean == 0.0
+        assert histogram.p95 == 0.0
+        assert histogram.count == 0
+
+    def test_mean(self):
+        histogram = Histogram()
+        histogram.extend([1.0, 2.0, 3.0])
+        assert histogram.mean == 2.0
+
+    def test_percentiles_ordered(self):
+        histogram = Histogram()
+        histogram.extend(float(v) for v in range(101))
+        assert histogram.p50 <= histogram.p95 <= histogram.p99 <= histogram.max
+
+    def test_percentile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(101)
+
+    def test_summary_keys(self):
+        histogram = Histogram()
+        histogram.add(1.0)
+        assert set(histogram.summary()) == {"count", "mean", "p50", "p95", "p99", "max"}
+
+
+class TestRunMetrics:
+    def test_throughput(self):
+        metrics = RunMetrics(operations=100, duration=2.0)
+        assert metrics.throughput == 50.0
+
+    def test_throughput_zero_duration(self):
+        assert RunMetrics(operations=10, duration=0.0).throughput == 0.0
+
+    def test_memory_overhead(self):
+        metrics = RunMetrics(peak_versioned_bytes=130, peak_live_bytes=100)
+        assert metrics.memory_overhead == pytest.approx(0.3)
+
+    def test_sampling_fraction(self):
+        metrics = RunMetrics(validated=30, skipped=70)
+        assert metrics.sampling_fraction == pytest.approx(0.3)
+        assert RunMetrics().sampling_fraction == 1.0
+
+
+class TestSlowdown:
+    def test_four_percent_overhead(self):
+        assert slowdown(104.0, 100.0) == pytest.approx(0.04)
+
+    def test_zero_throughput_is_infinite(self):
+        assert math.isinf(slowdown(100.0, 0.0))

@@ -1,0 +1,58 @@
+"""Command-line interface tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["perf"])
+        assert args.app == "memcached"
+        assert args.threads == 2
+        assert args.cores == 2
+
+    def test_coverage_flags(self):
+        args = build_parser().parse_args(
+            ["coverage", "--app", "lsmtree", "--faults", "8", "--rbv",
+             "--trigger-rate", "0.5"]
+        )
+        assert args.app == "lsmtree"
+        assert args.faults == 8
+        assert args.rbv is True
+        assert args.trigger_rate == 0.5
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for app in ("memcached", "masstree", "lsmtree", "phoenix"):
+            assert app in out
+
+    def test_perf_small(self, capsys):
+        assert main(["perf", "--app", "memcached", "--ops", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "vanilla throughput" in out
+        assert "orthrus overhead" in out
+
+    def test_latency_small(self, capsys):
+        assert main(["latency", "--app", "memcached", "--ops", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "orthrus validation latency" in out
+        assert "rbv validation latency" in out
+
+    def test_coverage_small(self, capsys):
+        assert main(
+            ["coverage", "--app", "memcached", "--ops", "200", "--faults", "6"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "detection rate" in out
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["perf", "--app", "redis"])

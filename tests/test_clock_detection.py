@@ -1,0 +1,71 @@
+"""Clock and detection-report tests."""
+
+import pytest
+
+from repro.clock import LogicalClock, ManualClock
+from repro.detection import DetectionEvent, DetectionReport
+
+
+class TestLogicalClock:
+    def test_starts_at_zero(self):
+        assert LogicalClock().now() == 0.0
+
+    def test_tick_advances(self):
+        clock = LogicalClock()
+        clock.tick()
+        clock.tick(2.5)
+        assert clock.now() == 3.5
+
+    def test_negative_tick_rejected(self):
+        with pytest.raises(ValueError):
+            LogicalClock().tick(-1.0)
+
+    def test_custom_start(self):
+        assert LogicalClock(start=10.0).now() == 10.0
+
+
+class TestManualClock:
+    def test_set_forward(self):
+        clock = ManualClock()
+        clock.set(5.0)
+        assert clock.now() == 5.0
+
+    def test_set_backward_rejected(self):
+        clock = ManualClock()
+        clock.set(5.0)
+        with pytest.raises(ValueError):
+            clock.set(4.0)
+
+
+def event(kind="mismatch", seq=1):
+    return DetectionEvent(kind=kind, closure="op", seq=seq, time=0.0)
+
+
+class TestDetectionReport:
+    def test_empty_report(self):
+        report = DetectionReport()
+        assert not report.detected
+        assert report.first is None
+        assert report.count() == 0
+
+    def test_record_and_count(self):
+        report = DetectionReport()
+        report.record(event("mismatch"))
+        report.record(event("checksum"))
+        report.record(event("mismatch"))
+        assert report.detected
+        assert report.count() == 3
+        assert report.count("mismatch") == 2
+        assert report.count("checksum") == 1
+
+    def test_first_is_earliest_recorded(self):
+        report = DetectionReport()
+        report.record(event(seq=7))
+        report.record(event(seq=9))
+        assert report.first.seq == 7
+
+    def test_clear(self):
+        report = DetectionReport()
+        report.record(event())
+        report.clear()
+        assert not report.detected

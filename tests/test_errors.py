@@ -1,0 +1,49 @@
+"""Exception hierarchy tests."""
+
+import pytest
+
+from repro.errors import (
+    ChecksumMismatch,
+    ConfigurationError,
+    FaultInjectionError,
+    HeapError,
+    NoActiveContext,
+    ReclaimedVersionError,
+    ReproError,
+    SdcDetected,
+    SimulationError,
+    ValidationMismatch,
+)
+
+
+def test_all_errors_derive_from_repro_error():
+    for exc_type in (
+        ConfigurationError,
+        NoActiveContext,
+        HeapError,
+        ReclaimedVersionError,
+        SdcDetected,
+        ChecksumMismatch,
+        ValidationMismatch,
+        FaultInjectionError,
+        SimulationError,
+    ):
+        assert issubclass(exc_type, ReproError)
+
+
+def test_detection_exceptions_carry_metadata():
+    exc = ValidationMismatch("diverged", closure="mc.set")
+    assert exc.closure == "mc.set"
+    assert exc.kind == "mismatch"
+    checksum = ChecksumMismatch("bad CRC", closure="mc.get")
+    assert checksum.kind == "checksum"
+    assert isinstance(checksum, SdcDetected)
+
+
+def test_reclaimed_version_is_heap_error():
+    assert issubclass(ReclaimedVersionError, HeapError)
+
+
+def test_catching_base_class_catches_detections():
+    with pytest.raises(SdcDetected):
+        raise ChecksumMismatch("x")

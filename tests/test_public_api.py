@@ -1,0 +1,61 @@
+"""Public-API surface tests: the README/docstring contracts hold."""
+
+import repro
+
+
+def test_version_exposed():
+    assert repro.__version__
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_module_docstring_quickstart_runs():
+    """The example in ``repro.__doc__`` must work exactly as written."""
+    from repro import OrthrusRuntime, closure, ops
+
+    @closure
+    def bump(ptr, delta):
+        value = ptr.load()
+        ptr.store(ops().alu.add(value, delta))
+
+    runtime = OrthrusRuntime()
+    with runtime:
+        counter = runtime.new(0)
+        bump(counter, 5)
+    assert runtime.report.detected is False
+    assert counter.load() == 5
+
+
+def test_readme_quickstart_runs():
+    from repro import Fault, FaultKind, Machine, OrthrusRuntime, Unit, closure, ops
+
+    @closure(name="bank.deposit.readme")
+    def deposit(account, amount):
+        balance = account.load()
+        account.store(ops().alu.add(balance, amount))
+
+    machine = Machine(cores_per_node=4, numa_nodes=1)
+    machine.arm(0, Fault(unit=Unit.ALU, kind=FaultKind.BITFLIP, bit=7))
+
+    runtime = OrthrusRuntime(machine=machine, app_cores=[0], validation_cores=[1])
+    with runtime:
+        account = runtime.new(1_000)
+        deposit(account, 100)
+
+    assert runtime.detections == 1
+    assert runtime.report.first is not None
+
+
+def test_subpackages_importable():
+    import repro.apps
+    import repro.baselines
+    import repro.faultinject
+    import repro.harness
+    import repro.sim
+    import repro.workloads
+
+    assert repro.harness.memcached_scenario().name == "memcached"
+    assert repro.faultinject.InjectionConfig().n_faults > 0

@@ -1,0 +1,73 @@
+"""Result-comparison semantics."""
+
+from repro.validation.comparator import ComparisonResult, compare_execution, values_equal
+
+
+class TestValuesEqual:
+    def test_equal_primitives(self):
+        assert values_equal(1, 1)
+        assert values_equal("a", "a")
+        assert values_equal(2.5, 2.5)
+
+    def test_bitwise_float_semantics(self):
+        assert not values_equal(0.0, -0.0)
+        assert values_equal(float("nan"), float("nan"))
+
+    def test_type_sensitivity(self):
+        assert not values_equal(1, 1.0)
+        assert not values_equal((1,), [1])
+
+    def test_nested(self):
+        assert values_equal({"a": [1, 2]}, {"a": [1, 2]})
+        assert not values_equal({"a": [1, 2]}, {"a": [1, 3]})
+
+    def test_fallback_to_eq_for_unserializable(self):
+        sentinel = object()
+        assert values_equal(sentinel, sentinel)
+        assert not values_equal(sentinel, object())
+
+
+def _compare(app_out=(), val_out=(), app_ret=None, val_ret=None, app_del=(), val_del=(), compare=None):
+    return compare_execution(
+        list(app_out), list(val_out), app_ret, val_ret, list(app_del), list(val_del), compare
+    )
+
+
+class TestCompareExecution:
+    def test_identical_passes(self):
+        result = _compare(app_out=[1, "x"], val_out=[1, "x"], app_ret=5, val_ret=5)
+        assert result.matches
+
+    def test_output_value_divergence(self):
+        result = _compare(app_out=[1], val_out=[2])
+        assert not result.matches
+        assert "output #0" in result.detail
+
+    def test_output_count_divergence(self):
+        result = _compare(app_out=[1, 2], val_out=[1])
+        assert not result.matches
+        assert "count" in result.detail
+
+    def test_retval_divergence(self):
+        result = _compare(app_ret=1, val_ret=2)
+        assert not result.matches
+        assert "return value" in result.detail
+
+    def test_delete_divergence(self):
+        result = _compare(app_del=[("ptr", 1)], val_del=[])
+        assert not result.matches
+
+    def test_custom_compare_overrides_outputs(self):
+        # Tolerant comparison (e.g. unordered container equality).
+        result = _compare(
+            app_out=[[1, 2]], val_out=[[2, 1]], compare=lambda a, b: sorted(a) == sorted(b)
+        )
+        assert result.matches
+
+    def test_custom_compare_does_not_cover_retval(self):
+        result = _compare(app_ret=[1, 2], val_ret=[2, 1], compare=lambda a, b: True)
+        assert not result.matches
+
+    def test_helpers(self):
+        assert ComparisonResult.ok().matches
+        assert not ComparisonResult.mismatch("x").matches

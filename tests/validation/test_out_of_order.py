@@ -1,0 +1,102 @@
+"""Out-of-order validation invariants (§3.3).
+
+The versioned heap is what makes validating logs in *any* order safe:
+each log pins the exact input versions its re-execution must see, so a log
+validated long after the application has moved on still reproduces the
+original memory view.
+"""
+
+import random
+
+import pytest
+
+from repro.closures.annotation import closure
+from repro.closures.context import ops
+from repro.machine.cpu import Machine
+from repro.machine.faults import Fault, FaultKind
+from repro.machine.instruction import Site
+from repro.machine.units import Unit
+from repro.runtime.orthrus import OrthrusRuntime
+
+
+@closure(name="ooo_test.chain")
+def chain_update(ptr, factor):
+    """Each call depends on the previous call's output (a dependency
+    chain — the worst case for in-order replication)."""
+    value = ptr.load()
+    result = ops().alu.add(ops().alu.mul(value, factor), 1)
+    ptr.store(result)
+    return result
+
+
+def make_runtime(fault=None):
+    machine = Machine(cores_per_node=4, numa_nodes=1)
+    if fault is not None:
+        machine.arm(0, fault)
+    return OrthrusRuntime(
+        machine=machine, app_cores=[0], validation_cores=[1], mode="queued"
+    )
+
+
+def shuffled_drain(runtime, seed):
+    """Validate all pending logs in a random order."""
+    logs = runtime.queues.drain()
+    random.Random(seed).shuffle(logs)
+    for log in logs:
+        core = runtime.scheduler.validation_core_for(log.core_id)
+        runtime.validator.validate(log, core)
+
+
+@pytest.mark.parametrize("seed", [1, 7, 42])
+def test_any_validation_order_passes_clean_chains(seed):
+    runtime = make_runtime()
+    with runtime:
+        ptr = runtime.new(1)
+        for factor in (2, 3, 2, 5, 7, 2, 3, 11):
+            chain_update(ptr, factor)
+        shuffled_drain(runtime, seed)
+    assert runtime.detections == 0
+    assert runtime.validator.validated_count == 8
+
+
+@pytest.mark.parametrize("seed", [1, 7, 42])
+def test_any_validation_order_detects_corruption(seed):
+    runtime = make_runtime(Fault(unit=Unit.ALU, kind=FaultKind.BITFLIP, bit=9,
+                                 site=Site("ooo_test.chain", "mul", 0)))
+    with runtime:
+        ptr = runtime.new(1)
+        for factor in (2, 3, 2, 5, 7, 2, 3, 11):
+            chain_update(ptr, factor)
+        shuffled_drain(runtime, seed)
+    # Every execution corrupts and every log pins its own inputs, so the
+    # detection count is independent of validation order.
+    assert runtime.detections == 8
+
+
+def test_late_validation_sees_original_snapshot():
+    """Validating after the object advanced 100 versions still compares
+    against the pinned input, not the current value."""
+    runtime = make_runtime()
+    with runtime:
+        ptr = runtime.new(1)
+        chain_update(ptr, 2)
+        first_log = runtime.queues.drain()[0]
+        for factor in range(1, 101):
+            chain_update(ptr, factor)
+        outcome = runtime.validator.validate(
+            first_log, runtime.scheduler.validation_core_for(first_log.core_id)
+        )
+    assert outcome.passed
+
+
+def test_validation_order_does_not_change_application_state():
+    results = []
+    for seed in (3, 9):
+        runtime = make_runtime()
+        with runtime:
+            ptr = runtime.new(1)
+            for factor in (2, 3, 5):
+                chain_update(ptr, factor)
+            shuffled_drain(runtime, seed)
+            results.append(ptr.load())
+    assert results[0] == results[1]

@@ -1,0 +1,61 @@
+"""Pointer canonicalization in output comparison (§3.3).
+
+APP and VAL allocate the "same" logical object at different raw ids; the
+comparator must map both sides through allocation order before a bitwise
+comparison means anything.
+"""
+
+from repro.memory.heap import VersionedHeap
+from repro.memory.pointer import OrthrusPtr
+from repro.validation.comparator import canonicalize_ptrs, values_equal
+
+
+def canon_by(mapping):
+    return lambda obj_id: mapping.get(obj_id, ("ptr", obj_id))
+
+
+class TestCanonicalizePtrs:
+    def test_plain_values_untouched(self):
+        assert canonicalize_ptrs(42, canon_by({})) == 42
+        assert canonicalize_ptrs("text", canon_by({})) == "text"
+        assert canonicalize_ptrs(None, canon_by({})) is None
+
+    def test_top_level_ptr_mapped(self):
+        heap = VersionedHeap()
+        ptr = OrthrusPtr(heap, 7)
+        out = canonicalize_ptrs(ptr, canon_by({7: ("ptr:new", 0)}))
+        assert out == ("ptr:new", 0)
+
+    def test_unmapped_ptr_keeps_shared_identity(self):
+        heap = VersionedHeap()
+        ptr = OrthrusPtr(heap, 7)
+        assert canonicalize_ptrs(ptr, canon_by({})) == ("ptr", 7)
+
+    def test_nested_containers(self):
+        heap = VersionedHeap()
+        a, b = OrthrusPtr(heap, 1), OrthrusPtr(heap, 2)
+        value = {"chain": (a, [b, 3]), "n": 9}
+        out = canonicalize_ptrs(
+            value, canon_by({1: ("ptr:new", 0), 2: ("ptr:new", 1)})
+        )
+        assert out == {"chain": (("ptr:new", 0), [("ptr:new", 1), 3]), "n": 9}
+
+    def test_app_val_equivalence_end_to_end(self):
+        # APP stored a bucket (item_ptr,) with item obj 42 (its 0th alloc);
+        # VAL stored (shadow_ptr,) with shadow id -1 (also its 0th alloc).
+        heap = VersionedHeap()
+        app_bucket = (OrthrusPtr(heap, 42),)
+        val_bucket = (OrthrusPtr(heap, -1),)
+        app_canon = canonicalize_ptrs(app_bucket, canon_by({42: ("ptr:new", 0)}))
+        val_canon = canonicalize_ptrs(val_bucket, canon_by({-1: ("ptr:new", 0)}))
+        assert values_equal(app_canon, val_canon)
+
+    def test_divergent_allocation_order_detected(self):
+        heap = VersionedHeap()
+        app = canonicalize_ptrs(
+            (OrthrusPtr(heap, 42),), canon_by({42: ("ptr:new", 0)})
+        )
+        val = canonicalize_ptrs(
+            (OrthrusPtr(heap, -1),), canon_by({-1: ("ptr:new", 1)})
+        )
+        assert not values_equal(app, val)

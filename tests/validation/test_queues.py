@@ -1,0 +1,96 @@
+"""Validation queue and work-stealing tests."""
+
+import pytest
+
+from repro.closures.log import ClosureLog
+from repro.errors import ConfigurationError
+from repro.validation.queues import LogQueue, QueueSet
+
+
+def make_log(seq):
+    return ClosureLog(seq=seq, closure_name=f"op{seq}", caller="t")
+
+
+class TestLogQueue:
+    def test_fifo_order(self):
+        queue = LogQueue(0)
+        queue.push(make_log(1), now=1.0)
+        queue.push(make_log(2), now=2.0)
+        assert queue.pop().seq == 1
+        assert queue.pop().seq == 2
+        assert queue.pop() is None
+
+    def test_push_stamps_enqueue_time(self):
+        queue = LogQueue(0)
+        log = make_log(1)
+        queue.push(log, now=42.0)
+        assert log.enqueue_time == 42.0
+
+    def test_steal_takes_newest(self):
+        queue = LogQueue(0)
+        queue.push(make_log(1), 1.0)
+        queue.push(make_log(2), 2.0)
+        assert queue.steal().seq == 2
+        assert queue.steal().seq == 1
+        assert queue.steal() is None
+
+    def test_oldest_enqueue_time(self):
+        queue = LogQueue(0)
+        assert queue.oldest_enqueue_time is None
+        queue.push(make_log(1), 5.0)
+        queue.push(make_log(2), 9.0)
+        assert queue.oldest_enqueue_time == 5.0
+
+
+class TestQueueSet:
+    def test_requires_one_queue(self):
+        with pytest.raises(ConfigurationError):
+            QueueSet(0)
+
+    def test_round_robin_placement(self):
+        qs = QueueSet(2)
+        for seq in range(4):
+            qs.push(make_log(seq), now=float(seq))
+        assert len(qs.queues[0]) == 2
+        assert len(qs.queues[1]) == 2
+
+    def test_pop_own_queue_first(self):
+        qs = QueueSet(2)
+        qs.push(make_log(1), 1.0)  # lands on queue 0
+        qs.push(make_log(2), 2.0)  # lands on queue 1
+        assert qs.pop(0).seq == 1
+
+    def test_steal_from_longest(self):
+        qs = QueueSet(3)
+        # Load queue 0 heavily by round-robin over 3 queues.
+        for seq in range(7):
+            qs.push(make_log(seq), float(seq))
+        # Drain queue 2's own log, then it must steal.
+        qs.pop(2)
+        stolen = qs.pop(2)
+        assert stolen is not None
+
+    def test_no_steal_when_disallowed(self):
+        qs = QueueSet(2)
+        qs.push(make_log(1), 1.0)  # queue 0
+        assert qs.pop(1, allow_steal=False) is None
+
+    def test_queue_delay(self):
+        qs = QueueSet(2)
+        assert qs.queue_delay(now=10.0) == 0.0
+        qs.push(make_log(1), now=4.0)
+        assert qs.queue_delay(now=10.0) == 6.0
+
+    def test_pending_counts_all(self):
+        qs = QueueSet(2)
+        for seq in range(5):
+            qs.push(make_log(seq), float(seq))
+        assert qs.pending == 5
+
+    def test_drain_returns_oldest_first(self):
+        qs = QueueSet(2)
+        for seq in range(5):
+            qs.push(make_log(seq), float(seq))
+        drained = qs.drain()
+        assert [log.seq for log in drained] == [0, 1, 2, 3, 4]
+        assert qs.pending == 0

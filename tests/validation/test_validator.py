@@ -1,0 +1,202 @@
+"""Validator re-execution and mismatch detection."""
+
+import pytest
+
+from repro.closures.annotation import closure
+from repro.closures.context import ops
+from repro.closures.syscalls import sys_random
+from repro.detection import DetectionEvent
+from repro.errors import ConfigurationError
+from repro.machine.cpu import Machine
+from repro.machine.faults import Fault, FaultKind
+from repro.machine.units import Unit
+from repro.runtime.orthrus import OrthrusRuntime
+
+
+@closure(name="validator_test.double")
+def double(ptr):
+    value = ptr.load()
+    result = ops().alu.mul(value, 2)
+    ptr.store(result)
+    return result
+
+
+@closure(name="validator_test.fp_scale")
+def fp_scale(ptr, factor):
+    value = ptr.load()
+    result = ops().fpu.fmul(value, factor)
+    ptr.store(result)
+    return result
+
+
+@closure(name="validator_test.randomized")
+def randomized(ptr):
+    noise = sys_random()
+    ptr.store(ops().alu.add(ptr.load(), int(noise * 100)))
+
+
+@closure(name="validator_test.allocating")
+def allocating(n):
+    from repro.memory.pointer import orthrus_new
+
+    ptrs = [orthrus_new(i * 10) for i in range(n)]
+    return ptrs[-1]
+
+
+def make_runtime(fault=None, fault_core=0, **kwargs):
+    machine = Machine(cores_per_node=4, numa_nodes=1)
+    if fault is not None:
+        machine.arm(fault_core, fault)
+    return OrthrusRuntime(machine=machine, app_cores=[0], validation_cores=[1], **kwargs)
+
+
+class TestCleanValidation:
+    def test_clean_run_passes(self):
+        runtime = make_runtime()
+        with runtime:
+            ptr = runtime.new(21)
+            assert double(ptr) == 42
+        assert runtime.detections == 0
+        assert runtime.validations == 1
+
+    def test_syscalls_replayed_not_reexecuted(self):
+        runtime = make_runtime()
+        with runtime:
+            ptr = runtime.new(0)
+            randomized(ptr)
+        # Even though random() would differ on re-execution, replay makes
+        # validation agree.
+        assert runtime.detections == 0
+
+    def test_allocations_compared_by_position(self):
+        runtime = make_runtime()
+        with runtime:
+            allocating(3)
+        assert runtime.detections == 0
+
+    def test_many_clean_closures(self):
+        runtime = make_runtime()
+        with runtime:
+            ptr = runtime.new(1)
+            for _ in range(20):
+                double(ptr)
+        assert runtime.detections == 0
+        assert runtime.validations == 20
+
+
+class TestFaultyValidation:
+    def test_alu_fault_detected(self):
+        runtime = make_runtime(Fault(unit=Unit.ALU, kind=FaultKind.BITFLIP, bit=4))
+        with runtime:
+            ptr = runtime.new(3)
+            double(ptr)
+        assert runtime.detections == 1
+        assert runtime.report.first.kind == "mismatch"
+
+    def test_fpu_fault_detected(self):
+        runtime = make_runtime(Fault(unit=Unit.FPU, kind=FaultKind.BITFLIP, bit=51))
+        with runtime:
+            ptr = runtime.new(1.5)
+            fp_scale(ptr, 3.0)
+        assert runtime.detections == 1
+
+    def test_fault_on_validation_core_also_detected(self):
+        # Divergence is symmetric: a mercurial validation core disagrees
+        # with a healthy APP core just the same.
+        runtime = make_runtime(
+            Fault(unit=Unit.ALU, kind=FaultKind.BITFLIP, bit=4), fault_core=1
+        )
+        with runtime:
+            ptr = runtime.new(3)
+            double(ptr)
+        assert runtime.detections == 1
+
+    def test_fault_in_unused_unit_is_silent(self):
+        runtime = make_runtime(Fault(unit=Unit.SIMD, kind=FaultKind.BITFLIP))
+        with runtime:
+            ptr = runtime.new(3)
+            double(ptr)
+        assert runtime.detections == 0
+
+    def test_corrupted_value_visible_in_heap_until_detected(self):
+        runtime = make_runtime(Fault(unit=Unit.ALU, kind=FaultKind.BITFLIP, bit=4))
+        with runtime:
+            ptr = runtime.new(3)
+            double(ptr)
+            assert ptr.load() != 6  # SDC materialized in user data
+        assert runtime.detections == 1
+
+
+class TestValidatorInvariants:
+    def test_validation_never_on_app_core(self):
+        runtime = make_runtime()
+        with pytest.raises(ConfigurationError):
+            OrthrusRuntime(
+                machine=runtime.machine, app_cores=[0], validation_cores=[0]
+            )
+
+    def test_validator_rejects_same_core(self):
+        from repro.closures.log import ClosureLog
+
+        runtime = make_runtime()
+        log = ClosureLog(seq=1, closure_name="x", caller="t", core_id=1, func=lambda: None)
+        with pytest.raises(ConfigurationError):
+            runtime.validator.validate(log, runtime.machine.core(1))
+
+    def test_validation_does_not_perturb_shared_heap(self):
+        runtime = make_runtime()
+        with runtime:
+            ptr = runtime.new(21)
+            double(ptr)
+            versions_after_app = runtime.heap.versions_created
+        assert runtime.heap.versions_created == versions_after_app
+
+    def test_detection_event_carries_closure_name(self):
+        runtime = make_runtime(Fault(unit=Unit.ALU, kind=FaultKind.BITFLIP, bit=4))
+        with runtime:
+            double(runtime.new(3))
+        assert runtime.report.first.closure == "validator_test.double"
+
+
+class TestQueuedMode:
+    def test_logs_queue_until_pumped(self):
+        runtime = make_runtime(mode="queued")
+        with runtime:
+            ptr = runtime.new(21)
+            double(ptr)
+            assert runtime.queues.pending == 1
+            assert runtime.validations == 0
+            runtime.pump()
+        assert runtime.validations == 1
+
+    def test_out_of_order_validation_is_consistent(self):
+        # App performs dependent updates; validation happens later, out of
+        # band, and still passes thanks to version pinning.
+        runtime = make_runtime(mode="queued")
+        with runtime:
+            ptr = runtime.new(1)
+            for _ in range(5):
+                double(ptr)
+            assert ptr.load() == 32
+            runtime.drain()
+        assert runtime.detections == 0
+        assert runtime.validations == 5
+
+    def test_faulty_queued_run_detected_at_pump(self):
+        runtime = make_runtime(
+            Fault(unit=Unit.ALU, kind=FaultKind.BITFLIP, bit=4), mode="queued"
+        )
+        with runtime:
+            double(runtime.new(3))
+            assert runtime.detections == 0
+            runtime.drain()
+        assert runtime.detections == 1
+
+    def test_validation_latency_recorded(self):
+        runtime = make_runtime(mode="queued")
+        with runtime:
+            double(runtime.new(3))
+            runtime.drain()
+        outcome = runtime.outcomes[0]
+        assert outcome.latency >= 0
+        assert outcome.log.validated_time is not None

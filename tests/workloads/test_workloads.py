@@ -1,0 +1,137 @@
+"""Workload generator tests: determinism, mix, skew."""
+
+from collections import Counter
+
+import pytest
+
+from repro.workloads.alex import AlexWorkload
+from repro.workloads.base import OpKind
+from repro.workloads.cachelib import CacheLibWorkload
+from repro.workloads.wordcount import WordCountCorpus, make_vocabulary
+from repro.workloads.ycsb import YcsbWriteWorkload
+from repro.workloads.zipf import ZipfSampler
+
+
+class TestZipf:
+    def test_deterministic_given_seed(self):
+        a = ZipfSampler(100, 0.99, seed=5)
+        b = ZipfSampler(100, 0.99, seed=5)
+        assert [a.sample() for _ in range(50)] == [b.sample() for _ in range(50)]
+
+    def test_different_seeds_differ(self):
+        a = ZipfSampler(100, 0.99, seed=5)
+        b = ZipfSampler(100, 0.99, seed=6)
+        assert [a.sample() for _ in range(50)] != [b.sample() for _ in range(50)]
+
+    def test_samples_in_range(self):
+        sampler = ZipfSampler(10, 1.0, seed=1)
+        ranks = sampler.sample_many(1000)
+        assert ranks.min() >= 0 and ranks.max() < 10
+
+    def test_cachelib_style_skew(self):
+        # Top 20% of ranks should carry roughly 80% of the mass.
+        sampler = ZipfSampler(1000, 1.2, seed=1)
+        assert sampler.head_mass(0.2) > 0.7
+
+    def test_zero_skew_is_uniformish(self):
+        sampler = ZipfSampler(1000, 0.0, seed=1)
+        assert sampler.head_mass(0.2) == pytest.approx(0.2, abs=0.01)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, -1.0)
+
+
+class TestCacheLib:
+    def test_deterministic(self):
+        a = list(CacheLibWorkload(n_keys=50, seed=3).ops(100))
+        b = list(CacheLibWorkload(n_keys=50, seed=3).ops(100))
+        assert a == b
+
+    def test_op_mix_close_to_configured(self):
+        workload = CacheLibWorkload(n_keys=100, get_fraction=0.8, remove_fraction=0.05, seed=1)
+        kinds = Counter(op.kind for op in workload.ops(3000))
+        assert 0.75 < kinds[OpKind.GET] / 3000 < 0.85
+        assert kinds[OpKind.SET] > 0
+        assert kinds[OpKind.REMOVE] > 0
+
+    def test_churn_rotates_hot_keys(self):
+        workload = CacheLibWorkload(n_keys=100, churn_period=100, seed=1)
+        first = {op.key for op in workload.ops(100)}
+        later = {op.key for op in workload.ops(100)}
+        assert first != later
+
+    def test_invalid_mix_rejected(self):
+        with pytest.raises(ValueError):
+            CacheLibWorkload(get_fraction=0.99, remove_fraction=0.5)
+
+    def test_values_sized(self):
+        workload = CacheLibWorkload(n_keys=10, value_bytes=32, get_fraction=0.0,
+                                    remove_fraction=0.0, seed=1)
+        op = next(iter(workload.ops(1)))
+        assert len(op.value) >= 32
+
+
+class TestAlex:
+    def test_mix_is_scan_update(self):
+        workload = AlexWorkload(n_keys=100, scan_fraction=0.5, seed=2)
+        kinds = Counter(op.kind for op in workload.ops(1000))
+        assert set(kinds) == {OpKind.SCAN, OpKind.UPDATE}
+        assert 0.4 < kinds[OpKind.SCAN] / 1000 < 0.6
+
+    def test_scan_counts_bounded(self):
+        workload = AlexWorkload(n_keys=100, max_scan=8, seed=2)
+        for op in workload.ops(500):
+            if op.kind is OpKind.SCAN:
+                assert 2 <= op.count <= 8
+
+    def test_initial_keys_distinct_sorted(self):
+        keys = AlexWorkload(n_keys=100, seed=2).initial_keys()
+        assert len(set(keys)) == 100
+        assert keys == sorted(keys)
+
+    def test_ops_target_loaded_keys(self):
+        workload = AlexWorkload(n_keys=50, seed=2)
+        loaded = set(workload.initial_keys())
+        assert all(op.key in loaded for op in workload.ops(200))
+
+
+class TestYcsb:
+    def test_all_writes(self):
+        workload = YcsbWriteWorkload(n_keys=100, seed=4)
+        assert all(op.kind is OpKind.PUT for op in workload.ops(200))
+
+    def test_values_unique_per_op(self):
+        workload = YcsbWriteWorkload(n_keys=10, seed=4)
+        values = [op.value for op in workload.ops(100)]
+        assert len(set(values)) == 100
+
+    def test_deterministic(self):
+        a = [op.key for op in YcsbWriteWorkload(n_keys=100, seed=4).ops(100)]
+        b = [op.key for op in YcsbWriteWorkload(n_keys=100, seed=4).ops(100)]
+        assert a == b
+
+
+class TestWordCount:
+    def test_vocabulary_distinct(self):
+        words = make_vocabulary(300)
+        assert len(set(words)) == 300
+
+    def test_chunks_cover_corpus(self):
+        corpus = WordCountCorpus(n_words=1000, words_per_chunk=128, seed=1)
+        total = sum(len(chunk.split()) for chunk in corpus.chunks())
+        assert total == corpus.n_words
+
+    def test_reference_counts_match_chunks(self):
+        corpus = WordCountCorpus(n_words=500, vocabulary_size=50, seed=1)
+        counted = Counter()
+        for chunk in corpus.chunks():
+            counted.update(chunk.split())
+        assert dict(counted) == corpus.reference_counts()
+
+    def test_zipfian_frequencies(self):
+        corpus = WordCountCorpus(n_words=5000, vocabulary_size=100, skew=1.2, seed=1)
+        counts = sorted(corpus.reference_counts().values(), reverse=True)
+        assert counts[0] > counts[len(counts) // 2] * 3
