@@ -49,6 +49,7 @@ from repro.errors import (
 )
 from repro.machine import Fault, FaultKind, Machine, Unit
 from repro.memory import OrthrusPtr, VersionedHeap, orthrus_new, orthrus_receive
+from repro.obs import MetricsRegistry, Observability, Tracer
 from repro.runtime import (
     AdaptiveSampler,
     AlwaysSampler,
@@ -75,7 +76,9 @@ __all__ = [
     "LogicalClock",
     "Machine",
     "ManualClock",
+    "MetricsRegistry",
     "NoActiveContext",
+    "Observability",
     "OrthrusPtr",
     "OrthrusRuntime",
     "RandomSampler",
@@ -83,6 +86,7 @@ __all__ = [
     "SafeModePolicy",
     "SamplerConfig",
     "SdcDetected",
+    "Tracer",
     "Unit",
     "ValidationMismatch",
     "VersionedHeap",

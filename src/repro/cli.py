@@ -6,9 +6,15 @@ Usage (also exposed as the ``repro-bench`` console script)::
     python -m repro.cli perf --app memcached --ops 2000
     python -m repro.cli coverage --app masstree --faults 32 --cores 2
     python -m repro.cli latency --app lsmtree --ops 2000
+    python -m repro.cli perf --metrics-out run.json --trace-out run.jsonl
+    python -m repro.cli obs-summary run.json
 
 Each subcommand drives the same harness the benchmark suite uses and
 prints a compact report; seeds make every invocation reproducible.
+``--metrics-out`` / ``--trace-out`` enable the observability layer on the
+Orthrus arm and save a metrics snapshot (JSON, or Prometheus text when the
+path ends in ``.prom``) and a JSON-lines trace; ``obs-summary`` re-renders
+a saved JSON snapshot as a table.
 """
 
 from __future__ import annotations
@@ -33,6 +39,14 @@ from repro.harness.scenarios import (
     phoenix_scenario,
 )
 from repro.machine.units import Unit
+from repro.obs import (
+    Observability,
+    console_summary,
+    load_metrics_json,
+    to_prometheus,
+    write_metrics_json,
+    write_trace_jsonl,
+)
 from repro.sim.metrics import slowdown
 
 #: app name → (scenario factory, orthrus runner, vanilla runner, rbv runner,
@@ -68,18 +82,55 @@ def cmd_list(_args) -> int:
     print("applications:")
     for name, (_, _, _, _, size) in _APPS.items():
         print(f"  {name:<10} (default workload size {size})")
-    print("\nsubcommands: perf, latency, coverage")
+    print("\nsubcommands: perf, latency, coverage, obs-summary")
     return 0
+
+
+def _make_obs(args) -> Observability | None:
+    """An Observability handle when export flags ask for one, else None
+    (the pipeline then runs fully uninstrumented)."""
+    if args.metrics_out is None and args.trace_out is None:
+        return None
+    for path in (args.metrics_out, args.trace_out):
+        if path is None:
+            continue
+        # Fail before the run, not at export time — a bad path after a
+        # long campaign would throw the whole run away.
+        try:
+            with open(path, "a", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            raise SystemExit(f"cannot write {path}: {exc}")
+    return Observability(trace=args.trace_out is not None)
+
+
+def _export_obs(obs: Observability | None, args, run_metrics=None) -> None:
+    """Write the snapshot/trace the flags requested and report the paths."""
+    if obs is None:
+        return
+    if run_metrics is not None:
+        run_metrics.export_to(obs.registry)
+    if args.metrics_out is not None:
+        if args.metrics_out.endswith(".prom"):
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(to_prometheus(obs.registry))
+        else:
+            write_metrics_json(obs.registry, args.metrics_out)
+        print(f"metrics snapshot   : {args.metrics_out}")
+    if args.trace_out is not None:
+        written = write_trace_jsonl(obs.tracer, args.trace_out)
+        print(f"trace events       : {written} -> {args.trace_out}")
 
 
 def cmd_perf(args) -> int:
     scenario, orthrus, vanilla, rbv, default_size = _resolve(args.app)
     size = args.ops or default_size
-    config = lambda: PipelineConfig(
-        app_threads=args.threads, validation_cores=args.cores, seed=args.seed
+    obs = _make_obs(args)
+    config = lambda obs=None: PipelineConfig(
+        app_threads=args.threads, validation_cores=args.cores, seed=args.seed, obs=obs
     )
     v = vanilla(scenario, size, config())
-    o = orthrus(scenario, size, config())
+    o = orthrus(scenario, size, config(obs))
     r = rbv(scenario, size, config())
     if args.app == "phoenix":
         base = v.metrics.duration
@@ -92,39 +143,46 @@ def cmd_perf(args) -> int:
         print(f"rbv overhead       : {100 * slowdown(v.metrics.throughput, r.metrics.throughput):.1f}%")
     print(f"orthrus memory ovh : {100 * o.metrics.memory_overhead:.1f}%")
     print(f"validated/skipped  : {o.metrics.validated}/{o.metrics.skipped}")
+    _export_obs(obs, args, o.metrics)
     return 0
 
 
 def cmd_latency(args) -> int:
     scenario, orthrus, _vanilla, rbv, default_size = _resolve(args.app)
     size = args.ops or default_size
-    config = lambda: PipelineConfig(
-        app_threads=args.threads, validation_cores=args.cores, seed=args.seed
+    obs = _make_obs(args)
+    config = lambda obs=None: PipelineConfig(
+        app_threads=args.threads, validation_cores=args.cores, seed=args.seed, obs=obs
     )
-    o = orthrus(scenario, size, config())
+    o = orthrus(scenario, size, config(obs))
     r = rbv(scenario, size, config())
     ol, rl = o.metrics.validation_latency, r.metrics.validation_latency
     print(f"orthrus validation latency : mean {ol.mean * 1e6:.2f} us, p95 {ol.p95 * 1e6:.2f} us")
     print(f"rbv validation latency     : mean {rl.mean * 1e6:.2f} us, p95 {rl.p95 * 1e6:.2f} us")
     if ol.mean > 0:
         print(f"ratio                      : {rl.mean / ol.mean:.0f}x")
+    _export_obs(obs, args, o.metrics)
     return 0
 
 
 def cmd_coverage(args) -> int:
     scenario, orthrus, _vanilla, rbv, default_size = _resolve(args.app)
     size = args.ops or default_size
+    obs = _make_obs(args)
     campaign = FaultInjectionCampaign(
         scenario,
         workload_size=size,
         injection=InjectionConfig(
             n_faults=args.faults, seed=args.seed, trigger_rate=args.trigger_rate
         ),
+        # All trials share the handle, so the export aggregates the
+        # whole campaign (per-trial traces interleave in trial order).
         make_pipeline=lambda: PipelineConfig(
             app_threads=args.threads,
             validation_cores=args.cores,
             seed=args.seed,
             drain_grace_fraction=args.grace,
+            obs=obs,
         ),
         runner=orthrus,
         rbv_runner=rbv if args.rbv else None,
@@ -150,6 +208,26 @@ def cmd_coverage(args) -> int:
             f"orthrus {row.orthrus_detected}/{row.total_sdcs}{rbv_part}"
         )
     print(f"detection rate : {result.detection_rate:.1%}")
+    _export_obs(obs, args)
+    return 0
+
+
+def cmd_obs_summary(args) -> int:
+    try:
+        snapshot = load_metrics_json(args.path)
+    except OSError as exc:
+        raise SystemExit(f"cannot read {args.path}: {exc}")
+    except ValueError as exc:
+        raise SystemExit(f"{args.path} is not valid JSON: {exc}")
+    if not isinstance(snapshot, dict) or snapshot.get("format") != "orthrus-metrics/1":
+        raise SystemExit(
+            f"{args.path} is not an orthrus-metrics/1 snapshot "
+            "(expected the JSON written by --metrics-out)"
+        )
+    if args.format == "prom":
+        print(to_prometheus(snapshot), end="")
+    else:
+        print(console_summary(snapshot), end="")
     return 0
 
 
@@ -168,6 +246,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--threads", type=int, default=2, help="application threads")
         p.add_argument("--cores", type=int, default=2, help="validation cores")
         p.add_argument("--seed", type=int, default=1)
+        p.add_argument(
+            "--metrics-out", default=None, metavar="PATH",
+            help="enable observability and save a metrics snapshot "
+            "(JSON; Prometheus text when PATH ends in .prom)",
+        )
+        p.add_argument(
+            "--trace-out", default=None, metavar="PATH",
+            help="enable tracing and save a JSON-lines event trace",
+        )
 
     perf = sub.add_parser("perf", help="Fig 6-style performance comparison")
     common(perf)
@@ -183,6 +270,15 @@ def build_parser() -> argparse.ArgumentParser:
                           help="drain window as a fraction of run duration")
     coverage.add_argument("--rbv", action="store_true",
                           help="also run the RBV arm per SDC trial")
+
+    obs_summary = sub.add_parser(
+        "obs-summary", help="render a saved metrics snapshot"
+    )
+    obs_summary.add_argument("path", help="JSON snapshot from --metrics-out")
+    obs_summary.add_argument(
+        "--format", choices=("table", "prom"), default="table",
+        help="output format (default: human-readable table)",
+    )
     return parser
 
 
@@ -193,6 +289,7 @@ def main(argv=None) -> int:
         "perf": cmd_perf,
         "latency": cmd_latency,
         "coverage": cmd_coverage,
+        "obs-summary": cmd_obs_summary,
     }[args.command]
     return handler(args)
 

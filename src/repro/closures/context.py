@@ -29,6 +29,7 @@ from repro.machine.core import Core
 from repro.machine.instruction import Trace
 from repro.memory.checksum import checksum_of
 from repro.memory.heap import PrivateHeap, VersionedHeap
+from repro.obs.observability import NULL_OBS
 from repro.closures.log import ClosureLog
 
 _tls = threading.local()
@@ -85,6 +86,7 @@ class ExecutionContext:
         verify_checksums: bool = True,
         detector: Callable[[DetectionEvent], None] | None = None,
         record_sites: bool = False,
+        obs=None,
     ):
         if mode not in (self.APP, self.VAL):
             raise ValueError(f"unknown context mode {mode!r}")
@@ -98,6 +100,7 @@ class ExecutionContext:
         self.verify_checksums = verify_checksums
         self.detector = detector
         self.record_sites = record_sites
+        self.obs = obs if obs is not None else NULL_OBS
         self._verified: set[int] = set()
         self._alloc_positions: dict[int, int] = {}
         self._syscall_cursor = 0
@@ -157,7 +160,24 @@ class ExecutionContext:
             ):
                 self._verified.add(obj_id)
                 actual = checksum_of(version.value)
-                if actual != version.checksum:
+                ok = actual == version.checksum
+                obs = self.obs
+                if obs.enabled:
+                    obs.registry.counter(
+                        "orthrus_checksum_verifications_total",
+                        {"closure": self.log.closure_name, "result": "ok" if ok else "mismatch"},
+                        help="first-load CRC probes at the control/data boundary",
+                    ).inc()
+                    obs.tracer.emit(
+                        "checksum.verify",
+                        ts=self.log.start_time,
+                        closure=self.log.closure_name,
+                        seq=self.log.seq,
+                        obj=obj_id,
+                        version=version.version_id,
+                        ok=ok,
+                    )
+                if not ok:
                     self._detect_checksum(obj_id, version.version_id)
             return version.value
         # VAL: own writes win, then the pinned input version, then the

@@ -44,6 +44,7 @@ def _build_runtime(env, machine, config, orthrus: bool) -> OrthrusRuntime:
         checksums=orthrus,
         hold_versions=orthrus,
         reclaim_batch=4,
+        obs=config.obs if orthrus else None,
     )
 
 

@@ -30,7 +30,7 @@ from repro.errors import ConfigurationError
 from repro.machine.cpu import Machine
 from repro.memory.version import approx_size
 from repro.runtime.orthrus import OrthrusRuntime
-from repro.runtime.sampling import AdaptiveSampler, SamplerConfig
+from repro.runtime.sampling import AdaptiveSampler, SamplerConfig, sampler_decision
 from repro.sim.costs import DEFAULT_COSTS, CostModel
 from repro.sim.events import Environment, SimClock, Store
 from repro.sim.metrics import RunMetrics
@@ -75,6 +75,9 @@ class PipelineConfig:
     #: versions reclaimed in batches of this size (§3.6); a huge value
     #: effectively disables the GC (the reclamation ablation)
     reclaim_batch: int = 16
+    #: an ``repro.obs.Observability`` handle; None (the default) runs the
+    #: pipeline fully uninstrumented
+    obs: Any = None
     seed: int = 1
     rbv_batch_size: int | None = None
     rbv_state_check_every: int = 64
@@ -146,6 +149,8 @@ def validator_process(
     the shutdown sentinel.  Logs dequeued past ``deadline`` (the end of
     the timely-detection window) are dropped unvalidated.
     """
+    obs = runtime.obs
+    decide = getattr(sampler, "decide", None)
     while True:
         log = yield log_store.get()
         if log is _SENTINEL:
@@ -153,6 +158,11 @@ def validator_process(
         pending_bytes[0] -= log.approx_bytes()
         now = env.now
         if deadline is not None and now > deadline[0]:
+            if obs.enabled:
+                obs.registry.counter(
+                    "orthrus_deadline_drops_total",
+                    help="logs dropped past the timely-detection window",
+                ).inc()
             runtime.validator.skip(log)
             metrics.skipped += 1
             event = done_events.pop(log.seq, None)
@@ -163,7 +173,35 @@ def validator_process(
             sampler.observe_memory(memory_in_use(), config.memory_budget_bytes)
         else:
             sampler.observe_delay(now - log.enqueue_time)
-        if sampler.should_validate(log, now):
+        decision = (
+            decide(log, now)
+            if decide is not None
+            else sampler_decision(sampler, log, now)
+        )
+        if obs.enabled:
+            obs.registry.histogram(
+                "orthrus_queue_delay_seconds",
+                help="log age (enqueue to dequeue) at each validator dispatch",
+            ).record(now - log.enqueue_time)
+            obs.registry.counter(
+                "orthrus_sampler_decisions_total",
+                {
+                    "decision": "validate" if decision.validate else "skip",
+                    "reason": decision.reason,
+                },
+                help="sampler verdicts by outcome and reason",
+            ).inc()
+            obs.tracer.emit(
+                "sampler.decision",
+                ts=now,
+                closure=log.closure_name,
+                caller=log.caller,
+                seq=log.seq,
+                validate=decision.validate,
+                reason=decision.reason,
+                rate=getattr(sampler, "rate", 1.0),
+            )
+        if decision.validate:
             # Comparison cost covers the actual output payloads (bitwise
             # memcmp over the created versions) — significant for Phoenix's
             # container-sized outputs, negligible for KV items.
@@ -288,8 +326,10 @@ def run_orthrus_server(scenario, n_ops: int, config: PipelineConfig) -> RunResul
         mode="external",
         checksums=True,
         reclaim_batch=config.reclaim_batch,
+        obs=config.obs,
     )
     sampler = config.make_sampler()
+    obs = runtime.obs
     server = scenario.build(runtime)
     runtime._hold_versions = False  # setup closures are not validated
     try:
@@ -314,6 +354,13 @@ def run_orthrus_server(scenario, n_ops: int, config: PipelineConfig) -> RunResul
     request_logs: list[ClosureLog] = []
     runtime._on_log = request_logs.append
     done_events: dict[int, Any] = {}
+    if obs.enabled:
+        # The shared log store is the pipeline's (work-conserving) analogue
+        # of the per-core queues; expose its depth the same way.
+        obs.registry.gauge(
+            "orthrus_log_store_depth",
+            help="pending closure logs in the shared validation store",
+        ).set_function(lambda: float(len(log_store)))
 
     def track_memory() -> None:
         extra = (
@@ -358,12 +405,33 @@ def run_orthrus_server(scenario, n_ops: int, config: PipelineConfig) -> RunResul
                 if config.safe_mode and log.closure_name in scenario.externalizing:
                     hold.append(event)
                 log_store.put(log)
+                if obs.enabled:
+                    obs.registry.counter(
+                        "orthrus_queue_pushes_total", {"queue": "store"},
+                        help="closure logs enqueued for validation",
+                    ).inc()
+                    obs.tracer.emit(
+                        "queue.push",
+                        ts=env.now,
+                        queue="store",
+                        seq=log.seq,
+                        closure=log.closure_name,
+                        depth=len(log_store),
+                    )
             if hold:
                 # Strict safe mode: withhold externalizing results until
                 # their closures validate (§3.5).
                 yield env.all_of(hold)
             metrics.request_latency.add(env.now - began)
             metrics.operations += 1
+            if obs.enabled:
+                obs.registry.counter(
+                    "orthrus_requests_total", help="completed application requests"
+                ).inc()
+                obs.registry.histogram(
+                    "orthrus_request_latency_seconds",
+                    help="request begin to response (incl. safe-mode holds)",
+                ).record(env.now - began)
             track_memory()
 
     threads = [env.process(app_thread(i)) for i in range(config.app_threads)]

@@ -238,6 +238,20 @@ class VersionedHeap:
     # ------------------------------------------------------------------
     # accounting / introspection
     # ------------------------------------------------------------------
+    def now(self) -> float:
+        """Current time on the heap's clock (observability timestamps)."""
+        return self._clock.now()
+
+    @property
+    def live_version_count(self) -> int:
+        """Unreclaimed versions that are the latest of a live object."""
+        return len(self._versions) - len(self._closed)
+
+    @property
+    def reclaimable_version_count(self) -> int:
+        """Superseded-but-unreclaimed versions awaiting the next GC pass."""
+        return len(self._closed)
+
     @property
     def header_bytes(self) -> int:
         """Version-header metadata held by all unreclaimed versions."""

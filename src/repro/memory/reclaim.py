@@ -21,12 +21,13 @@ from collections import OrderedDict
 
 from repro.errors import ConfigurationError
 from repro.memory.heap import VersionedHeap
+from repro.obs.observability import NULL_OBS
 
 
 class ReclamationManager:
     """Tracks active windows and drives batched version reclamation."""
 
-    def __init__(self, heap: VersionedHeap, batch_size: int = 64):
+    def __init__(self, heap: VersionedHeap, batch_size: int = 64, obs=None):
         if batch_size < 1:
             raise ConfigurationError("batch_size must be >= 1")
         self._heap = heap
@@ -34,6 +35,12 @@ class ReclamationManager:
         self._active: OrderedDict[int, float] = OrderedDict()
         self._completed_since_reclaim = 0
         self.reclaim_passes = 0
+        self._obs = obs if obs is not None else NULL_OBS
+        if self._obs.enabled:
+            self._obs.registry.gauge(
+                "orthrus_reclaim_open_windows",
+                help="closures whose active window is still open",
+            ).set_function(lambda: float(len(self._active)))
 
     # ------------------------------------------------------------------
     def closure_started(self, seq: int, start_time: float) -> None:
@@ -60,7 +67,25 @@ class ReclamationManager:
         """Run a reclamation pass immediately."""
         self._completed_since_reclaim = 0
         self.reclaim_passes += 1
-        return self._heap.reclaim_before(self.watermark)
+        watermark = self.watermark
+        reclaimed = self._heap.reclaim_before(watermark)
+        obs = self._obs
+        if obs.enabled:
+            obs.registry.counter(
+                "orthrus_reclaim_passes_total", help="batched reclamation passes"
+            ).inc()
+            obs.registry.counter(
+                "orthrus_versions_reclaimed_total",
+                help="stale versions freed by reclamation",
+            ).inc(reclaimed)
+            obs.tracer.emit(
+                "reclaim.batch",
+                ts=self._heap.now(),
+                reclaimed=reclaimed,
+                watermark=watermark,
+                open_windows=len(self._active),
+            )
+        return reclaimed
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,47 @@
+"""Observability layer: metrics registry, runtime tracing, exporters.
+
+A dependency-light subsystem the rest of the pipeline threads through
+(`OrthrusRuntime(obs=...)`, `PipelineConfig(obs=...)`), off by default via
+the shared :data:`NULL_OBS` no-op.  See DESIGN.md §"Observability" for the
+full metric/trace taxonomy.
+"""
+
+from repro.obs.exporters import (
+    console_summary,
+    load_metrics_json,
+    read_trace_jsonl,
+    to_prometheus,
+    write_metrics_json,
+    write_trace_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricFamily,
+    MetricsRegistry,
+    StreamingHistogram,
+    default_latency_buckets,
+)
+from repro.obs.observability import NULL_OBS, Observability
+from repro.obs.trace import NULL_TRACER, NullTracer, TraceEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "NULL_TRACER",
+    "NullTracer",
+    "Observability",
+    "StreamingHistogram",
+    "TraceEvent",
+    "Tracer",
+    "console_summary",
+    "default_latency_buckets",
+    "load_metrics_json",
+    "read_trace_jsonl",
+    "to_prometheus",
+    "write_metrics_json",
+    "write_trace_jsonl",
+]

@@ -1,0 +1,393 @@
+"""Metric primitives and the registry (the "M" of the obs layer).
+
+Three instrument kinds, modelled on the Prometheus data model but
+dependency-free:
+
+* :class:`Counter` — monotonically increasing float;
+* :class:`Gauge` — a settable value, or a *callback gauge* bound to a
+  function sampled at snapshot time (used for queue depths, heap bytes and
+  reclamation windows, so the hot path pays nothing);
+* :class:`StreamingHistogram` — fixed log-spaced buckets, O(1) per
+  ``record`` and mergeable across registries — unlike
+  :class:`repro.sim.metrics.Histogram`, which keeps every sample and
+  re-sorts on query, this is safe to leave on in a hot loop.
+
+Metrics are grouped into *families*: one name + help + kind, with children
+keyed by a label set — e.g. ``orthrus_validations_total{closure, caller}``
+has one child counter per (closure, caller) pair.  The registry is the
+single container a run exports; snapshots are plain dicts (JSON-able) and
+round-trip through :meth:`MetricsRegistry.from_snapshot` so saved runs can
+be re-rendered later (the ``obs-summary`` CLI subcommand).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "StreamingHistogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "default_latency_buckets",
+]
+
+
+def default_latency_buckets() -> list[float]:
+    """Log-spaced bucket upper bounds from 1 ns to ~17 s (virtual time).
+
+    Factor-2 spacing bounds the per-bucket percentile-estimation error at
+    2x while keeping the family small enough (35 buckets) to snapshot and
+    merge cheaply.
+    """
+    return [1e-9 * 2**i for i in range(35)]
+
+
+def _label_key(labels: dict[str, str] | None) -> tuple:
+    if not labels:
+        return ()
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("labels", "value")
+
+    def __init__(self, labels: dict[str, str] | None = None):
+        self.labels = dict(labels) if labels else {}
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"labels": self.labels, "value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down, or track a callback."""
+
+    __slots__ = ("labels", "value", "_fn")
+
+    def __init__(self, labels: dict[str, str] | None = None):
+        self.labels = dict(labels) if labels else {}
+        self.value = 0.0
+        self._fn: Callable[[], float] | None = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        """Bind the gauge to ``fn``, evaluated at read/snapshot time.
+
+        This is the zero-hot-path-overhead form: nothing is recorded while
+        the run executes; the value is sampled only when exported.
+        """
+        self._fn = fn
+
+    def read(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        return self.value
+
+    def snapshot(self) -> dict:
+        return {"labels": self.labels, "value": self.read()}
+
+
+class StreamingHistogram:
+    """Fixed-bucket histogram: O(1) record, exact count/sum/min/max.
+
+    Percentiles are estimated by linear interpolation inside the owning
+    bucket (clamped to the observed min/max), which is the standard
+    Prometheus-style trade: bounded memory and mergeability in exchange for
+    a bounded relative error set by the bucket spacing.
+    """
+
+    __slots__ = ("labels", "bounds", "counts", "count", "sum", "_min", "_max")
+
+    def __init__(
+        self,
+        labels: dict[str, str] | None = None,
+        buckets: list[float] | None = None,
+    ):
+        self.labels = dict(labels) if labels else {}
+        bounds = list(buckets) if buckets is not None else default_latency_buckets()
+        if bounds != sorted(bounds):
+            raise ValueError("histogram bucket bounds must be sorted")
+        self.bounds = bounds
+        # counts[i] = samples <= bounds[i]; counts[-1] = overflow (+Inf)
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def record(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def merge(self, other: "StreamingHistogram") -> None:
+        """Fold another histogram with identical buckets into this one."""
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different buckets")
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.count += other.count
+        self.sum += other.sum
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
+    # -- query surface (duck-compatible with sim.metrics.Histogram) ------
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self.count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile {p} out of range")
+        if self.count == 0:
+            return 0.0
+        rank = (p / 100.0) * self.count
+        cumulative = 0
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if cumulative + n >= rank:
+                lo = self.bounds[i - 1] if i > 0 else self._min
+                hi = self.bounds[i] if i < len(self.bounds) else self._max
+                lo = max(lo, self._min)
+                hi = min(hi, self._max)
+                if hi <= lo:
+                    return float(lo)
+                frac = (rank - cumulative) / n
+                return float(lo + (hi - lo) * frac)
+            cumulative += n
+        return float(self._max)
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.max,
+        }
+
+    def snapshot(self) -> dict:
+        return {
+            "labels": self.labels,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self._min if self.count else 0.0,
+            "max": self._max if self.count else 0.0,
+            "counts": list(self.counts),
+        }
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": StreamingHistogram}
+
+
+class MetricFamily:
+    """All children of one metric name, keyed by label set."""
+
+    __slots__ = ("name", "kind", "help", "buckets", "children")
+
+    def __init__(self, name: str, kind: str, help: str = "", buckets=None):
+        if kind not in _KINDS:
+            raise ValueError(f"unknown metric kind {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.buckets = buckets
+        self.children: dict[tuple, Any] = {}
+
+    def child(self, labels: dict[str, str] | None = None):
+        key = _label_key(labels)
+        found = self.children.get(key)
+        if found is None:
+            if self.kind == "histogram":
+                found = StreamingHistogram(labels, buckets=self.buckets)
+            else:
+                found = _KINDS[self.kind](labels)
+            self.children[key] = found
+        return found
+
+    def total(self) -> float:
+        """Sum of all children (counters/gauges) — the unlabeled view."""
+        if self.kind == "histogram":
+            return float(sum(child.count for child in self.children.values()))
+        if self.kind == "gauge":
+            return float(sum(child.read() for child in self.children.values()))
+        return float(sum(child.value for child in self.children.values()))
+
+    def snapshot(self) -> dict:
+        entry: dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+            "help": self.help,
+            "series": [child.snapshot() for child in self.children.values()],
+        }
+        if self.kind == "histogram":
+            entry["buckets"] = list(
+                self.buckets if self.buckets is not None else default_latency_buckets()
+            )
+        return entry
+
+
+class MetricsRegistry:
+    """Get-or-create container for every metric family of one run."""
+
+    def __init__(self):
+        self._families: dict[str, MetricFamily] = {}
+
+    # -- instrument accessors (hot path: two dict lookups) ---------------
+    def _family(self, name: str, kind: str, help: str, buckets=None) -> MetricFamily:
+        family = self._families.get(name)
+        if family is None:
+            family = self._families[name] = MetricFamily(name, kind, help, buckets)
+        elif family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind}, not {kind}"
+            )
+        return family
+
+    def counter(self, name: str, labels: dict[str, str] | None = None, help: str = "") -> Counter:
+        return self._family(name, "counter", help).child(labels)
+
+    def gauge(self, name: str, labels: dict[str, str] | None = None, help: str = "") -> Gauge:
+        return self._family(name, "gauge", help).child(labels)
+
+    def histogram(
+        self,
+        name: str,
+        labels: dict[str, str] | None = None,
+        help: str = "",
+        buckets: list[float] | None = None,
+    ) -> StreamingHistogram:
+        return self._family(name, "histogram", help, buckets).child(labels)
+
+    # -- read surface -----------------------------------------------------
+    def families(self) -> Iterator[MetricFamily]:
+        return iter(self._families.values())
+
+    def get(self, name: str) -> MetricFamily | None:
+        return self._families.get(name)
+
+    def value(self, name: str, labels: dict[str, str] | None = None) -> float:
+        """The value of one series, or the family total when ``labels`` is
+        None and the family is labeled; 0.0 for unknown metrics."""
+        family = self._families.get(name)
+        if family is None:
+            return 0.0
+        if labels is None and _label_key(labels) not in family.children:
+            return family.total()
+        child = family.children.get(_label_key(labels))
+        if child is None:
+            return 0.0
+        if family.kind == "gauge":
+            return child.read()
+        if family.kind == "histogram":
+            return float(child.count)
+        return child.value
+
+    def series(self, name: str) -> list[tuple[dict[str, str], Any]]:
+        """(labels, instrument) pairs for one family, [] when absent."""
+        family = self._families.get(name)
+        if family is None:
+            return []
+        return [(child.labels, child) for child in family.children.values()]
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in (fleet aggregation across shards)."""
+        for family in other.families():
+            for child in family.children.values():
+                mine = self._family(
+                    family.name, family.kind, family.help, family.buckets
+                ).child(child.labels)
+                if family.kind == "counter":
+                    mine.value += child.value
+                elif family.kind == "gauge":
+                    mine.set(mine.value + child.read())
+                else:
+                    mine.merge(child)
+
+    # -- snapshot / restore -----------------------------------------------
+    def snapshot(self) -> dict:
+        """A JSON-able dict of every family (callback gauges sampled now)."""
+        return {
+            "format": "orthrus-metrics/1",
+            "metrics": [f.snapshot() for f in self._families.values()],
+        }
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`snapshot` output.
+
+        Callback gauges come back as plain gauges frozen at the sampled
+        value; everything else round-trips exactly.
+        """
+        if snapshot.get("format") != "orthrus-metrics/1":
+            raise ValueError("not an orthrus-metrics/1 snapshot")
+        registry = cls()
+        for entry in snapshot["metrics"]:
+            name, kind = entry["name"], entry["kind"]
+            buckets = entry.get("buckets")
+            for series in entry["series"]:
+                labels = series["labels"] or None
+                if kind == "counter":
+                    registry.counter(name, labels, entry.get("help", "")).inc(
+                        series["value"]
+                    )
+                elif kind == "gauge":
+                    registry.gauge(name, labels, entry.get("help", "")).set(
+                        series["value"]
+                    )
+                else:
+                    hist = registry.histogram(
+                        name, labels, entry.get("help", ""), buckets=buckets
+                    )
+                    hist.counts = list(series["counts"])
+                    hist.count = series["count"]
+                    hist.sum = series["sum"]
+                    if hist.count:
+                        hist._min = series["min"]
+                        hist._max = series["max"]
+        return registry

@@ -1,0 +1,58 @@
+"""The per-run observability handle threaded through the pipeline.
+
+One :class:`Observability` object bundles a :class:`MetricsRegistry` and a
+:class:`Tracer`; the runtime, validator, queues, samplers and reclamation
+manager all hold a reference and guard every instrumentation site with a
+single ``if obs.enabled:`` check.  :data:`NULL_OBS` is the shared disabled
+instance — the default everywhere — so an uninstrumented run pays one
+attribute read per site and allocates nothing.
+
+Usage::
+
+    from repro.obs import Observability
+
+    obs = Observability()                # metrics + trace
+    runtime = OrthrusRuntime(obs=obs, ...)
+    ... run the workload ...
+    print(console_summary(obs.registry.snapshot()))
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
+
+__all__ = ["Observability", "NULL_OBS"]
+
+
+class Observability:
+    """Metrics registry + tracer for one run."""
+
+    def __init__(self, trace: bool = True, max_trace_events: int = 1_000_000):
+        self.enabled = True
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(max_trace_events) if trace else NULL_TRACER
+
+    def snapshot(self) -> dict:
+        return self.registry.snapshot()
+
+
+class _NullObservability:
+    """Disabled observability: real (inert) registry, no-op tracer.
+
+    The registry exists so unguarded writes do not crash, but every
+    instrumentation site checks :attr:`enabled` first, so in practice
+    nothing is ever recorded here.
+    """
+
+    enabled = False
+
+    def __init__(self):
+        self.registry = MetricsRegistry()
+        self.tracer = NULL_TRACER
+
+    def snapshot(self) -> dict:
+        return self.registry.snapshot()
+
+
+NULL_OBS = _NullObservability()

@@ -1,0 +1,115 @@
+"""Structured runtime tracing (the "T" of the obs layer).
+
+The tracer is an append-only, in-memory buffer of flat, typed events
+covering the closure lifecycle:
+
+===================  ==========================================================
+kind                 emitted when / key fields
+===================  ==========================================================
+``closure.run``      an annotated closure finishes its APP execution
+                     (closure, caller, seq, core, end_time, cycles)
+``queue.push``       its log enters a validation queue (queue, seq, depth)
+``queue.pop``        the log is dequeued for validation (queue, seq, depth)
+``sampler.decision`` the sampler chooses validate/skip
+                     (seq, validate, reason, rate)
+``validator.validate``  re-execution completed (seq, core, passed, latency)
+``validator.skip``   the log was dropped unvalidated (seq)
+``checksum.verify``  a first-load CRC probe ran (seq, obj, version, ok)
+``reclaim.batch``    a reclamation pass ran (reclaimed, watermark,
+                     open_windows)
+===================  ==========================================================
+
+Timestamps are the runtime's clock (virtual seconds under the simulation
+drivers, logical ticks under the default clock).  Events are emitted in
+clock order per closure, so a JSON-lines export replays the lifecycle:
+``closure.run`` → ``queue.push`` → ``queue.pop`` → ``sampler.decision`` →
+``validator.validate``/``validator.skip``.
+
+:class:`NullTracer` is the disabled implementation: a shared singleton
+whose ``emit`` is a no-op, so instrumented code pays one attribute check
+(``tracer.enabled`` / ``obs.enabled``) and nothing else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["TraceEvent", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+@dataclass(slots=True)
+class TraceEvent:
+    """One structured event: a kind, a timestamp, and flat fields."""
+
+    kind: str
+    ts: float
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"ts": self.ts, "kind": self.kind, **self.fields}
+
+
+class Tracer:
+    """Recording tracer with a hard event cap (drops, never grows unbounded)."""
+
+    enabled = True
+
+    def __init__(self, max_events: int = 1_000_000):
+        if max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        self.events: list[TraceEvent] = []
+        self.dropped = 0
+        self._max_events = max_events
+
+    def emit(self, kind: str, ts: float, **fields: Any) -> None:
+        if len(self.events) >= self._max_events:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(kind, ts, fields))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def for_seq(self, seq: int) -> list[TraceEvent]:
+        """Every event of one closure execution, in emission order."""
+        return [e for e in self.events if e.fields.get("seq") == seq]
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0
+
+
+class NullTracer:
+    """The zero-overhead disabled tracer (shared singleton)."""
+
+    enabled = False
+    events: tuple = ()
+    dropped = 0
+
+    def emit(self, kind: str, ts: float, **fields: Any) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(())
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return []
+
+    def for_seq(self, seq: int) -> list[TraceEvent]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()

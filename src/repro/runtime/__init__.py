@@ -6,7 +6,9 @@ from repro.runtime.sampling import (
     AdaptiveSampler,
     AlwaysSampler,
     RandomSampler,
+    SampleDecision,
     SamplerConfig,
+    sampler_decision,
 )
 from repro.runtime.scheduler import LatencyTracker, Scheduler
 
@@ -17,7 +19,9 @@ __all__ = [
     "OrthrusRuntime",
     "RandomSampler",
     "SafeModePolicy",
+    "SampleDecision",
     "SamplerConfig",
     "Scheduler",
     "active",
+    "sampler_decision",
 ]

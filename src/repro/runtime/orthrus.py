@@ -40,7 +40,8 @@ from repro.machine.cpu import Machine
 from repro.memory.heap import VersionedHeap
 from repro.memory.pointer import OrthrusPtr
 from repro.memory.reclaim import ReclamationManager
-from repro.runtime.sampling import AlwaysSampler
+from repro.obs.observability import NULL_OBS
+from repro.runtime.sampling import AlwaysSampler, sampler_decision
 from repro.runtime.scheduler import LatencyTracker, Scheduler
 from repro.validation.queues import QueueSet
 from repro.validation.validator import ValidationOutcome, Validator
@@ -70,6 +71,7 @@ class OrthrusRuntime:
         sampler=None,
         reclaim_batch: int = 64,
         hold_versions: bool = True,
+        obs=None,
     ):
         if mode not in ("inline", "queued", "external"):
             raise ConfigurationError(f"unknown runtime mode {mode!r}")
@@ -82,25 +84,58 @@ class OrthrusRuntime:
             validation_cores = [i for i in range(len(self.machine)) if i not in app_cores][:1]
         self.mode = mode
         self.detection_policy = detection_policy
+        self.obs = obs if obs is not None else NULL_OBS
         self.clock = clock if clock is not None else LogicalClock()
         self.heap = VersionedHeap(clock=self.clock, checksums=checksums)
-        self.reclaimer = ReclamationManager(self.heap, batch_size=reclaim_batch)
+        self.reclaimer = ReclamationManager(
+            self.heap, batch_size=reclaim_batch, obs=self.obs
+        )
         self.scheduler = Scheduler(self.machine, app_cores, validation_cores)
-        self.queues = QueueSet(len(validation_cores))
+        self.queues = QueueSet(len(validation_cores), obs=self.obs)
         self.report = DetectionReport()
         self.validator = Validator(
-            self.heap, self.clock, detector=self._on_detection, reclaimer=self.reclaimer
+            self.heap,
+            self.clock,
+            detector=self._on_detection,
+            reclaimer=self.reclaimer,
+            obs=self.obs,
         )
         self.sampler = sampler if sampler is not None else AlwaysSampler()
         self.latency = LatencyTracker()
         self.outcomes: list[ValidationOutcome] = []
         self._seq = 0
+        self._pop_cursor = 0
         self._bound = threading.local()
         self._on_log: Callable[[ClosureLog], None] | None = None
+        if self.obs.enabled:
+            self._register_gauges()
         #: False = close each closure's active window immediately after the
         #: APP run (no deferred validation will reference its versions) —
         #: used by vanilla/RBV configurations that do not validate logs.
         self._hold_versions = hold_versions
+
+    def _register_gauges(self) -> None:
+        """Callback gauges over live runtime state: sampled only at export
+        time, so the execution hot path pays nothing for them."""
+        registry = self.obs.registry
+        heap = self.heap
+        registry.gauge(
+            "orthrus_heap_versioned_bytes",
+            help="bytes held by all unreclaimed versions (live + stale)",
+        ).set_function(lambda: float(heap.versioned_bytes))
+        registry.gauge(
+            "orthrus_heap_live_bytes", help="bytes held by live versions only"
+        ).set_function(lambda: float(heap.live_bytes))
+        registry.gauge(
+            "orthrus_heap_live_versions", help="latest versions of live objects"
+        ).set_function(lambda: float(heap.live_version_count))
+        registry.gauge(
+            "orthrus_heap_reclaimable_versions",
+            help="superseded versions awaiting the next reclamation pass",
+        ).set_function(lambda: float(heap.reclaimable_version_count))
+        registry.gauge(
+            "orthrus_sampler_rate", help="current AIMD sampling rate"
+        ).set_function(lambda: float(getattr(self.sampler, "rate", 1.0)))
 
     # ------------------------------------------------------------------
     # activation
@@ -111,8 +146,17 @@ class OrthrusRuntime:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
+        # Pop strictly from the end: ``remove(self)`` would take out the
+        # *outermost* entry when the same runtime is entered re-entrantly,
+        # corrupting the nesting for every level still active.
         with _active_lock:
-            _active_stack.remove(self)
+            if not _active_stack or _active_stack[-1] is not self:
+                raise ConfigurationError(
+                    "mismatched OrthrusRuntime exit order: this runtime is not "
+                    "the innermost active one; runtimes must exit in reverse "
+                    "order of entry"
+                )
+            _active_stack.pop()
 
     # ------------------------------------------------------------------
     # allocation helpers
@@ -178,6 +222,7 @@ class OrthrusRuntime:
             log=log,
             verify_checksums=self.heap._checksums,
             detector=self._on_detection,
+            obs=self.obs,
         )
         try:
             with ctx:
@@ -190,6 +235,26 @@ class OrthrusRuntime:
         log.retval = ctx.canonicalize(retval)
         log.deletes = [ctx.canon_obj(oid) for oid in log.deletes]
         log.end_time = self.clock.now()
+        obs = self.obs
+        if obs.enabled:
+            labels = {"closure": meta.name, "caller": caller}
+            obs.registry.counter(
+                "orthrus_closures_total", labels, help="APP closure executions"
+            ).inc()
+            obs.registry.counter(
+                "orthrus_closure_cycles_total", labels,
+                help="cycles the APP executions consumed",
+            ).inc(log.app_cycles)
+            obs.tracer.emit(
+                "closure.run",
+                ts=start,
+                closure=meta.name,
+                caller=caller,
+                seq=log.seq,
+                core=core.core_id,
+                end_time=log.end_time,
+                cycles=log.app_cycles,
+            )
         if not self._hold_versions:
             self.reclaimer.closure_finished(log.seq)
         if self._on_log is not None:
@@ -217,14 +282,40 @@ class OrthrusRuntime:
         active window without re-execution (§3.5).
         """
         processed = 0
+        obs = self.obs
         while max_logs is None or processed < max_logs:
             log = self._pop_any()
             if log is None:
                 break
             processed += 1
             now = self.clock.now()
-            self.sampler.observe_delay(self.queues.queue_delay(now))
-            if not self.sampler.should_validate(log, now):
+            delay = self.queues.queue_delay(now)
+            self.sampler.observe_delay(delay)
+            decision = sampler_decision(self.sampler, log, now)
+            if obs.enabled:
+                obs.registry.histogram(
+                    "orthrus_queue_delay_seconds",
+                    help="age of the oldest pending log at each dequeue",
+                ).record(delay)
+                obs.registry.counter(
+                    "orthrus_sampler_decisions_total",
+                    {
+                        "decision": "validate" if decision.validate else "skip",
+                        "reason": decision.reason,
+                    },
+                    help="sampler verdicts by outcome and reason",
+                ).inc()
+                obs.tracer.emit(
+                    "sampler.decision",
+                    ts=now,
+                    closure=log.closure_name,
+                    caller=log.caller,
+                    seq=log.seq,
+                    validate=decision.validate,
+                    reason=decision.reason,
+                    rate=getattr(self.sampler, "rate", 1.0),
+                )
+            if not decision.validate:
                 self.validator.skip(log)
                 continue
             app_core_id = log.core_id
@@ -240,9 +331,30 @@ class OrthrusRuntime:
         return self.pump(max_logs=None)
 
     def _pop_any(self) -> ClosureLog | None:
-        for queue in self.queues.queues:
-            log = queue.pop()
+        # Round-robin across queues: always starting at queue 0 would drain
+        # it first and starve later queues in multi-queue configurations.
+        queues = self.queues.queues
+        n = len(queues)
+        for offset in range(n):
+            index = (self._pop_cursor + offset) % n
+            log = queues[index].pop()
             if log is not None:
+                self._pop_cursor = (index + 1) % n
+                obs = self.obs
+                if obs.enabled:
+                    obs.registry.counter(
+                        "orthrus_queue_pops_total",
+                        {"queue": str(index)},
+                        help="closure logs dequeued per validation queue",
+                    ).inc()
+                    obs.tracer.emit(
+                        "queue.pop",
+                        ts=self.clock.now(),
+                        queue=index,
+                        seq=log.seq,
+                        closure=log.closure_name,
+                        depth=len(queues[index]),
+                    )
                 return log
         return None
 
@@ -251,6 +363,12 @@ class OrthrusRuntime:
     # ------------------------------------------------------------------
     def _on_detection(self, event: DetectionEvent) -> None:
         self.report.record(event)
+        if self.obs.enabled:
+            self.obs.registry.counter(
+                "orthrus_detections_total",
+                {"kind": event.kind, "closure": event.closure},
+                help="SDC detections by kind",
+            ).inc()
         if self.detection_policy == "abort":
             if event.kind == "checksum":
                 raise ChecksumMismatch(event.detail, closure=event.closure)

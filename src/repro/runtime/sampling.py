@@ -22,8 +22,40 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.closures.log import ClosureLog
+
+
+class SampleDecision(NamedTuple):
+    """One sampler verdict plus the reason, for telemetry (§3.5).
+
+    Reasons: ``never-validated`` / ``stale`` (coverage rules), ``full-rate``
+    (unconstrained), ``sampled`` (probabilistic accept), ``rate-limited``
+    (probabilistic reject), ``always`` (AlwaysSampler).
+    """
+
+    validate: bool
+    reason: str
+
+
+# Decisions are drawn from a fixed set, so every verdict is a shared
+# pre-built instance — per-log telemetry costs no allocation.
+_NEVER_VALIDATED = SampleDecision(True, "never-validated")
+_STALE = SampleDecision(True, "stale")
+_FULL_RATE = SampleDecision(True, "full-rate")
+_SAMPLED = SampleDecision(True, "sampled")
+_RATE_LIMITED = SampleDecision(False, "rate-limited")
+_ALWAYS = SampleDecision(True, "always")
+
+
+def sampler_decision(sampler, log: ClosureLog, now: float) -> SampleDecision:
+    """Ask ``sampler`` for a reasoned decision, tolerating third-party
+    samplers that only implement ``should_validate``."""
+    decide = getattr(sampler, "decide", None)
+    if decide is not None:
+        return decide(log, now)
+    return _SAMPLED if sampler.should_validate(log, now) else _RATE_LIMITED
 
 
 @dataclass
@@ -103,18 +135,21 @@ class AdaptiveSampler:
         return (log.closure_name, log.caller, log.core_id)
 
     def should_validate(self, log: ClosureLog, now: float) -> bool:
+        return self.decide(log, now).validate
+
+    def decide(self, log: ClosureLog, now: float) -> SampleDecision:
         key = self._key(log)
         last = self._last_validated.get(key)
         if last is None or now - last >= self.config.staleness_threshold:
             # Never-validated or stale pair: maximize code coverage.
             self.chosen += 1
-            return True
+            return _NEVER_VALIDATED if last is None else _STALE
         rate = self._controller.rate
         if rate >= 1.0:
             # Unconstrained: validate everything (§3.5 — Orthrus begins by
             # validating all closures; sampling only kicks in under load).
             self.chosen += 1
-            return True
+            return _FULL_RATE
         score = rate
         if log.error_prone:
             score = min(1.0, score * self.config.error_prone_boost)
@@ -125,9 +160,9 @@ class AdaptiveSampler:
         score *= 0.4 + 0.6 * age_fraction
         if self._rng.random() < score:
             self.chosen += 1
-            return True
+            return _SAMPLED
         self.skipped += 1
-        return False
+        return _RATE_LIMITED
 
     def on_validated(self, log: ClosureLog, now: float) -> None:
         self._last_validated[self._key(log)] = now
@@ -160,11 +195,14 @@ class RandomSampler:
         return self._controller.rate
 
     def should_validate(self, log: ClosureLog, now: float) -> bool:
+        return self.decide(log, now).validate
+
+    def decide(self, log: ClosureLog, now: float) -> SampleDecision:
         if self._rng.random() < self._controller.rate:
             self.chosen += 1
-            return True
+            return _SAMPLED
         self.skipped += 1
-        return False
+        return _RATE_LIMITED
 
     def on_validated(self, log: ClosureLog, now: float) -> None:
         pass
@@ -188,6 +226,9 @@ class AlwaysSampler:
 
     def should_validate(self, log: ClosureLog, now: float) -> bool:
         return True
+
+    def decide(self, log: ClosureLog, now: float) -> SampleDecision:
+        return _ALWAYS
 
     def on_validated(self, log: ClosureLog, now: float) -> None:
         pass

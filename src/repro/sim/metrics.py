@@ -1,7 +1,15 @@
 """Measurement helpers for the benchmark harness.
 
 Latency distributions (Fig 7's p95, Fig 8's validation-latency CDFs) and
-throughput counters, kept dependency-light (numpy only for percentiles).
+throughput counters, kept dependency-light (numpy only for array sorting).
+
+:class:`RunMetrics` is the per-run record the drivers fill in.  With the
+observability layer enabled it is re-expressible over the metrics
+registry: :meth:`RunMetrics.export_to` writes the aggregates into a
+``repro.obs.MetricsRegistry`` (the ``run_*`` metric families), and
+:class:`RunMetricsView` reads the same properties back out of a registry
+or a reloaded snapshot — so exported artifacts and in-process results
+answer identical queries.
 """
 
 from __future__ import annotations
@@ -13,16 +21,33 @@ import numpy as np
 
 
 class Histogram:
-    """Accumulates samples; answers mean/percentile/min/max queries."""
+    """Accumulates samples; answers mean/percentile/min/max queries.
+
+    The sorted sample array is cached and invalidated on mutation, so a
+    ``summary()`` (one query per percentile property) sorts once instead of
+    once per property.
+    """
 
     def __init__(self):
         self._values: list[float] = []
+        self._sorted: np.ndarray | None = None
 
     def add(self, value: float) -> None:
         self._values.append(value)
+        self._sorted = None
 
     def extend(self, values) -> None:
         self._values.extend(values)
+        self._sorted = None
+
+    def _array(self) -> np.ndarray:
+        if self._sorted is None:
+            self._sorted = np.sort(np.asarray(self._values, dtype=float))
+        return self._sorted
+
+    def values(self) -> list[float]:
+        """The raw samples, in insertion order (export helpers)."""
+        return list(self._values)
 
     @property
     def count(self) -> int:
@@ -32,15 +57,22 @@ class Histogram:
     def mean(self) -> float:
         if not self._values:
             return 0.0
-        return float(np.mean(self._values))
+        return float(self._array().mean())
 
     def percentile(self, p: float) -> float:
-        """The p-th percentile (p in [0, 100])."""
+        """The p-th percentile (p in [0, 100]), linear interpolation."""
         if not 0 <= p <= 100:
             raise ValueError(f"percentile {p} out of range")
         if not self._values:
             return 0.0
-        return float(np.percentile(self._values, p))
+        ordered = self._array()
+        rank = (len(ordered) - 1) * (p / 100.0)
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high:
+            return float(ordered[low])
+        fraction = rank - low
+        return float(ordered[low] * (1.0 - fraction) + ordered[high] * fraction)
 
     @property
     def p50(self) -> float:
@@ -56,11 +88,11 @@ class Histogram:
 
     @property
     def max(self) -> float:
-        return max(self._values) if self._values else 0.0
+        return float(self._array()[-1]) if self._values else 0.0
 
     @property
     def min(self) -> float:
-        return min(self._values) if self._values else 0.0
+        return float(self._array()[0]) if self._values else 0.0
 
     def summary(self) -> dict[str, float]:
         return {
@@ -108,6 +140,122 @@ class RunMetrics:
         if self.peak_live_bytes == 0:
             return 0.0
         return self.peak_versioned_bytes / self.peak_live_bytes - 1.0
+
+    @property
+    def sampling_fraction(self) -> float:
+        total = self.validated + self.skipped
+        if total == 0:
+            return 1.0
+        return self.validated / total
+
+    def export_to(self, registry) -> None:
+        """Write this run's aggregates into an obs ``MetricsRegistry``.
+
+        Creates the ``run_*`` metric families :class:`RunMetricsView` reads
+        back; the latency distributions become streaming histograms (exact
+        count/sum/min/max, bucketed percentiles).
+        """
+        registry.counter(
+            "run_operations_total", help="completed operations"
+        ).inc(self.operations)
+        registry.gauge(
+            "run_duration_seconds", help="virtual seconds elapsed"
+        ).set(self.duration)
+        registry.counter(
+            "run_validated_total", help="logs validated during the run"
+        ).inc(self.validated)
+        registry.counter(
+            "run_skipped_total", help="logs skipped by the sampler"
+        ).inc(self.skipped)
+        registry.counter(
+            "run_detections_total", help="SDC detections during the run"
+        ).inc(self.detections)
+        registry.gauge(
+            "run_peak_versioned_bytes", help="peak versioned-heap footprint"
+        ).set(self.peak_versioned_bytes)
+        registry.gauge(
+            "run_peak_live_bytes", help="peak live-only footprint"
+        ).set(self.peak_live_bytes)
+        pairs = (
+            ("run_request_latency_seconds", self.request_latency,
+             "per-request latency"),
+            ("run_validation_latency_seconds", self.validation_latency,
+             "log enqueue to validation completion"),
+        )
+        for name, histogram, help_text in pairs:
+            target = registry.histogram(name, help=help_text)
+            for value in histogram.values():
+                target.record(value)
+
+
+class RunMetricsView:
+    """A :class:`RunMetrics`-shaped read view over a metrics registry.
+
+    Accepts a live ``repro.obs.MetricsRegistry`` or a reloaded snapshot
+    (via ``MetricsRegistry.from_snapshot``); exposes the same property
+    surface as :class:`RunMetrics`, so report code can consume either.
+    """
+
+    def __init__(self, registry):
+        self._registry = registry
+
+    @property
+    def operations(self) -> int:
+        return int(self._registry.value("run_operations_total"))
+
+    @property
+    def duration(self) -> float:
+        return self._registry.value("run_duration_seconds")
+
+    @property
+    def validated(self) -> int:
+        return int(self._registry.value("run_validated_total"))
+
+    @property
+    def skipped(self) -> int:
+        return int(self._registry.value("run_skipped_total"))
+
+    @property
+    def detections(self) -> int:
+        return int(self._registry.value("run_detections_total"))
+
+    @property
+    def peak_versioned_bytes(self) -> int:
+        return int(self._registry.value("run_peak_versioned_bytes"))
+
+    @property
+    def peak_live_bytes(self) -> int:
+        return int(self._registry.value("run_peak_live_bytes"))
+
+    def _histogram(self, name: str):
+        series = self._registry.series(name)
+        if not series:
+            from repro.obs.metrics import StreamingHistogram
+
+            return StreamingHistogram()
+        return series[0][1]
+
+    @property
+    def request_latency(self):
+        return self._histogram("run_request_latency_seconds")
+
+    @property
+    def validation_latency(self):
+        return self._histogram("run_validation_latency_seconds")
+
+    @property
+    def throughput(self) -> float:
+        duration = self.duration
+        if duration <= 0:
+            return 0.0
+        return self.operations / duration
+
+    @property
+    def memory_overhead(self) -> float:
+        live = self.peak_live_bytes
+        if live == 0:
+            return 0.0
+        return self.peak_versioned_bytes / live - 1.0
 
     @property
     def sampling_fraction(self) -> float:

@@ -14,6 +14,7 @@ from collections import deque
 
 from repro.closures.log import ClosureLog
 from repro.errors import ConfigurationError
+from repro.obs.observability import NULL_OBS
 
 
 class LogQueue:
@@ -49,11 +50,21 @@ class LogQueue:
 class QueueSet:
     """All validation queues plus placement and stealing policy."""
 
-    def __init__(self, n_queues: int):
+    def __init__(self, n_queues: int, obs=None):
         if n_queues < 1:
             raise ConfigurationError("need at least one validation queue")
         self.queues = [LogQueue(i) for i in range(n_queues)]
         self._next = 0
+        self._obs = obs if obs is not None else NULL_OBS
+        if self._obs.enabled:
+            # Callback gauges: depth is sampled at export time, so the
+            # push/pop hot path pays nothing for them.
+            for queue in self.queues:
+                self._obs.registry.gauge(
+                    "orthrus_queue_depth",
+                    {"queue": str(queue.queue_id)},
+                    help="pending closure logs per validation queue",
+                ).set_function(lambda q=queue: float(len(q)))
 
     def push(self, log: ClosureLog, now: float) -> LogQueue:
         """Place a log round-robin across queues (each queue maps to a
@@ -61,6 +72,21 @@ class QueueSet:
         queue = self.queues[self._next]
         self._next = (self._next + 1) % len(self.queues)
         queue.push(log, now)
+        obs = self._obs
+        if obs.enabled:
+            obs.registry.counter(
+                "orthrus_queue_pushes_total",
+                {"queue": str(queue.queue_id)},
+                help="closure logs enqueued per validation queue",
+            ).inc()
+            obs.tracer.emit(
+                "queue.push",
+                ts=now,
+                queue=queue.queue_id,
+                seq=log.seq,
+                closure=log.closure_name,
+                depth=len(queue),
+            )
         return queue
 
     def pop(self, queue_id: int, allow_steal: bool = True) -> ClosureLog | None:

@@ -21,6 +21,7 @@ from repro.errors import ConfigurationError
 from repro.machine.core import Core
 from repro.memory.heap import VersionedHeap
 from repro.memory.reclaim import ReclamationManager
+from repro.obs.observability import NULL_OBS
 from repro.validation.comparator import (
     ComparisonResult,
     canonicalize_ptrs,
@@ -54,11 +55,13 @@ class Validator:
         clock: Clock,
         detector: Callable[[DetectionEvent], None] | None = None,
         reclaimer: ReclamationManager | None = None,
+        obs=None,
     ):
         self._heap = heap
         self._clock = clock
         self._detector = detector
         self._reclaimer = reclaimer
+        self._obs = obs if obs is not None else NULL_OBS
         self.validated_count = 0
         self.mismatch_count = 0
 
@@ -139,15 +142,62 @@ class Validator:
                 )
         if self._reclaimer is not None:
             self._reclaimer.closure_finished(log.seq)
+        latency = now - log.end_time
+        obs = self._obs
+        if obs.enabled:
+            labels = {"closure": log.closure_name, "caller": log.caller}
+            registry = obs.registry
+            registry.counter(
+                "orthrus_validations_total", labels,
+                help="closure logs re-executed by the validator",
+            ).inc()
+            registry.counter(
+                "orthrus_validation_cycles_total", labels,
+                help="cycles spent re-executing closures",
+            ).inc(val_cycles)
+            if not result.matches:
+                registry.counter(
+                    "orthrus_validation_mismatches_total", labels,
+                    help="validations that diverged from the APP run",
+                ).inc()
+            registry.histogram(
+                "orthrus_validation_latency_seconds", labels,
+                help="closure completion to validation completion",
+            ).record(latency)
+            obs.tracer.emit(
+                "validator.validate",
+                ts=now,
+                closure=log.closure_name,
+                caller=log.caller,
+                seq=log.seq,
+                core=core.core_id,
+                passed=result.matches,
+                latency=latency,
+                cycles=val_cycles,
+            )
         return ValidationOutcome(
             log=log,
             passed=result.matches,
             detail=result.detail,
             val_cycles=val_cycles,
-            latency=now - log.end_time,
+            latency=latency,
         )
 
     def skip(self, log: ClosureLog) -> None:
         """Drop a log unvalidated (sampler decision); closes its window."""
+        obs = self._obs
+        if obs.enabled:
+            obs.registry.counter(
+                "orthrus_validation_skips_total",
+                {"closure": log.closure_name, "caller": log.caller},
+                help="closure logs dropped unvalidated",
+            ).inc()
+            obs.tracer.emit(
+                "validator.skip",
+                ts=self._clock.now(),
+                closure=log.closure_name,
+                caller=log.caller,
+                seq=log.seq,
+            )
         if self._reclaimer is not None:
             self._reclaimer.closure_finished(log.seq)

@@ -1,0 +1,183 @@
+"""Metric primitives and the registry: instruments, families, snapshots."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    StreamingHistogram,
+    default_latency_buckets,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.read() == 12.0
+
+    def test_callback_gauge_sampled_at_read_time(self):
+        depth = [0]
+        gauge = Gauge()
+        gauge.set_function(lambda: float(depth[0]))
+        depth[0] = 7
+        assert gauge.read() == 7.0
+        depth[0] = 3
+        assert gauge.snapshot()["value"] == 3.0
+
+
+class TestStreamingHistogram:
+    def test_exact_count_sum_min_max(self):
+        hist = StreamingHistogram()
+        for value in (1e-6, 2e-6, 4e-6, 1e-3):
+            hist.record(value)
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(1e-3 + 7e-6)
+        assert hist.min == 1e-6
+        assert hist.max == 1e-3
+
+    def test_empty_is_zero(self):
+        hist = StreamingHistogram()
+        assert hist.count == 0
+        assert hist.mean == 0.0
+        assert hist.p95 == 0.0
+        assert hist.min == 0.0 and hist.max == 0.0
+
+    def test_percentiles_ordered_and_bounded(self):
+        hist = StreamingHistogram()
+        for i in range(1, 101):
+            hist.record(i * 1e-6)
+        assert hist.p50 <= hist.p95 <= hist.p99 <= hist.max
+        assert hist.percentile(0) >= hist.min
+        assert hist.percentile(100) <= hist.max
+
+    def test_percentile_error_bounded_by_bucket_spacing(self):
+        # Factor-2 buckets: any estimate is within 2x of the true value.
+        hist = StreamingHistogram()
+        for i in range(1, 1001):
+            hist.record(i * 1e-6)
+        true_p50 = 500.5e-6
+        assert true_p50 / 2 <= hist.p50 <= true_p50 * 2
+
+    def test_percentile_range_checked(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram().percentile(101)
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram(buckets=[2.0, 1.0])
+
+    def test_merge(self):
+        a, b = StreamingHistogram(), StreamingHistogram()
+        a.record(1e-6)
+        b.record(1e-3)
+        a.merge(b)
+        assert a.count == 2
+        assert a.min == 1e-6 and a.max == 1e-3
+
+    def test_merge_requires_identical_buckets(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram().merge(StreamingHistogram(buckets=[1.0]))
+
+    def test_overflow_bucket_catches_large_values(self):
+        hist = StreamingHistogram()
+        hist.record(1e9)  # beyond the last bound
+        assert hist.counts[-1] == 1
+        assert hist.count == 1
+
+    def test_summary_duck_compatible_with_sim_histogram(self):
+        hist = StreamingHistogram()
+        hist.record(1e-6)
+        assert set(hist.summary()) == {"count", "mean", "p50", "p95", "p99", "max"}
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", {"closure": "kv.get"})
+        b = registry.counter("x_total", {"closure": "kv.get"})
+        assert a is b
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", {"a": "1", "b": "2"})
+        b = registry.counter("x_total", {"b": "2", "a": "1"})
+        assert a is b
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total")
+
+    def test_value_sums_family_when_unlabeled(self):
+        registry = MetricsRegistry()
+        registry.counter("v_total", {"closure": "a"}).inc(3)
+        registry.counter("v_total", {"closure": "b"}).inc(4)
+        assert registry.value("v_total") == 7.0
+        assert registry.value("v_total", {"closure": "a"}) == 3.0
+        assert registry.value("missing") == 0.0
+
+    def test_series_lists_labels(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth", {"queue": "0"}).set(2)
+        registry.gauge("depth", {"queue": "1"}).set(5)
+        labels = sorted(lbl["queue"] for lbl, _ in registry.series("depth"))
+        assert labels == ["0", "1"]
+
+    def test_merge_folds_counters_gauges_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c_total").inc(1)
+        b.counter("c_total").inc(2)
+        b.gauge("g").set(5)
+        b.histogram("h").record(1e-6)
+        a.merge(b)
+        assert a.value("c_total") == 3.0
+        assert a.value("g") == 5.0
+        assert a.value("h") == 1.0
+
+    def test_snapshot_round_trip(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("c_total", {"closure": "kv.get"}, help="c").inc(9)
+        registry.gauge("g", help="g").set_function(lambda: 4.0)
+        hist = registry.histogram("h_seconds", {"caller": "f"}, help="h")
+        for value in (1e-6, 3e-6, 2e-3):
+            hist.record(value)
+        # Through JSON: what --metrics-out writes is what obs-summary reads.
+        snapshot = json.loads(json.dumps(registry.snapshot()))
+        restored = MetricsRegistry.from_snapshot(snapshot)
+        assert restored.value("c_total", {"closure": "kv.get"}) == 9.0
+        assert restored.value("g") == 4.0  # callback frozen at sample time
+        back = restored.series("h_seconds")[0][1]
+        assert back.count == hist.count
+        assert back.sum == hist.sum
+        assert back.min == hist.min and back.max == hist.max
+        assert back.p95 == hist.p95
+
+    def test_from_snapshot_rejects_unknown_format(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry.from_snapshot({"format": "something-else"})
+
+
+def test_default_buckets_sorted_and_span_ns_to_seconds():
+    buckets = default_latency_buckets()
+    assert buckets == sorted(buckets)
+    assert buckets[0] == 1e-9
+    assert buckets[-1] > 1.0

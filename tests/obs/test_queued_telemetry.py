@@ -1,0 +1,125 @@
+"""Queued-mode telemetry: counters, traces, and exports agree with the run.
+
+The acceptance test for the observability layer: drive a queued-mode
+workload under a partial-rate sampler and check that every view of the run
+— sampler counters, runtime stats, the LatencyTracker, the trace, and the
+JSON-exported snapshot — tells the same story.
+"""
+
+import json
+
+from repro.closures.annotation import closure
+from repro.closures.context import ops
+from repro.machine.cpu import Machine
+from repro.obs import MetricsRegistry, Observability
+from repro.runtime.orthrus import OrthrusRuntime
+from repro.runtime.sampling import RandomSampler, SamplerConfig
+
+
+@closure(name="qtel.work")
+def work(ptr, delta):
+    value = ptr.load()
+    ptr.store(ops().alu.add(value, delta))
+    return value + delta
+
+
+def run_queued_workload(n_ops=40):
+    """A queued run where the sampler skips roughly half the logs."""
+    sampler = RandomSampler(SamplerConfig(min_rate=0.0, increase=0.0), seed=7)
+    sampler._controller.rate = 0.5
+    obs = Observability()
+    runtime = OrthrusRuntime(
+        machine=Machine(cores_per_node=4, numa_nodes=1),
+        app_cores=[0],
+        validation_cores=[1],
+        mode="queued",
+        sampler=sampler,
+        obs=obs,
+    )
+    with runtime:
+        ptr = runtime.new(0)
+        for _ in range(n_ops):
+            work(ptr, 1)
+        runtime.drain()
+    return runtime, sampler, obs
+
+
+class TestQueuedTelemetry:
+    def test_sampler_counters_match_decision_metric(self):
+        runtime, sampler, obs = run_queued_workload()
+        registry = obs.registry
+        assert 0 < sampler.skipped < 40  # the run actually exercised both paths
+        assert registry.value(
+            "orthrus_sampler_decisions_total", {"decision": "validate", "reason": "sampled"}
+        ) == sampler.chosen
+        assert registry.value(
+            "orthrus_sampler_decisions_total", {"decision": "skip", "reason": "rate-limited"}
+        ) == sampler.skipped
+        assert registry.value("orthrus_sampler_decisions_total") == 40.0
+
+    def test_validate_and_skip_counters_match_runtime(self):
+        runtime, sampler, obs = run_queued_workload()
+        registry = obs.registry
+        assert registry.value("orthrus_validations_total") == runtime.validations
+        assert registry.value("orthrus_validation_skips_total") == sampler.skipped
+        assert runtime.validations + sampler.skipped == 40
+
+    def test_queue_counters_balance(self):
+        runtime, sampler, obs = run_queued_workload()
+        registry = obs.registry
+        assert registry.value("orthrus_queue_pushes_total") == 40.0
+        assert registry.value("orthrus_queue_pops_total") == 40.0
+        assert registry.value("orthrus_queue_depth") == 0.0  # fully drained
+        delay = registry.series("orthrus_queue_delay_seconds")[0][1]
+        assert delay.count == 40  # one observation per dequeue
+
+    def test_latency_tracker_agrees_with_histogram(self):
+        runtime, sampler, obs = run_queued_workload()
+        family = obs.registry.get("orthrus_validation_latency_seconds")
+        hist_count = sum(c.count for c in family.children.values())
+        hist_sum = sum(c.sum for c in family.children.values())
+        assert hist_count == runtime.validations
+        assert runtime.latency._global_count == hist_count
+        assert runtime.latency.global_average * hist_count == hist_sum
+
+    def test_exported_snapshot_matches_live_registry(self):
+        runtime, sampler, obs = run_queued_workload()
+        # Through JSON text, exactly as --metrics-out writes it.
+        restored = MetricsRegistry.from_snapshot(
+            json.loads(json.dumps(obs.registry.snapshot()))
+        )
+        for name in (
+            "orthrus_sampler_decisions_total",
+            "orthrus_validations_total",
+            "orthrus_validation_skips_total",
+            "orthrus_queue_pushes_total",
+            "orthrus_queue_delay_seconds",
+        ):
+            assert restored.value(name) == obs.registry.value(name), name
+
+    def test_trace_replays_lifecycle_in_order(self):
+        lifecycle = (
+            "closure.run", "queue.push", "queue.pop",
+            "sampler.decision", "validator.validate", "validator.skip",
+        )
+        runtime, sampler, obs = run_queued_workload()
+        seqs = {e.fields["seq"] for e in obs.tracer.of_kind("closure.run")}
+        assert len(seqs) == 40
+        for seq in seqs:
+            kinds = [
+                e.kind for e in obs.tracer.for_seq(seq) if e.kind in lifecycle
+            ]
+            assert kinds[:4] == [
+                "closure.run", "queue.push", "queue.pop", "sampler.decision",
+            ]
+            assert kinds[4] in ("validator.validate", "validator.skip")
+        # Decisions in the trace agree with the counter.
+        validated = sum(
+            1 for e in obs.tracer.of_kind("sampler.decision") if e.fields["validate"]
+        )
+        assert validated == runtime.validations
+
+    def test_deterministic_given_seed(self):
+        _, _, obs_a = run_queued_workload()
+        _, _, obs_b = run_queued_workload()
+        assert obs_a.registry.snapshot() == obs_b.registry.snapshot()

@@ -1,0 +1,131 @@
+"""Instrumentation hooks in the runtime, validator, and reclamation path."""
+
+from repro.closures.annotation import closure
+from repro.closures.context import ops
+from repro.machine.cpu import Machine
+from repro.machine.faults import Fault, FaultKind
+from repro.machine.units import Unit
+from repro.obs import Observability
+from repro.obs.observability import NULL_OBS
+from repro.runtime.orthrus import OrthrusRuntime
+
+
+@closure(name="obs_test.incr")
+def incr(ptr):
+    value = ptr.load()
+    ptr.store(ops().alu.add(value, 1))
+    return value + 1
+
+
+def make_runtime(obs=None, **kwargs):
+    machine = Machine(cores_per_node=4, numa_nodes=1)
+    if kwargs.pop("fault", None) is not None:
+        machine.arm(0, Fault(unit=Unit.ALU, kind=FaultKind.BITFLIP, bit=5))
+    return OrthrusRuntime(
+        machine=machine, app_cores=[0], validation_cores=[1], obs=obs, **kwargs
+    )
+
+
+class TestDisabledDefault:
+    def test_runtime_defaults_to_shared_null_obs(self):
+        runtime = make_runtime()
+        assert runtime.obs is NULL_OBS
+        with runtime:
+            incr(runtime.new(0))
+        # Nothing recorded anywhere: no trace, no runtime gauges.
+        assert len(NULL_OBS.tracer) == 0
+        assert NULL_OBS.registry.get("orthrus_heap_live_bytes") is None
+
+
+class TestInlineInstrumentation:
+    def test_closure_and_validation_counters(self):
+        obs = Observability()
+        runtime = make_runtime(obs=obs)
+        with runtime:
+            ptr = runtime.new(0)
+            for _ in range(5):
+                incr(ptr)
+        registry = obs.registry
+        labels = {"closure": "obs_test.incr", "caller": "test_closure_and_validation_counters"}
+        assert registry.value("orthrus_closures_total", labels) == 5.0
+        assert registry.value("orthrus_validations_total", labels) == 5.0
+        assert registry.value("orthrus_validation_mismatches_total") == 0.0
+        assert registry.value("orthrus_closure_cycles_total", labels) > 0
+        hist = registry.series("orthrus_validation_latency_seconds")[0][1]
+        assert hist.count == 5
+
+    def test_checksum_verifications_counted_and_traced(self):
+        obs = Observability()
+        runtime = make_runtime(obs=obs)
+        with runtime:
+            incr(runtime.new(0))
+        ok = obs.registry.value(
+            "orthrus_checksum_verifications_total",
+            {"closure": "obs_test.incr", "result": "ok"},
+        )
+        assert ok >= 1  # APP first-load probe (plus the VAL re-run's)
+        events = obs.tracer.of_kind("checksum.verify")
+        assert events and all(e.fields["ok"] for e in events)
+
+    def test_detections_counted_by_kind(self):
+        obs = Observability()
+        runtime = make_runtime(obs=obs, fault=True)
+        with runtime:
+            ptr = runtime.new(0)
+            incr(ptr)
+            incr(ptr)
+        assert runtime.detections == 2
+        assert obs.registry.value("orthrus_detections_total") == 2.0
+
+    def test_heap_gauges_track_live_state(self):
+        obs = Observability()
+        runtime = make_runtime(obs=obs)
+        with runtime:
+            ptr = runtime.new(0)
+            for _ in range(4):
+                incr(ptr)
+        registry = obs.registry
+        assert registry.value("orthrus_heap_live_versions") == 1.0
+        assert registry.value("orthrus_heap_versioned_bytes") >= registry.value(
+            "orthrus_heap_live_bytes"
+        )
+        # Superseded versions await reclamation; reclaiming drops the gauge.
+        assert registry.value("orthrus_heap_reclaimable_versions") > 0
+        runtime.reclaimer.reclaim_now()
+        assert registry.value("orthrus_heap_reclaimable_versions") == 0.0
+
+    def test_reclaim_pass_counted_and_traced(self):
+        obs = Observability()
+        runtime = make_runtime(obs=obs, reclaim_batch=1)
+        with runtime:
+            ptr = runtime.new(0)
+            for _ in range(3):
+                incr(ptr)
+        runtime.reclaimer.reclaim_now()
+        registry = obs.registry
+        assert registry.value("orthrus_reclaim_passes_total") >= 1
+        assert registry.value("orthrus_versions_reclaimed_total") >= 1
+        batches = obs.tracer.of_kind("reclaim.batch")
+        assert batches
+        assert sum(e.fields["reclaimed"] for e in batches) == registry.value(
+            "orthrus_versions_reclaimed_total"
+        )
+
+    def test_closure_run_trace_has_lifecycle_fields(self):
+        obs = Observability()
+        runtime = make_runtime(obs=obs)
+        with runtime:
+            incr(runtime.new(0))
+        (event,) = obs.tracer.of_kind("closure.run")
+        assert event.fields["closure"] == "obs_test.incr"
+        assert event.fields["core"] == 0
+        assert event.fields["cycles"] > 0
+        assert event.fields["end_time"] >= event.ts
+
+    def test_trace_false_records_metrics_only(self):
+        obs = Observability(trace=False)
+        runtime = make_runtime(obs=obs)
+        with runtime:
+            incr(runtime.new(0))
+        assert obs.registry.value("orthrus_closures_total") == 1.0
+        assert len(obs.tracer) == 0

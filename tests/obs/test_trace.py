@@ -1,0 +1,75 @@
+"""Tracer behavior: recording, the event cap, and the null implementation."""
+
+import pytest
+
+from repro.obs.observability import NULL_OBS, Observability
+from repro.obs.trace import NULL_TRACER, Tracer
+
+
+class TestTracer:
+    def test_records_events_in_order(self):
+        tracer = Tracer()
+        tracer.emit("closure.run", ts=1.0, seq=1)
+        tracer.emit("queue.push", ts=2.0, seq=1, queue=0)
+        assert [e.kind for e in tracer] == ["closure.run", "queue.push"]
+        assert tracer.events[0].as_dict() == {
+            "ts": 1.0, "kind": "closure.run", "seq": 1,
+        }
+
+    def test_of_kind_and_for_seq(self):
+        tracer = Tracer()
+        tracer.emit("closure.run", ts=0.0, seq=1)
+        tracer.emit("closure.run", ts=0.0, seq=2)
+        tracer.emit("validator.validate", ts=1.0, seq=1)
+        assert len(tracer.of_kind("closure.run")) == 2
+        assert [e.kind for e in tracer.for_seq(1)] == [
+            "closure.run", "validator.validate",
+        ]
+
+    def test_cap_drops_instead_of_growing(self):
+        tracer = Tracer(max_events=2)
+        for i in range(5):
+            tracer.emit("closure.run", ts=float(i), seq=i)
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+
+    def test_cap_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(max_events=0)
+
+    def test_clear(self):
+        tracer = Tracer(max_events=1)
+        tracer.emit("a", ts=0.0)
+        tracer.emit("b", ts=0.0)
+        tracer.clear()
+        assert len(tracer) == 0 and tracer.dropped == 0
+
+
+class TestNullTracer:
+    def test_emit_is_noop(self):
+        NULL_TRACER.emit("closure.run", ts=0.0, seq=1)
+        assert len(NULL_TRACER) == 0
+        assert list(NULL_TRACER) == []
+        assert NULL_TRACER.of_kind("closure.run") == []
+        assert NULL_TRACER.for_seq(1) == []
+        assert NULL_TRACER.enabled is False
+
+
+class TestObservability:
+    def test_enabled_handle_bundles_registry_and_tracer(self):
+        obs = Observability()
+        assert obs.enabled is True
+        assert obs.tracer.enabled is True
+        obs.registry.counter("x_total").inc()
+        assert obs.snapshot()["metrics"][0]["name"] == "x_total"
+
+    def test_trace_false_uses_null_tracer(self):
+        obs = Observability(trace=False)
+        assert obs.enabled is True
+        assert obs.tracer is NULL_TRACER
+
+    def test_null_obs_is_disabled_but_inert_safe(self):
+        assert NULL_OBS.enabled is False
+        assert NULL_OBS.tracer is NULL_TRACER
+        # Unguarded writes must not crash (they just go nowhere useful).
+        NULL_OBS.registry.counter("stray_total").inc()

@@ -44,6 +44,33 @@ class TestActivation:
                 assert active() is inner
             assert active() is outer
 
+    def test_reentrant_same_runtime_unwinds_correctly(self):
+        # The same runtime entered twice must pop one level per exit; a
+        # remove()-based exit would pop the *outermost* entry first and
+        # deactivate the runtime while still logically inside it.
+        runtime = make_runtime()
+        with runtime:
+            with runtime:
+                assert active() is runtime
+            assert active() is runtime
+        assert active() is None
+
+    def test_out_of_order_exit_rejected(self):
+        first, second = make_runtime(), make_runtime()
+        first.__enter__()
+        second.__enter__()
+        with pytest.raises(ConfigurationError):
+            first.__exit__(None, None, None)
+        # The stack is untouched by the failed exit; unwind properly.
+        assert active() is second
+        second.__exit__(None, None, None)
+        first.__exit__(None, None, None)
+        assert active() is None
+
+    def test_exit_without_enter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_runtime().__exit__(None, None, None)
+
 
 class TestConfiguration:
     def test_bad_mode_rejected(self):

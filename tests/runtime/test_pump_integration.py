@@ -18,14 +18,14 @@ def work(ptr, delta):
     return value + delta
 
 
-def make_runtime(sampler=None, fault=None):
+def make_runtime(sampler=None, fault=None, validation_cores=None):
     machine = Machine(cores_per_node=4, numa_nodes=1)
     if fault is not None:
         machine.arm(0, fault)
     return OrthrusRuntime(
         machine=machine,
         app_cores=[0],
-        validation_cores=[1],
+        validation_cores=validation_cores or [1],
         mode="queued",
         sampler=sampler,
     )
@@ -42,6 +42,29 @@ class TestPump:
             assert runtime.queues.pending == 6
             runtime.drain()
         assert runtime.validations == 10
+
+    def test_pump_round_robins_across_queues(self):
+        # Logs land round-robin on the two queues (odd seqs on queue 0,
+        # even on queue 1); the pump must interleave the queues rather than
+        # drain queue 0 first and starve the other.
+        runtime = make_runtime(validation_cores=[1, 2])
+        with runtime:
+            ptr = runtime.new(0)
+            for _ in range(6):
+                work(ptr, 1)
+            runtime.drain()
+        assert [o.log.seq for o in runtime.outcomes] == [1, 2, 3, 4, 5, 6]
+
+    def test_partial_pump_resumes_where_it_left_off(self):
+        runtime = make_runtime(validation_cores=[1, 2])
+        with runtime:
+            ptr = runtime.new(0)
+            for _ in range(6):
+                work(ptr, 1)
+            assert runtime.pump(max_logs=3) == 3
+            assert [o.log.seq for o in runtime.outcomes] == [1, 2, 3]
+            runtime.drain()
+        assert [o.log.seq for o in runtime.outcomes] == [1, 2, 3, 4, 5, 6]
 
     def test_sampler_skips_counted(self):
         sampler = RandomSampler(SamplerConfig(min_rate=0.0, increase=0.0), seed=1)

@@ -33,6 +33,33 @@ class TestHistogram:
         histogram.add(1.0)
         assert set(histogram.summary()) == {"count", "mean", "p50", "p95", "p99", "max"}
 
+    def test_sorted_cache_invalidated_by_add(self):
+        histogram = Histogram()
+        histogram.extend([5.0, 1.0])
+        assert histogram.max == 5.0  # populates the cache
+        histogram.add(9.0)
+        assert histogram.max == 9.0
+        assert histogram.p50 == 5.0
+
+    def test_sorted_cache_invalidated_by_extend(self):
+        histogram = Histogram()
+        histogram.add(2.0)
+        assert histogram.min == 2.0
+        histogram.extend([0.5, 1.0])
+        assert histogram.min == 0.5
+        assert histogram.count == 3
+
+    def test_repeated_queries_consistent(self):
+        histogram = Histogram()
+        histogram.extend(float(v) for v in range(50))
+        first = histogram.summary()
+        assert histogram.summary() == first  # served from the cache
+
+    def test_values_returns_insertion_order(self):
+        histogram = Histogram()
+        histogram.extend([3.0, 1.0, 2.0])
+        assert histogram.values() == [3.0, 1.0, 2.0]
+
 
 class TestRunMetrics:
     def test_throughput(self):
@@ -50,6 +77,71 @@ class TestRunMetrics:
         metrics = RunMetrics(validated=30, skipped=70)
         assert metrics.sampling_fraction == pytest.approx(0.3)
         assert RunMetrics().sampling_fraction == 1.0
+
+
+class TestRegistryView:
+    """RunMetrics re-expressed over the observability registry."""
+
+    def make_metrics(self):
+        metrics = RunMetrics(
+            operations=200,
+            duration=2.0,
+            validated=150,
+            skipped=50,
+            detections=3,
+            peak_versioned_bytes=1300,
+            peak_live_bytes=1000,
+        )
+        metrics.request_latency.extend([1e-6, 2e-6, 3e-6])
+        metrics.validation_latency.extend([4e-6, 8e-6])
+        return metrics
+
+    def test_view_matches_source_metrics(self):
+        from repro.obs import MetricsRegistry
+        from repro.sim.metrics import RunMetricsView
+
+        metrics = self.make_metrics()
+        registry = MetricsRegistry()
+        metrics.export_to(registry)
+        view = RunMetricsView(registry)
+        assert view.operations == metrics.operations
+        assert view.duration == metrics.duration
+        assert view.validated == metrics.validated
+        assert view.skipped == metrics.skipped
+        assert view.detections == metrics.detections
+        assert view.throughput == metrics.throughput
+        assert view.memory_overhead == pytest.approx(metrics.memory_overhead)
+        assert view.sampling_fraction == pytest.approx(metrics.sampling_fraction)
+        assert view.request_latency.count == metrics.request_latency.count
+        assert view.request_latency.mean == pytest.approx(
+            metrics.request_latency.mean
+        )
+        assert view.validation_latency.max == metrics.validation_latency.max
+
+    def test_view_survives_snapshot_round_trip(self):
+        import json
+
+        from repro.obs import MetricsRegistry
+        from repro.sim.metrics import RunMetricsView
+
+        metrics = self.make_metrics()
+        registry = MetricsRegistry()
+        metrics.export_to(registry)
+        restored = MetricsRegistry.from_snapshot(
+            json.loads(json.dumps(registry.snapshot()))
+        )
+        view = RunMetricsView(restored)
+        assert view.operations == metrics.operations
+        assert view.validation_latency.count == 2
+
+    def test_empty_view_defaults(self):
+        from repro.obs import MetricsRegistry
+        from repro.sim.metrics import RunMetricsView
+
+        view = RunMetricsView(MetricsRegistry())
+        assert view.operations == 0
+        assert view.throughput == 0.0
+        assert view.request_latency.count == 0
 
 
 class TestSlowdown:

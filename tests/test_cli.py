@@ -56,3 +56,81 @@ class TestCommands:
     def test_unknown_app_rejected(self):
         with pytest.raises(SystemExit):
             main(["perf", "--app", "redis"])
+
+
+class TestObservabilityFlags:
+    def test_metrics_and_trace_export(self, tmp_path, capsys):
+        metrics = tmp_path / "run.json"
+        trace = tmp_path / "run.jsonl"
+        assert main([
+            "perf", "--app", "memcached", "--ops", "200",
+            "--metrics-out", str(metrics), "--trace-out", str(trace),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "metrics snapshot" in out
+        assert "trace events" in out
+
+        from repro.obs import MetricsRegistry, load_metrics_json, read_trace_jsonl
+
+        registry = MetricsRegistry.from_snapshot(load_metrics_json(str(metrics)))
+        assert registry.value("orthrus_requests_total") == 200.0
+        assert registry.value("run_operations_total") == 200.0
+        events = read_trace_jsonl(str(trace))
+        assert any(e["kind"] == "closure.run" for e in events)
+        assert any(e["kind"] == "validator.validate" for e in events)
+
+    def test_prom_extension_writes_prometheus_text(self, tmp_path, capsys):
+        metrics = tmp_path / "run.prom"
+        assert main([
+            "perf", "--app", "memcached", "--ops", "200",
+            "--metrics-out", str(metrics),
+        ]) == 0
+        text = metrics.read_text()
+        assert "# TYPE orthrus_validations_total counter" in text
+
+    def test_obs_summary_renders_saved_snapshot(self, tmp_path, capsys):
+        metrics = tmp_path / "run.json"
+        main([
+            "latency", "--app", "memcached", "--ops", "200",
+            "--metrics-out", str(metrics),
+        ])
+        capsys.readouterr()
+        assert main(["obs-summary", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "orthrus_validations_total" in out
+        assert main(["obs-summary", str(metrics), "--format", "prom"]) == 0
+        assert "# TYPE" in capsys.readouterr().out
+
+    def test_coverage_accepts_metrics_out(self, tmp_path, capsys):
+        metrics = tmp_path / "campaign.json"
+        assert main([
+            "coverage", "--app", "memcached", "--ops", "150", "--faults", "4",
+            "--metrics-out", str(metrics),
+        ]) == 0
+        assert metrics.exists()
+
+    def test_no_flags_no_export(self, capsys):
+        assert main(["perf", "--app", "memcached", "--ops", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "metrics snapshot" not in out
+
+    def test_bad_export_path_fails_before_the_run(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot write"):
+            main([
+                "perf", "--app", "memcached", "--ops", "200",
+                "--metrics-out", str(tmp_path / "missing-dir" / "x.json"),
+            ])
+
+    def test_obs_summary_rejects_non_snapshot_json(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"hello": 1}')
+        with pytest.raises(SystemExit, match="not an orthrus-metrics/1"):
+            main(["obs-summary", str(bad)])
+
+    def test_obs_summary_rejects_missing_and_invalid_files(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["obs-summary", str(tmp_path / "nope.json")])
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("not json")
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            main(["obs-summary", str(garbage)])
