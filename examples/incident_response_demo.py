@@ -1,0 +1,67 @@
+"""The response layer end to end: detect → arbitrate → quarantine → repair.
+
+Runs one full incident episode on a Memcached-style workload: core 0 is
+armed with a persistent SIMD bitflip mid-workload, the inline validators
+catch the divergences, a third core arbitrates each mismatch, the
+mercurial core is quarantined, the blast radius is walked, and every
+poisoned version is replayed on healthy silicon — ending with the heap
+byte-identical to a fault-free reference run.
+
+The episode's terminal artifact is the :class:`IncidentReport`: the demo
+prints its summary, replays the incident timeline, then disarms the
+fault and walks the quarantined core through probation back into
+service.  Finally the report round-trips through JSON — what
+``repro-bench respond --json`` writes for off-box shipping.
+
+Run:  python examples/incident_response_demo.py
+"""
+
+from repro.harness.incident import IncidentConfig, run_incident, value_fault
+from repro.harness.scenarios import memcached_scenario
+from repro.response import IncidentReport, ResponseConfig
+
+
+def main():
+    print("Orthrus incident response demo\n")
+
+    result = run_incident(
+        memcached_scenario(n_keys=40),
+        IncidentConfig(
+            n_ops=120,
+            fault=value_fault("mc.set"),
+            faulty_core=0,
+            arm_after=10,
+            response=ResponseConfig(),
+            probation=True,  # disarm after repair and probe the core back in
+        ),
+    )
+    report = result.report
+
+    print("== incident report ==")
+    for line in report.summary_lines():
+        print(f"  {line}")
+
+    print("\n== timeline ==")
+    for entry in report.timeline:
+        print(f"  t={entry.time:<8g} {entry.kind:<20} {entry.detail}")
+
+    print("\n== scoring against ground truth ==")
+    print(f"  injected core      : {result.injected_core}")
+    print(f"  attribution        : "
+          f"{'correct' if result.attribution_correct else 'WRONG'}")
+    print(f"  repair fidelity    : "
+          f"{'byte-identical' if result.repaired else 'DIVERGED'} "
+          f"(digest {result.final_digest:#x})")
+    print(f"  readmitted cores   : {result.readmitted or 'none'}")
+    print(f"  core 0 state       : "
+          f"{result.coordinator.quarantine.state(0)}")
+
+    # The report ships off-box as JSON and round-trips losslessly.
+    restored = IncidentReport.from_json(report.to_json(indent=2))
+    assert restored.to_dict() == report.to_dict()
+    print(f"\nJSON round trip OK ({len(report.to_json())} bytes, "
+          f"{len(report.timeline)} timeline entries)")
+
+
+if __name__ == "__main__":
+    main()

@@ -110,6 +110,7 @@ class AppServer:
                     seq=-1,
                     time=self.runtime.clock.now(),
                     detail=f"response CRC mismatch on {label}",
+                    app_core=self._core().core_id,
                 )
             )
             return None

@@ -6,6 +6,7 @@ Usage (also exposed as the ``repro-bench`` console script)::
     python -m repro.cli perf --app memcached --ops 2000
     python -m repro.cli coverage --app masstree --faults 32 --cores 2
     python -m repro.cli latency --app lsmtree --ops 2000
+    python -m repro.cli respond --app memcached --fault-kind misdirected
     python -m repro.cli perf --metrics-out run.json --trace-out run.jsonl
     python -m repro.cli obs-summary run.json
 
@@ -15,6 +16,11 @@ prints a compact report; seeds make every invocation reproducible.
 Orthrus arm and save a metrics snapshot (JSON, or Prometheus text when the
 path ends in ``.prom``) and a JSON-lines trace; ``obs-summary`` re-renders
 a saved JSON snapshot as a table.
+
+``respond`` runs one full inject→detect→quarantine→repair incident
+episode and prints the resulting IncidentReport; ``--quarantine`` on
+perf/latency/coverage attaches the response layer (arbitration +
+quarantine) to the Orthrus arm of those experiments.
 """
 
 from __future__ import annotations
@@ -25,6 +31,12 @@ import sys
 
 from repro.faultinject.campaign import FaultInjectionCampaign
 from repro.faultinject.config import InjectionConfig
+from repro.harness.incident import (
+    IncidentConfig,
+    misdirected_fault,
+    run_incident,
+    value_fault,
+)
 from repro.harness.phoenix import run_phoenix
 from repro.harness.pipeline import (
     PipelineConfig,
@@ -47,6 +59,7 @@ from repro.obs import (
     write_metrics_json,
     write_trace_jsonl,
 )
+from repro.response import ResponseConfig
 from repro.sim.metrics import slowdown
 
 #: app name → (scenario factory, orthrus runner, vanilla runner, rbv runner,
@@ -78,11 +91,16 @@ def _resolve(app: str):
     )
 
 
+#: per-app closure the ``respond`` fault defaults target (the insert path
+#: — the closure whose outputs feed everything downstream)
+_RESPOND_CLOSURES = {"memcached": "mc.set", "lsmtree": "lsm.put"}
+
+
 def cmd_list(_args) -> int:
     print("applications:")
     for name, (_, _, _, _, size) in _APPS.items():
         print(f"  {name:<10} (default workload size {size})")
-    print("\nsubcommands: perf, latency, coverage, obs-summary")
+    print("\nsubcommands: perf, latency, coverage, respond, obs-summary")
     return 0
 
 
@@ -122,15 +140,47 @@ def _export_obs(obs: Observability | None, args, run_metrics=None) -> None:
         print(f"trace events       : {written} -> {args.trace_out}")
 
 
+def _response_config(args, auto_repair: bool = True) -> ResponseConfig | None:
+    """The --quarantine flag's ResponseConfig for the Orthrus arm (or None)."""
+    if not getattr(args, "quarantine", False):
+        return None
+    return ResponseConfig(auto_repair=auto_repair)
+
+
+def _print_response(result) -> None:
+    """Response-layer rollup for a RunResult produced with --quarantine."""
+    if result.incident is None:
+        print("response           : (runner does not attach the response layer)")
+        return
+    summary = result.runtime.report.summary()
+    kinds = ", ".join(f"{k}={v}" for k, v in sorted(summary["by_kind"].items()))
+    print(
+        f"detections         : {summary['total']}"
+        + (f" ({kinds})" if kinds else "")
+    )
+    incident = result.incident
+    print(f"quarantined cores  : {incident.quarantined_cores or 'none'}")
+    if incident.faulty_core >= 0:
+        print(f"implicated core    : {incident.faulty_core}")
+        print(
+            f"repaired versions  : {incident.versions_repaired}"
+            f"/{incident.versions_corrupted} corrupted"
+        )
+
+
 def cmd_perf(args) -> int:
     scenario, orthrus, vanilla, rbv, default_size = _resolve(args.app)
     size = args.ops or default_size
     obs = _make_obs(args)
-    config = lambda obs=None: PipelineConfig(
-        app_threads=args.threads, validation_cores=args.cores, seed=args.seed, obs=obs
+    config = lambda obs=None, response=None: PipelineConfig(
+        app_threads=args.threads,
+        validation_cores=args.cores,
+        seed=args.seed,
+        obs=obs,
+        response=response,
     )
     v = vanilla(scenario, size, config())
-    o = orthrus(scenario, size, config(obs))
+    o = orthrus(scenario, size, config(obs, _response_config(args)))
     r = rbv(scenario, size, config())
     if args.app == "phoenix":
         base = v.metrics.duration
@@ -143,6 +193,8 @@ def cmd_perf(args) -> int:
         print(f"rbv overhead       : {100 * slowdown(v.metrics.throughput, r.metrics.throughput):.1f}%")
     print(f"orthrus memory ovh : {100 * o.metrics.memory_overhead:.1f}%")
     print(f"validated/skipped  : {o.metrics.validated}/{o.metrics.skipped}")
+    if args.quarantine:
+        _print_response(o)
     _export_obs(obs, args, o.metrics)
     return 0
 
@@ -151,16 +203,22 @@ def cmd_latency(args) -> int:
     scenario, orthrus, _vanilla, rbv, default_size = _resolve(args.app)
     size = args.ops or default_size
     obs = _make_obs(args)
-    config = lambda obs=None: PipelineConfig(
-        app_threads=args.threads, validation_cores=args.cores, seed=args.seed, obs=obs
+    config = lambda obs=None, response=None: PipelineConfig(
+        app_threads=args.threads,
+        validation_cores=args.cores,
+        seed=args.seed,
+        obs=obs,
+        response=response,
     )
-    o = orthrus(scenario, size, config(obs))
+    o = orthrus(scenario, size, config(obs, _response_config(args)))
     r = rbv(scenario, size, config())
     ol, rl = o.metrics.validation_latency, r.metrics.validation_latency
     print(f"orthrus validation latency : mean {ol.mean * 1e6:.2f} us, p95 {ol.p95 * 1e6:.2f} us")
     print(f"rbv validation latency     : mean {rl.mean * 1e6:.2f} us, p95 {rl.p95 * 1e6:.2f} us")
     if ol.mean > 0:
         print(f"ratio                      : {rl.mean / ol.mean:.0f}x")
+    if args.quarantine:
+        _print_response(o)
     _export_obs(obs, args, o.metrics)
     return 0
 
@@ -177,12 +235,15 @@ def cmd_coverage(args) -> int:
         ),
         # All trials share the handle, so the export aggregates the
         # whole campaign (per-trial traces interleave in trial order).
+        # auto_repair stays off under --quarantine: repairing before the
+        # digest is taken would reclassify genuine SDC trials as masked.
         make_pipeline=lambda: PipelineConfig(
             app_threads=args.threads,
             validation_cores=args.cores,
             seed=args.seed,
             drain_grace_fraction=args.grace,
             obs=obs,
+            response=_response_config(args, auto_repair=False),
         ),
         runner=orthrus,
         rbv_runner=rbv if args.rbv else None,
@@ -208,8 +269,74 @@ def cmd_coverage(args) -> int:
             f"orthrus {row.orthrus_detected}/{row.total_sdcs}{rbv_part}"
         )
     print(f"detection rate : {result.detection_rate:.1%}")
+    accuracy = result.attribution_accuracy
+    if accuracy is not None:
+        print(
+            f"attribution    : {accuracy:.1%} of detected trials "
+            "implicated the armed core"
+        )
     _export_obs(obs, args)
     return 0
+
+
+def cmd_respond(args) -> int:
+    if args.app not in _RESPOND_CLOSURES:
+        raise SystemExit(
+            f"respond supports {', '.join(sorted(_RESPOND_CLOSURES))}; "
+            f"got {args.app!r}"
+        )
+    scenario = _APPS[args.app][0]()
+    obs = _make_obs(args)
+    closure = _RESPOND_CLOSURES[args.app]
+    fault = (
+        value_fault(closure)
+        if args.fault_kind == "value"
+        else misdirected_fault(closure)
+    )
+    config = IncidentConfig(
+        n_ops=args.ops or 200,
+        seed=args.seed,
+        app_threads=args.threads,
+        validation_cores=args.cores,
+        faulty_core=args.faulty_core,
+        fault=fault,
+        arm_after=args.arm_after,
+        probation=args.probation,
+        obs=obs,
+    )
+    result = run_incident(scenario, config)
+    report = result.report
+    print(
+        f"injected           : {args.fault_kind} fault on core "
+        f"{config.faulty_core} ({closure})"
+    )
+    for line in report.summary_lines():
+        print(line)
+    blamed = str(report.faulty_core) if report.faulty_core >= 0 else "none"
+    print(
+        "attribution        : "
+        + ("correct" if result.attribution_correct else "WRONG")
+        + f" (injected core {result.injected_core}, blamed {blamed})"
+    )
+    print(
+        "repair fidelity    : "
+        + (
+            "heap byte-identical to the fault-free run"
+            if result.repaired
+            else "heap DIVERGED from the fault-free run"
+        )
+    )
+    if args.probation:
+        print(f"readmitted cores   : {result.readmitted or 'none'}")
+    if args.json is not None:
+        try:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(report.to_json(indent=2) + "\n")
+        except OSError as exc:
+            raise SystemExit(f"cannot write {args.json}: {exc}")
+        print(f"incident report    : {args.json}")
+    _export_obs(obs, args)
+    return 0 if result.repaired and result.attribution_correct else 1
 
 
 def cmd_obs_summary(args) -> int:
@@ -256,20 +383,58 @@ def build_parser() -> argparse.ArgumentParser:
             help="enable tracing and save a JSON-lines event trace",
         )
 
+    def quarantine_flag(p):
+        p.add_argument(
+            "--quarantine", action="store_true",
+            help="attach the response layer (arbitration + quarantine) to "
+            "the Orthrus arm and report what it concluded",
+        )
+
     perf = sub.add_parser("perf", help="Fig 6-style performance comparison")
     common(perf)
+    quarantine_flag(perf)
 
     latency = sub.add_parser("latency", help="Fig 8-style validation latency")
     common(latency)
+    quarantine_flag(latency)
 
     coverage = sub.add_parser("coverage", help="Table 2-style fault campaign")
     common(coverage)
+    quarantine_flag(coverage)
     coverage.add_argument("--faults", type=int, default=24)
     coverage.add_argument("--trigger-rate", type=float, default=1.0)
     coverage.add_argument("--grace", type=float, default=4.0,
                           help="drain window as a fraction of run duration")
     coverage.add_argument("--rbv", action="store_true",
                           help="also run the RBV arm per SDC trial")
+
+    respond = sub.add_parser(
+        "respond",
+        help="one inject→detect→quarantine→repair incident episode",
+    )
+    common(respond)
+    respond.add_argument(
+        "--fault-kind", choices=("value", "misdirected"), default="value",
+        help="value: corrupt a computed digest in place; misdirected: "
+        "corrupt the hash so writes land on the wrong object",
+    )
+    respond.add_argument(
+        "--faulty-core", type=int, default=0,
+        help="core armed with the persistent fault (a validation-core id "
+        "exercises the faulty-validator arbitration case)",
+    )
+    respond.add_argument(
+        "--arm-after", type=int, default=10,
+        help="ops served healthy before the fault is armed",
+    )
+    respond.add_argument(
+        "--probation", action="store_true",
+        help="disarm the fault after repair and run probation probes",
+    )
+    respond.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="save the IncidentReport as JSON",
+    )
 
     obs_summary = sub.add_parser(
         "obs-summary", help="render a saved metrics snapshot"
@@ -289,6 +454,7 @@ def main(argv=None) -> int:
         "perf": cmd_perf,
         "latency": cmd_latency,
         "coverage": cmd_coverage,
+        "respond": cmd_respond,
         "obs-summary": cmd_obs_summary,
     }[args.command]
     return handler(args)

@@ -29,6 +29,7 @@ from repro.faultinject.classify import (
     CoverageRow,
     OutcomeKind,
     TrialResult,
+    attribution_accuracy,
     classify_outcome,
     coverage_by_unit,
     overall_detection_rate,
@@ -64,6 +65,11 @@ class CampaignResult:
     @property
     def detection_rate(self) -> float:
         return overall_detection_rate(self.trials)
+
+    @property
+    def attribution_accuracy(self) -> float | None:
+        """How often detection implicated the core the campaign armed."""
+        return attribution_accuracy(self.trials)
 
     def coverage_table(self) -> dict[Unit, CoverageRow]:
         return coverage_by_unit(self.trials)
@@ -175,8 +181,19 @@ class FaultInjectionCampaign:
 
         orthrus_detected = trial.detections > 0
         orthrus_kind = None
-        if trial.runtime is not None and trial.runtime.report.first is not None:
-            orthrus_kind = trial.runtime.report.first.kind
+        implicated: tuple[int, ...] = ()
+        if trial.runtime is not None:
+            if trial.runtime.report.first is not None:
+                orthrus_kind = trial.runtime.report.first.kind
+            implicated = tuple(
+                sorted(
+                    {
+                        event.app_core
+                        for event in trial.runtime.report.events
+                        if event.app_core >= 0
+                    }
+                )
+            )
 
         rbv_detected: bool | None = None
         if self.rbv_runner is not None and outcome is OutcomeKind.SDC:
@@ -192,6 +209,8 @@ class FaultInjectionCampaign:
             orthrus_detected=orthrus_detected,
             orthrus_kind=orthrus_kind if orthrus_detected else None,
             rbv_detected=rbv_detected,
+            injected_core=core_id,
+            implicated_cores=implicated,
         )
 
     # ------------------------------------------------------------------

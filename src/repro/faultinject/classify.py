@@ -51,10 +51,25 @@ class TrialResult:
     orthrus_kind: str | None
     #: RBV flagged it (None when the RBV arm was not run)
     rbv_detected: bool | None = None
+    #: ground truth: the application core the campaign armed (-1: unknown)
+    injected_core: int = -1
+    #: cores the detection events implicated (app-side), for scoring the
+    #: response layer's attribution against the injected ground truth
+    implicated_cores: tuple[int, ...] = ()
 
     @property
     def is_sdc(self) -> bool:
         return self.outcome is OutcomeKind.SDC
+
+    @property
+    def attribution_correct(self) -> bool | None:
+        """Did detection implicate the armed core?  None when unscorable
+        (nothing detected, or ground truth not recorded)."""
+        if not self.orthrus_detected or self.injected_core < 0:
+            return None
+        if not self.implicated_cores:
+            return None
+        return self.injected_core in self.implicated_cores
 
 
 @dataclass
@@ -102,3 +117,16 @@ def overall_detection_rate(trials: list[TrialResult]) -> float:
     if not sdcs:
         return 0.0
     return sum(t.orthrus_detected for t in sdcs) / len(sdcs)
+
+
+def attribution_accuracy(trials: list[TrialResult]) -> float | None:
+    """Fraction of scorable detected trials that implicated the armed core.
+
+    The response layer's quarantine decisions hinge on blaming the right
+    core, so this is the campaign-level accuracy of detection-event core
+    tagging.  None when no trial is scorable.
+    """
+    scorable = [t for t in trials if t.attribution_correct is not None]
+    if not scorable:
+        return None
+    return sum(t.attribution_correct for t in scorable) / len(scorable)

@@ -1,0 +1,182 @@
+"""End-to-end incident scenario: inject → detect → quarantine → repair.
+
+Drives a server scenario twice over the identical op stream:
+
+1. a **reference** run on a healthy machine — its state digest is the
+   ground truth the repaired heap must reproduce byte-for-byte;
+2. an **incident** run where one application core is armed with a
+   persistent fault mid-workload, with a
+   :class:`~repro.response.coordinator.ResponseCoordinator` attached: the
+   runtime detects the divergences, arbitrates on a third core,
+   quarantines the mercurial core, and — at :func:`run_incident`'s
+   finalize step — repairs every poisoned version.
+
+The result carries both digests plus the ground-truth injected core, so
+tests and the CLI can score the response layer's *attribution accuracy*
+(did it blame the right core?) and *repair fidelity* (is the heap
+byte-identical to the fault-free run?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.machine.cpu import Machine
+from repro.machine.faults import Fault, FaultKind
+from repro.machine.instruction import Site
+from repro.machine.units import Unit
+from repro.response.coordinator import ResponseConfig, ResponseCoordinator
+from repro.response.report import IncidentReport
+from repro.runtime.orthrus import OrthrusRuntime
+
+
+def value_fault(closure: str = "mc.set", opcode: str = "vsum", bit: int = 3) -> Fault:
+    """A fault that corrupts a computed *value* (stored where it should be).
+
+    The default hits the vectorized value digest of ``mc.set`` — every
+    insert on the mercurial core stores a wrong digest into the right
+    item, the easiest shape for byte-identical repair.
+    """
+    unit = Unit.SIMD if opcode.startswith("v") else Unit.ALU
+    return Fault(
+        unit=unit, kind=FaultKind.BITFLIP, site=Site(closure, opcode, 0), bit=bit
+    )
+
+
+def misdirected_fault(closure: str = "mc.set", bit: int = 2) -> Fault:
+    """A fault that corrupts the *hash*, landing writes on wrong objects.
+
+    Listing 2's misplaced-bucket SDC: repair must walk the object-level
+    taint (the true target never appears in the faulty log's write set).
+    """
+    return Fault(
+        unit=Unit.ALU,
+        kind=FaultKind.BITFLIP,
+        site=Site(closure, "hash64", 0),
+        bit=bit,
+    )
+
+
+@dataclass
+class IncidentConfig:
+    """Knobs for one inject→detect→quarantine→repair episode."""
+
+    n_ops: int = 150
+    seed: int = 0
+    app_threads: int = 2
+    validation_cores: int = 2
+    #: core armed with the fault (an app core for the app-core-faulty
+    #: case; a validation core id to exercise the validator-faulty case)
+    faulty_core: int = 0
+    fault: Fault | None = None
+    #: ops served healthy before the fault is armed (trusted history)
+    arm_after: int = 10
+    reclaim_batch: int = 16
+    response: ResponseConfig | None = None
+    #: after finalize, disarm the fault and run probation probes (models a
+    #: transient rather than a truly mercurial core)
+    probation: bool = False
+    obs: Any = None
+
+
+@dataclass
+class IncidentResult:
+    """Everything one incident episode produced."""
+
+    report: IncidentReport
+    runtime: OrthrusRuntime
+    server: Any
+    coordinator: ResponseCoordinator
+    responses: list = field(default_factory=list)
+    reference_responses: list = field(default_factory=list)
+    reference_digest: int = 0
+    final_digest: int = 0
+    injected_core: int = -1
+    readmitted: list[int] = field(default_factory=list)
+
+    @property
+    def repaired(self) -> bool:
+        """Is the repaired heap byte-identical to the fault-free run?"""
+        return self.final_digest == self.reference_digest
+
+    @property
+    def attribution_correct(self) -> bool:
+        """Did the response layer blame the injected core?"""
+        return self.report.faulty_core == self.injected_core
+
+
+def _drive(scenario, config: IncidentConfig, machine, runtime, arm: bool):
+    server = scenario.build(runtime)
+    scenario.setup(server)
+    ops = scenario.make_ops(config.n_ops, config.seed)
+    responses = []
+    for index, op in enumerate(ops):
+        if arm and index == config.arm_after:
+            machine.arm(config.faulty_core, config.fault)
+        core = runtime.scheduler.next_app_core()
+        with runtime.bind_core(core.core_id):
+            responses.append(server.handle(op))
+    return server, responses
+
+
+def run_incident(scenario, config: IncidentConfig | None = None) -> IncidentResult:
+    """One full episode; see the module docstring."""
+    config = config if config is not None else IncidentConfig()
+    if config.fault is None:
+        config.fault = value_fault()
+    n_cores = config.app_threads + config.validation_cores
+    if not 0 <= config.faulty_core < n_cores:
+        raise ValueError(f"faulty_core {config.faulty_core} outside machine")
+    app_cores = list(range(config.app_threads))
+    val_cores = list(range(config.app_threads, n_cores))
+
+    # Reference run: same topology, same ops, no fault.  Only the logical
+    # end state matters (core routing does not change computed values).
+    ref_machine = Machine(cores_per_node=n_cores, numa_nodes=1, seed=config.seed)
+    ref_runtime = OrthrusRuntime(
+        machine=ref_machine,
+        app_cores=app_cores,
+        validation_cores=val_cores,
+        mode="inline",
+        reclaim_batch=config.reclaim_batch,
+    )
+    ref_server, ref_responses = _drive(
+        scenario, config, ref_machine, ref_runtime, arm=False
+    )
+    reference_digest = ref_server.state_digest()
+
+    # Incident run: armed core + response coordinator.
+    machine = Machine(cores_per_node=n_cores, numa_nodes=1, seed=config.seed)
+    runtime = OrthrusRuntime(
+        machine=machine,
+        app_cores=app_cores,
+        validation_cores=val_cores,
+        mode="inline",
+        reclaim_batch=config.reclaim_batch,
+        obs=config.obs,
+    )
+    response = config.response if config.response is not None else ResponseConfig()
+    if config.probation:
+        # Probes replay retained logs after finalize; the deferred
+        # reclamation pass at resume would collect their evidence first.
+        response.hold_evidence_for_probation = True
+    coordinator = ResponseCoordinator(runtime, response)
+    server, responses = _drive(scenario, config, machine, runtime, arm=True)
+    report = coordinator.finalize()
+    readmitted: list[int] = []
+    if config.probation:
+        machine.disarm_all()
+        readmitted = coordinator.run_probation()
+    return IncidentResult(
+        report=report,
+        runtime=runtime,
+        server=server,
+        coordinator=coordinator,
+        responses=responses,
+        reference_responses=ref_responses,
+        reference_digest=reference_digest,
+        final_digest=server.state_digest(),
+        injected_core=config.faulty_core,
+        readmitted=readmitted,
+    )

@@ -29,6 +29,7 @@ from repro.closures.log import ClosureLog
 from repro.errors import ConfigurationError
 from repro.machine.cpu import Machine
 from repro.memory.version import approx_size
+from repro.response.coordinator import ResponseCoordinator
 from repro.runtime.orthrus import OrthrusRuntime
 from repro.runtime.sampling import AdaptiveSampler, SamplerConfig, sampler_decision
 from repro.sim.costs import DEFAULT_COSTS, CostModel
@@ -78,6 +79,10 @@ class PipelineConfig:
     #: an ``repro.obs.Observability`` handle; None (the default) runs the
     #: pipeline fully uninstrumented
     obs: Any = None
+    #: a ``repro.response.ResponseConfig``; when set the Orthrus driver
+    #: attaches a ResponseCoordinator (arbitration + quarantine + repair)
+    #: and the finalized IncidentReport lands on ``RunResult.incident``
+    response: Any = None
     seed: int = 1
     rbv_batch_size: int | None = None
     rbv_state_check_every: int = 64
@@ -108,6 +113,9 @@ class RunResult:
     crashed: bool = False
     crash_reason: str = ""
     rbv_detections: int = 0
+    #: finalized ``repro.response.IncidentReport`` when the run was
+    #: configured with a response layer (``PipelineConfig.response``)
+    incident: Any = None
 
     @property
     def detections(self) -> int:
@@ -212,6 +220,8 @@ def validator_process(
                 except Exception:
                     pass
             outcome = runtime.validator.validate(log, core)
+            if runtime.responder is not None:
+                runtime.responder.on_outcome(outcome)
             busy = config.costs.validation_dispatch_cycles + outcome.val_cycles
             busy += config.costs.compare_cycles_per_byte * output_bytes
             app_core = runtime.machine.core(log.core_id)
@@ -330,6 +340,9 @@ def run_orthrus_server(scenario, n_ops: int, config: PipelineConfig) -> RunResul
     )
     sampler = config.make_sampler()
     obs = runtime.obs
+    responder = None
+    if config.response is not None:
+        responder = ResponseCoordinator(runtime, config.response)
     server = scenario.build(runtime)
     runtime._hold_versions = False  # setup closures are not validated
     try:
@@ -490,6 +503,8 @@ def run_orthrus_server(scenario, n_ops: int, config: PipelineConfig) -> RunResul
     env.run(until=env.process(coordinator()))
     metrics.detections = runtime.detections
     result.responses = [responses_by_index.get(i) for i in range(len(ops))]
+    if responder is not None and not result.crashed:
+        result.incident = responder.finalize()
     result.digest = server.state_digest() if not result.crashed else None
     return result
 

@@ -52,6 +52,10 @@ class Core:
         self.core_id = core_id
         self.numa_node = numa_node
         self.faults: list[Fault] = []
+        #: set by the incident-response layer when this core is pulled from
+        #: service (suspected mercurial); schedulers must not place work on
+        #: a quarantined core except for probation probes.
+        self.quarantined = False
         self._rng = random.Random(seed if seed is not None else core_id)
         self._function = "<none>"
         self._occurrences: dict[str, int] = {}
@@ -145,6 +149,8 @@ class Core:
 
     def __repr__(self) -> str:
         tag = " mercurial" if self.faults else ""
+        if self.quarantined:
+            tag += " quarantined"
         return f"Core(id={self.core_id}, numa={self.numa_node}{tag})"
 
 

@@ -55,6 +55,21 @@ class Machine:
     def healthy_cores(self) -> list[Core]:
         return [c for c in self.cores if not c.is_mercurial]
 
+    @property
+    def quarantined_cores(self) -> list[Core]:
+        """Cores pulled from service by the incident-response layer."""
+        return [c for c in self.cores if c.quarantined]
+
+    @property
+    def serviceable_cores(self) -> list[Core]:
+        """Cores the schedulers may place work on (not quarantined).
+
+        Note the asymmetry with :attr:`healthy_cores`: whether a core is
+        *actually* mercurial is ground truth only the fault injector knows;
+        quarantine reflects what the response layer has *inferred*.
+        """
+        return [c for c in self.cores if not c.quarantined]
+
     def sibling_core(self, core_id: int, prefer_same_node: bool = True) -> Core:
         """Pick a different core for validation, preferring the same socket.
 

@@ -1,0 +1,38 @@
+"""Incident response: detection → arbitration → quarantine → repair (§2.3).
+
+Detection alone tells an operator *that* a silent corruption happened; the
+response layer turns the detection into a remediation: a third-core
+re-execution arbitrates which core is at fault, the quarantine manager
+pulls that core from both scheduling pools, blast-radius analysis walks the
+versioned heap and the closure logs to enumerate every data version the
+core could have poisoned, and the repairer replays the affected closures on
+healthy cores to restore the corrupted versions in place.  The whole
+episode is summarized in an :class:`~repro.response.report.IncidentReport`.
+"""
+
+from repro.response.arbiter import ArbitrationVerdict, Arbiter
+from repro.response.blast import BlastRadius, BlastRadiusAnalyzer
+from repro.response.coordinator import ResponseConfig, ResponseCoordinator
+from repro.response.quarantine import (
+    CoreHealth,
+    QuarantineConfig,
+    QuarantineManager,
+)
+from repro.response.repair import Repairer, RepairResult
+from repro.response.report import IncidentReport, TimelineEntry
+
+__all__ = [
+    "Arbiter",
+    "ArbitrationVerdict",
+    "BlastRadius",
+    "BlastRadiusAnalyzer",
+    "CoreHealth",
+    "IncidentReport",
+    "QuarantineConfig",
+    "QuarantineManager",
+    "Repairer",
+    "RepairResult",
+    "ResponseConfig",
+    "ResponseCoordinator",
+    "TimelineEntry",
+]

@@ -1,0 +1,131 @@
+"""Arbitration: which core is lying? (§2.3)
+
+A validation mismatch says the APP execution and the VAL re-execution
+disagree — it does not say which one is wrong.  Either the application core
+corrupted the original run, or the validation core corrupted the re-run.
+The arbiter settles it by majority-of-three: the closure log is re-executed
+a *third* time on a referee core distinct from both.  If the referee agrees
+with the APP record, the validation core is the outlier; if the referee
+diverges too, the application core is.  (Two simultaneously-faulty cores
+corrupting identically would defeat this, exactly as it defeats dual
+modular redundancy in general.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.closures.log import ClosureLog
+from repro.detection import DetectionEvent
+from repro.machine.core import Core
+from repro.memory.heap import VersionedHeap
+from repro.obs.observability import NULL_OBS
+from repro.validation.validator import reexecute
+
+
+@dataclass(frozen=True, slots=True)
+class ArbitrationVerdict:
+    """Outcome of one third-core re-execution."""
+
+    seq: int
+    closure: str
+    app_core: int
+    val_core: int
+    referee_core: int
+    #: "app", "validator", or "inconclusive"
+    suspect: str
+    #: the implicated core id; -1 when inconclusive
+    suspect_core: int
+    time: float
+    detail: str
+
+    @property
+    def conclusive(self) -> bool:
+        return self.suspect_core >= 0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+class Arbiter:
+    """Runs the referee re-execution and renders the verdict."""
+
+    def __init__(self, heap: VersionedHeap, obs=None):
+        self._heap = heap
+        self._obs = obs if obs is not None else NULL_OBS
+        self.arbitrations = 0
+
+    def arbitrate(
+        self, log: ClosureLog, event: DetectionEvent, referee: Core
+    ) -> ArbitrationVerdict:
+        """Re-execute ``log`` on ``referee`` and implicate a core.
+
+        The referee must differ from both the APP core and the validation
+        core that produced the mismatch; the coordinator picks it from the
+        serviceable pool.
+        """
+        self.arbitrations += 1
+        now = self._heap.now()
+        try:
+            rerun = reexecute(self._heap, log, referee)
+        except Exception as exc:
+            # Evidence gone (e.g. a pinned version reclaimed) or referee
+            # misconfigured — cannot break the tie.
+            verdict = ArbitrationVerdict(
+                seq=log.seq,
+                closure=log.closure_name,
+                app_core=log.core_id,
+                val_core=event.val_core,
+                referee_core=referee.core_id,
+                suspect="inconclusive",
+                suspect_core=-1,
+                time=now,
+                detail=f"referee re-execution failed: {exc}",
+            )
+        else:
+            if rerun.matches:
+                # Referee agrees with the APP record: the validation run
+                # was the outlier, so the validation core is suspect.
+                verdict = ArbitrationVerdict(
+                    seq=log.seq,
+                    closure=log.closure_name,
+                    app_core=log.core_id,
+                    val_core=event.val_core,
+                    referee_core=referee.core_id,
+                    suspect="validator",
+                    suspect_core=event.val_core,
+                    time=now,
+                    detail="referee matched the APP record",
+                )
+            else:
+                verdict = ArbitrationVerdict(
+                    seq=log.seq,
+                    closure=log.closure_name,
+                    app_core=log.core_id,
+                    val_core=event.val_core,
+                    referee_core=referee.core_id,
+                    suspect="app",
+                    suspect_core=log.core_id,
+                    time=now,
+                    detail=f"referee diverged from the APP record: "
+                    f"{rerun.result.detail}",
+                )
+        obs = self._obs
+        if obs.enabled:
+            obs.registry.counter(
+                "orthrus_arbitrations_total",
+                {"suspect": verdict.suspect},
+                help="third-core arbitration verdicts by implicated role",
+            ).inc()
+            obs.tracer.emit(
+                "response.arbitrate",
+                ts=now,
+                seq=log.seq,
+                closure=log.closure_name,
+                app_core=verdict.app_core,
+                val_core=verdict.val_core,
+                referee_core=referee.core_id,
+                suspect=verdict.suspect,
+                suspect_core=verdict.suspect_core,
+            )
+        return verdict

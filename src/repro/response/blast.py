@@ -1,0 +1,127 @@
+"""Blast-radius analysis: what did the faulty core poison? (§2.3)
+
+Once arbitration has implicated a core, every version that core produced
+since its first confirmed fault is suspect — and so is everything *derived*
+from those versions by healthy cores that read them.  The versioned heap
+makes this walk tractable: closure logs pin their exact input versions and
+record their output versions/objects, so the taint cone is a single pass
+over the logs in execution (seq) order.
+
+Taint propagates at two granularities:
+
+* **version taint** — a closure whose pinned inputs include a tainted
+  version is affected (it computed on poisoned bytes);
+* **object taint** — a closure that read *or wrote* a tainted object is
+  affected even when version ids do not line up, which catches misdirected
+  writes (the corrupted-pointer store of Listing 2 lands on the wrong
+  object entirely).
+
+Versions that fell out of the reclamation window before the response layer
+paused reclamation are enumerable (the log keeps their ids) but
+unrecoverable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.closures.log import ClosureLog
+from repro.memory.heap import VersionedHeap
+from repro.memory.pointer import OrthrusPtr
+
+
+def _referenced_objects(value, acc: set[int]) -> None:
+    """Collect obj_ids of every OrthrusPtr reachable inside ``value``."""
+    if isinstance(value, OrthrusPtr):
+        acc.add(value.obj_id)
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            _referenced_objects(item, acc)
+    elif isinstance(value, dict):
+        for key, item in value.items():
+            _referenced_objects(key, acc)
+            _referenced_objects(item, acc)
+
+
+@dataclass(slots=True)
+class BlastRadius:
+    """The taint cone of one implicated core."""
+
+    suspect_core: int
+    since_seq: int
+    #: output versions examined across all scanned logs
+    versions_scanned: int = 0
+    #: tainted version ids, in creation order
+    tainted_versions: list[int] = field(default_factory=list)
+    #: objects any tainted closure touched (outputs + allocations)
+    tainted_objects: set[int] = field(default_factory=set)
+    #: affected closure logs in seq order (repair replays these)
+    affected: list[ClosureLog] = field(default_factory=list)
+    #: tainted versions already reclaimed — enumerable but unrestorable
+    unrecoverable_versions: list[int] = field(default_factory=list)
+
+    @property
+    def affected_seqs(self) -> list[int]:
+        return [log.seq for log in self.affected]
+
+
+class BlastRadiusAnalyzer:
+    """Walks closure logs to enumerate the taint cone of a suspect core."""
+
+    def __init__(self, heap: VersionedHeap):
+        self._heap = heap
+
+    def analyze(
+        self,
+        logs: Iterable[ClosureLog],
+        suspect_core: int,
+        since_seq: int,
+        seed_objects: Iterable[int] = (),
+    ) -> BlastRadius:
+        """Taint every version/object downstream of ``suspect_core``.
+
+        ``since_seq`` bounds the walk on the left: the seq of the first
+        closure confirmed faulty (outputs before the first fault are
+        trusted).  ``seed_objects`` pre-taints objects discovered by a
+        previous repair round (the fixpoint over misdirected writes).
+        """
+        blast = BlastRadius(suspect_core=suspect_core, since_seq=since_seq)
+        tainted_versions: set[int] = set()
+        tainted_objects: set[int] = set(seed_objects)
+        for log in sorted(logs, key=lambda entry: entry.seq):
+            if log.seq < since_seq:
+                continue
+            blast.versions_scanned += len(log.output_versions)
+            direct = log.core_id == suspect_core
+            derived = False
+            if not direct:
+                if any(vid in tainted_versions for vid in log.inputs.values()):
+                    derived = True
+                elif any(obj in tainted_objects for obj in log.inputs):
+                    derived = True
+                elif any(obj in tainted_objects for obj in log.output_objects):
+                    # wrote an object a tainted closure also wrote — its
+                    # read-modify-write consumed poisoned state even if the
+                    # pinned version ids predate the taint bookkeeping
+                    derived = True
+                else:
+                    # a pointer argument into a tainted object (loads may
+                    # not have pinned it if the value was passed by arg)
+                    refs: set[int] = set()
+                    _referenced_objects(log.args, refs)
+                    _referenced_objects(log.kwargs, refs)
+                    derived = bool(refs & tainted_objects)
+            if not (direct or derived):
+                continue
+            blast.affected.append(log)
+            for vid in log.output_versions:
+                if vid not in tainted_versions:
+                    tainted_versions.add(vid)
+                    blast.tainted_versions.append(vid)
+                    if not self._heap.has_version(vid):
+                        blast.unrecoverable_versions.append(vid)
+            tainted_objects.update(log.output_objects)
+            tainted_objects.update(log.allocated)
+        blast.tainted_objects = tainted_objects
+        return blast

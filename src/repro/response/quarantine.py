@@ -1,0 +1,257 @@
+"""Per-core health tracking and quarantine (§2.3).
+
+Every arbitration verdict against a core adds to its health score; when the
+score crosses the configured threshold the core is pulled from *both*
+scheduling pools — it must neither run application closures (it would keep
+corrupting user data) nor validations (it would raise false alarms against
+healthy cores).  Clean validations decay the score so a one-off transient
+(a particle strike rather than a mercurial defect) does not bench a healthy
+core forever.
+
+A quarantined core can earn its way back through *probation*: the manager
+re-executes known-clean closure logs on it and re-admits the core after N
+consecutive agreeing probes.  Mercurial defects are often workload- or
+data-dependent (§2.1), so probes reuse real production logs rather than a
+synthetic self-test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.closures.log import ClosureLog
+from repro.errors import ConfigurationError
+from repro.machine.cpu import Machine
+from repro.memory.heap import VersionedHeap
+from repro.obs.observability import NULL_OBS
+from repro.runtime.scheduler import Scheduler
+from repro.validation.validator import reexecute
+
+IN_SERVICE = "in-service"
+QUARANTINED = "quarantined"
+PROBATION = "probation"
+
+
+@dataclass(slots=True)
+class QuarantineConfig:
+    """Thresholds for the health-score state machine."""
+
+    #: score at which a core is quarantined
+    fault_threshold: float = 2.0
+    #: score added per conclusive verdict against the core
+    fault_weight: float = 1.0
+    #: multiplier applied to the score per clean validation observed.
+    #: The default (1.0) never decays: two confirmed faults — ever —
+    #: quarantine the core, matching how persistently mercurial defects
+    #: behave.  Deployments expecting transients set this below 1 so
+    #: isolated strikes age out between faults.
+    clean_decay: float = 1.0
+    #: consecutive clean probes required to re-admit a quarantined core
+    probation_probes: int = 3
+
+    def validate(self) -> None:
+        if self.fault_threshold <= 0:
+            raise ConfigurationError("fault_threshold must be positive")
+        if self.fault_weight <= 0:
+            raise ConfigurationError("fault_weight must be positive")
+        if not 0.0 <= self.clean_decay <= 1.0:
+            raise ConfigurationError("clean_decay must be in [0, 1]")
+        if self.probation_probes < 1:
+            raise ConfigurationError("probation_probes must be >= 1")
+
+
+@dataclass(slots=True)
+class CoreHealth:
+    """Response-layer view of one core."""
+
+    core_id: int
+    score: float = 0.0
+    faults: int = 0
+    cleans: int = 0
+    state: str = IN_SERVICE
+    first_fault_time: float | None = None
+    first_fault_seq: int | None = None
+    quarantined_at: float | None = None
+    probes_passed: int = 0
+    #: True when quarantine was requested but the scheduler refused
+    #: (last core of a role) — the core stays scheduled, flagged.
+    held_in_service: bool = False
+
+
+class QuarantineManager:
+    """Drives the in-service → quarantined → probation → in-service cycle."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        scheduler: Scheduler,
+        heap: VersionedHeap,
+        config: QuarantineConfig | None = None,
+        obs=None,
+    ):
+        self.config = config if config is not None else QuarantineConfig()
+        self.config.validate()
+        self._machine = machine
+        self._scheduler = scheduler
+        self._heap = heap
+        self._obs = obs if obs is not None else NULL_OBS
+        self._health: dict[int, CoreHealth] = {}
+        if self._obs.enabled:
+            self._obs.registry.gauge(
+                "orthrus_quarantined_cores",
+                help="cores currently removed from service",
+            ).set_function(lambda: float(len(self._machine.quarantined_cores)))
+
+    # ------------------------------------------------------------------
+    def health(self, core_id: int) -> CoreHealth:
+        record = self._health.get(core_id)
+        if record is None:
+            record = self._health[core_id] = CoreHealth(core_id=core_id)
+        return record
+
+    def state(self, core_id: int) -> str:
+        return self.health(core_id).state
+
+    @property
+    def quarantined(self) -> list[int]:
+        return sorted(
+            h.core_id
+            for h in self._health.values()
+            if h.state in (QUARANTINED, PROBATION)
+        )
+
+    def top_suspect(self) -> CoreHealth | None:
+        """The most implicated core: quarantined first, then by score."""
+        candidates = [h for h in self._health.values() if h.faults > 0]
+        if not candidates:
+            return None
+        return max(
+            candidates,
+            key=lambda h: (h.state in (QUARANTINED, PROBATION), h.score, h.faults),
+        )
+
+    # ------------------------------------------------------------------
+    # signal intake
+    # ------------------------------------------------------------------
+    def record_fault(
+        self, core_id: int, when: float, seq: int | None = None
+    ) -> bool:
+        """A conclusive verdict implicated ``core_id``.
+
+        Returns True when this fault tipped the core into quarantine.
+        """
+        record = self.health(core_id)
+        record.faults += 1
+        record.score += self.config.fault_weight
+        if record.first_fault_time is None:
+            record.first_fault_time = when
+        if seq is not None and (
+            record.first_fault_seq is None or seq < record.first_fault_seq
+        ):
+            record.first_fault_seq = seq
+        if record.state == IN_SERVICE and record.score >= self.config.fault_threshold:
+            return self._quarantine(record, when)
+        return False
+
+    def record_clean(self, core_id: int) -> None:
+        """A validation involving ``core_id`` passed; decay its score."""
+        record = self.health(core_id)
+        record.cleans += 1
+        if record.state == IN_SERVICE:
+            record.score *= self.config.clean_decay
+
+    # ------------------------------------------------------------------
+    # quarantine / probation
+    # ------------------------------------------------------------------
+    def _quarantine(self, record: CoreHealth, when: float) -> bool:
+        try:
+            self._scheduler.remove_core(record.core_id)
+        except ConfigurationError:
+            # Last core of its role: cannot be pulled without stopping the
+            # deployment.  Keep it scheduled but flagged, so operators (and
+            # the incident report) see the degraded state.
+            record.held_in_service = True
+            if self._obs.enabled:
+                self._obs.tracer.emit(
+                    "response.quarantine_refused",
+                    ts=when,
+                    core=record.core_id,
+                    score=record.score,
+                )
+            return False
+        self._machine.core(record.core_id).quarantined = True
+        record.state = QUARANTINED
+        record.quarantined_at = when
+        record.probes_passed = 0
+        if self._obs.enabled:
+            self._obs.registry.counter(
+                "orthrus_quarantines_total",
+                {"core": str(record.core_id)},
+                help="cores pulled from service by the response layer",
+            ).inc()
+            self._obs.tracer.emit(
+                "response.quarantine",
+                ts=when,
+                core=record.core_id,
+                score=record.score,
+                faults=record.faults,
+            )
+        return True
+
+    def probe(self, core_id: int, log: ClosureLog) -> bool:
+        """Probation probe: replay a known-clean log on the suspect core.
+
+        ``log`` must have been produced on a *different* core and validated
+        clean — agreement then exercises the suspect's own units against a
+        known-good record.  Returns True when the probe passed.
+        """
+        record = self.health(core_id)
+        if record.state == IN_SERVICE:
+            raise ConfigurationError(
+                f"probe of core {core_id} which is not quarantined"
+            )
+        record.state = PROBATION
+        core = self._machine.core(core_id)
+        try:
+            rerun = reexecute(self._heap, log, core)
+            passed = rerun.matches
+        except Exception:
+            passed = False
+        now = self._heap.now()
+        if passed:
+            record.probes_passed += 1
+        else:
+            record.probes_passed = 0
+        if self._obs.enabled:
+            self._obs.registry.counter(
+                "orthrus_probation_probes_total",
+                {"result": "pass" if passed else "fail"},
+                help="probation re-executions on quarantined cores",
+            ).inc()
+            self._obs.tracer.emit(
+                "response.probe",
+                ts=now,
+                core=core_id,
+                seq=log.seq,
+                passed=passed,
+                streak=record.probes_passed,
+            )
+        if record.probes_passed >= self.config.probation_probes:
+            self._readmit(record, now)
+        return passed
+
+    def _readmit(self, record: CoreHealth, when: float) -> None:
+        self._scheduler.restore_core(record.core_id)
+        self._machine.core(record.core_id).quarantined = False
+        record.state = IN_SERVICE
+        record.score = 0.0
+        record.quarantined_at = None
+        record.probes_passed = 0
+        if self._obs.enabled:
+            self._obs.registry.counter(
+                "orthrus_readmissions_total",
+                help="quarantined cores re-admitted after probation",
+            ).inc()
+            self._obs.tracer.emit(
+                "response.readmit", ts=when, core=record.core_id
+            )

@@ -1,0 +1,397 @@
+"""Repair: replay affected closures on healthy cores and fix the heap (§2.3).
+
+The blast radius gives the affected closure logs in execution order.  Each
+is re-executed on a healthy core with its private heap *seeded* from an
+overlay of already-corrected upstream values, so the replay computes what
+the application **would** have produced without the fault.  The corrected
+outputs are installed over the corrupted versions in place
+(:meth:`~repro.memory.heap.VersionedHeap.repair_version`), preserving
+version ids and visible windows so every log that pinned a corrupted
+version re-validates against the corrected payload.
+
+Misdirected writes need more than positional patching: a fault that
+corrupts a pointer (or a hash, Listing 2) makes the APP write the *wrong
+object*, so the replay's write set differs from the log's recorded one.
+The repairer handles the three divergences:
+
+* replay writes an object the log did not record → the write was
+  misdirected away from it; the corrected value is installed on the true
+  target, and the target joins the taint set for another blast-radius
+  round (closures that read it are affected too — a fixpoint);
+* the log records versions the replay never writes → those versions are
+  bogus; their payload is restored to the value visible before the
+  closure ran;
+* the replay allocates more objects than the log → the fault suppressed
+  an allocation; a fresh object is materialized to carry the value.
+
+The fixpoint converges because taint only grows and is bounded by the
+object population; a round cap guards pathological cases.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.closures.log import ClosureLog
+from repro.machine.core import Core
+from repro.memory.heap import VersionedHeap
+from repro.memory.pointer import OrthrusPtr
+from repro.obs.observability import NULL_OBS
+from repro.response.blast import BlastRadius, BlastRadiusAnalyzer
+from repro.validation.comparator import values_equal
+from repro.validation.validator import reexecute
+
+
+@dataclass(slots=True)
+class RepairResult:
+    """Outcome of the replay-and-install pass."""
+
+    rounds: int = 0
+    #: closure replays performed on healthy cores
+    reexecuted: int = 0
+    #: APP output versions compared against their replayed value
+    versions_checked: int = 0
+    versions_corrupted: list[int] = field(default_factory=list)
+    versions_repaired: list[int] = field(default_factory=list)
+    versions_unrecoverable: list[int] = field(default_factory=list)
+    #: misdirected-write targets whose live value was restored
+    objects_restored: list[int] = field(default_factory=list)
+    #: objects deleted because the healthy replay deleted them
+    objects_deleted: list[int] = field(default_factory=list)
+    #: objects the APP deleted but the replay did not (cannot resurrect)
+    objects_unrestorable: list[int] = field(default_factory=list)
+    #: seqs of logs whose replay failed outright
+    failed_seqs: list[int] = field(default_factory=list)
+    blast: BlastRadius | None = None
+
+    @property
+    def complete(self) -> bool:
+        return (
+            not self.failed_seqs
+            and not self.versions_unrecoverable
+            and not self.objects_unrestorable
+        )
+
+
+class _RepairState:
+    """Accumulators shared across fixpoint rounds (sets keep replays
+    idempotent: a round-2 replay of a round-1 log re-derives the same
+    repairs without double counting)."""
+
+    def __init__(self):
+        self.checked: set[int] = set()
+        self.corrupted: set[int] = set()
+        self.repaired: set[int] = set()
+        self.unrecoverable: set[int] = set()
+        self.failed: set[int] = set()
+        self.materialized: dict[int, int] = {}  # (seq, position) keyed below
+        self.unrestorable_objects: set[int] = set()
+        self.reexecuted = 0
+        # per-round (last round wins): corrected final value per object and
+        # deletes the healthy replay performed that the APP did not
+        self.final_values: dict[int, object] = {}
+        self.pending_deletes: set[int] = set()
+        self.restored_objects: set[int] = set()
+
+    def begin_round(self) -> None:
+        self.final_values = {}
+        self.pending_deletes = set()
+        self.restored_objects = set()
+
+
+class Repairer:
+    """Replays affected closures and installs corrected versions."""
+
+    MAX_ROUNDS = 8
+
+    def __init__(self, heap: VersionedHeap, obs=None):
+        self._heap = heap
+        self._obs = obs if obs is not None else NULL_OBS
+
+    # ------------------------------------------------------------------
+    def repair(
+        self,
+        logs: list[ClosureLog],
+        suspect_core: int,
+        since_seq: int,
+        healthy_cores: list[Core],
+        analyzer: BlastRadiusAnalyzer | None = None,
+        max_rounds: int | None = None,
+    ) -> RepairResult:
+        """Blast-radius → replay → install, iterated to a taint fixpoint."""
+        if analyzer is None:
+            analyzer = BlastRadiusAnalyzer(self._heap)
+        rounds_cap = max_rounds if max_rounds is not None else self.MAX_ROUNDS
+        state = _RepairState()
+        result = RepairResult()
+        seeds: set[int] = set()
+        blast: BlastRadius | None = None
+        while result.rounds < rounds_cap:
+            result.rounds += 1
+            blast = analyzer.analyze(
+                logs, suspect_core, since_seq, seed_objects=seeds
+            )
+            state.begin_round()
+            overlay: dict[int, object] = {}
+            discovered: set[int] = set()
+            cursor = 0
+            for log in blast.affected:
+                core, cursor = self._pick_core(healthy_cores, log, cursor)
+                if core is None:
+                    state.failed.add(log.seq)
+                    state.unrecoverable.update(
+                        vid
+                        for vid in log.output_versions
+                        if vid not in state.repaired
+                    )
+                    continue
+                discovered |= self._replay(log, core, overlay, state)
+            new_taint = discovered - blast.tainted_objects
+            seeds = blast.tainted_objects | discovered
+            if not new_taint:
+                break
+        self._install(state)
+        result.blast = blast
+        result.reexecuted = state.reexecuted
+        result.versions_checked = len(state.checked)
+        result.versions_corrupted = sorted(state.corrupted)
+        result.versions_repaired = sorted(state.repaired)
+        unrecoverable = set(state.unrecoverable)
+        if blast is not None:
+            unrecoverable.update(blast.unrecoverable_versions)
+        result.versions_unrecoverable = sorted(unrecoverable - state.repaired)
+        result.objects_restored = sorted(state.restored_objects)
+        result.objects_deleted = sorted(
+            obj for obj in state.pending_deletes if not self._heap.exists(obj)
+        )
+        result.objects_unrestorable = sorted(state.unrestorable_objects)
+        result.failed_seqs = sorted(state.failed)
+        obs = self._obs
+        if obs.enabled:
+            registry = obs.registry
+            registry.counter(
+                "orthrus_repair_reexecutions_total",
+                help="closure replays performed by the repairer",
+            ).inc(result.reexecuted)
+            for label, count in (
+                ("repaired", len(result.versions_repaired)),
+                ("clean", result.versions_checked - len(result.versions_corrupted)),
+                ("unrecoverable", len(result.versions_unrecoverable)),
+            ):
+                registry.counter(
+                    "orthrus_repair_versions_total",
+                    {"result": label},
+                    help="versions examined by repair, by outcome",
+                ).inc(count)
+            obs.tracer.emit(
+                "response.repair",
+                ts=self._heap.now(),
+                suspect_core=suspect_core,
+                rounds=result.rounds,
+                reexecuted=result.reexecuted,
+                repaired=len(result.versions_repaired),
+                unrecoverable=len(result.versions_unrecoverable),
+                complete=result.complete,
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    def _pick_core(
+        self, healthy_cores: list[Core], log: ClosureLog, cursor: int
+    ) -> tuple[Core | None, int]:
+        """Round-robin over healthy cores, never the log's own APP core."""
+        candidates = [c for c in healthy_cores if c.core_id != log.core_id]
+        if not candidates:
+            return None, cursor
+        return candidates[cursor % len(candidates)], cursor + 1
+
+    # ------------------------------------------------------------------
+    def _replay(
+        self,
+        log: ClosureLog,
+        core: Core,
+        overlay: dict[int, object],
+        state: _RepairState,
+    ) -> set[int]:
+        """Replay one log; update overlay/state; return newly tainted objs."""
+        state.reexecuted += 1
+        try:
+            rerun = reexecute(self._heap, log, core, private_seed=overlay)
+        except Exception:
+            rerun = None
+        if rerun is None or rerun.error is not None:
+            state.failed.add(log.seq)
+            state.unrecoverable.update(
+                vid for vid in log.output_versions if vid not in state.repaired
+            )
+            return set()
+        ctx = rerun.context
+        mapping, surplus = self._allocation_mapping(log, ctx, state)
+        # Objects the APP allocated that the healthy replay does not are
+        # spurious (e.g. a duplicate item inserted because a misdirected
+        # earlier write hid the real one): schedule them for deletion and
+        # treat their versions as handled below.
+        state.pending_deletes.update(surplus)
+
+        # Align the replay's write stream per object against the APP's
+        # recorded output versions for the same object.
+        app_chain: dict[int, deque[int]] = {}
+        for obj, vid in zip(log.output_objects, log.output_versions):
+            app_chain.setdefault(obj, deque()).append(vid)
+
+        discovered: set[int] = set()
+        for obj, value in ctx.private.writes:
+            real = mapping.get(obj, obj)
+            corrected = self._remap(value, mapping)
+            overlay[real] = corrected
+            state.final_values[real] = corrected
+            chain = app_chain.get(real)
+            if chain:
+                vid = chain.popleft()
+                state.checked.add(vid)
+                if self._heap.has_version(vid):
+                    if not values_equal(self._heap.version(vid).value, corrected):
+                        state.corrupted.add(vid)
+                        self._heap.repair_version(vid, corrected)
+                        state.repaired.add(vid)
+                else:
+                    state.corrupted.add(vid)
+                    state.unrecoverable.add(vid)
+            else:
+                # The APP never recorded this write: it was misdirected
+                # away from ``real`` (or suppressed).  Install later and
+                # taint the true target for the next blast-radius round.
+                state.restored_objects.add(real)
+                discovered.add(real)
+
+        # Versions the APP recorded that the replay never produced are
+        # bogus writes; restore the payload their readers should have seen.
+        for obj, chain in app_chain.items():
+            for vid in chain:
+                state.checked.add(vid)
+                state.corrupted.add(vid)
+                if obj in state.pending_deletes:
+                    # spurious allocation: remediated by deleting the object
+                    state.repaired.add(vid)
+                    continue
+                if not self._heap.has_version(vid):
+                    state.unrecoverable.add(vid)
+                    continue
+                if obj in overlay:
+                    previous = overlay[obj]
+                else:
+                    try:
+                        previous = self._heap.visible_at(
+                            obj, log.start_time
+                        ).value
+                    except Exception:
+                        state.unrecoverable.add(vid)
+                        continue
+                self._heap.repair_version(vid, previous)
+                state.repaired.add(vid)
+                overlay[obj] = previous
+                state.final_values[obj] = previous
+
+        replay_deletes = {mapping.get(o, o) for o in ctx.private.deleted}
+        app_deletes = self._app_deletes(log)
+        for obj in replay_deletes - app_deletes:
+            state.pending_deletes.add(obj)
+            discovered.add(obj)
+        for obj in app_deletes - replay_deletes:
+            state.unrestorable_objects.add(obj)
+        return discovered
+
+    @staticmethod
+    def _app_deletes(log: ClosureLog) -> set[int]:
+        """The APP's deleted object ids, decanonicalized.
+
+        The runtime rewrites ``log.deletes`` into comparison-canonical
+        form — ``("ptr", obj_id)`` or ``("ptr:new", position)`` — after
+        the APP run; the repairer needs the raw heap ids back.
+        """
+        out: set[int] = set()
+        for entry in log.deletes:
+            if isinstance(entry, tuple):
+                kind, value = entry
+                out.add(log.allocated[value] if kind == "ptr:new" else value)
+            else:
+                out.add(entry)
+        return out
+
+    def _allocation_mapping(
+        self, log: ClosureLog, ctx, state: _RepairState
+    ) -> tuple[dict[int, int], list[int]]:
+        """Map the replay's shadow allocations to the APP's object ids.
+
+        The k-th shadow allocation corresponds to the APP's k-th recorded
+        allocation; a replay that allocates *more* than the APP recorded
+        materializes fresh heap objects for the surplus (the fault made the
+        APP skip them).  Materializations are memoized per (seq, position)
+        so fixpoint rounds reuse the same object.  Also returns the APP
+        allocations the replay never made — spurious objects the fault
+        caused.
+        """
+        mapping: dict[int, int] = {}
+        replay_allocs = 0
+        for shadow, position in ctx._alloc_positions.items():
+            if shadow >= 0:
+                continue
+            replay_allocs += 1
+            if position < len(log.allocated):
+                mapping[shadow] = log.allocated[position]
+            else:
+                key = log.seq * 1_000_003 + position
+                real = state.materialized.get(key)
+                if real is None:
+                    real = self._heap.allocate(None)
+                    state.materialized[key] = real
+                mapping[shadow] = real
+        return mapping, list(log.allocated[replay_allocs:])
+
+    def _remap(self, value, mapping: dict[int, int]):
+        """Rewrite shadow-object pointers inside a replayed value."""
+        if isinstance(value, OrthrusPtr):
+            real = mapping.get(value.obj_id)
+            if real is not None and real != value.obj_id:
+                return OrthrusPtr(self._heap, real)
+            return value
+        if isinstance(value, list):
+            return [self._remap(item, mapping) for item in value]
+        if isinstance(value, tuple):
+            return tuple(self._remap(item, mapping) for item in value)
+        if isinstance(value, dict):
+            return {
+                key: self._remap(item, mapping) for key, item in value.items()
+            }
+        return value
+
+    # ------------------------------------------------------------------
+    def _install(self, state: _RepairState) -> None:
+        """Bring the *live* heap state in line with the corrected values.
+
+        In-place version repairs already happened during replay; what is
+        left is the live tip of misdirected-write targets (objects whose
+        version chain never recorded the write the app should have made)
+        and deletes the healthy replay performed.
+        """
+        for obj in sorted(state.pending_deletes):
+            if self._heap.exists(obj):
+                self._heap.delete(obj)
+        for obj in sorted(state.restored_objects):
+            if obj in state.pending_deletes or not self._heap.exists(obj):
+                continue
+            value = state.final_values.get(obj)
+            try:
+                latest = self._heap.latest(obj)
+            except Exception:
+                state.unrestorable_objects.add(obj)
+                continue
+            if not values_equal(latest.value, value):
+                self._heap.repair_version(latest.version_id, value)
+        # A wrongly-deleted object is only lost if nothing re-created it:
+        # when a later affected closure re-allocated it, that write was
+        # itself replayed and verified above.
+        state.unrestorable_objects = {
+            obj for obj in state.unrestorable_objects if not self._heap.exists(obj)
+        }

@@ -1,0 +1,147 @@
+"""The incident report: what happened, what was poisoned, what was fixed.
+
+An :class:`IncidentReport` is the terminal artifact of one response episode
+— the document an operator (or the fleet-level manager of §2.1) receives
+after Orthrus has detected a corruption, arbitrated the faulty core,
+quarantined it, sized the blast radius and replayed the affected closures.
+It round-trips through JSON so it can be shipped off-box.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+
+@dataclass(slots=True)
+class TimelineEntry:
+    """One step of the incident, in occurrence order."""
+
+    time: float
+    kind: str
+    detail: str
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TimelineEntry":
+        return cls(
+            time=float(data["time"]),
+            kind=str(data["kind"]),
+            detail=str(data["detail"]),
+        )
+
+
+@dataclass(slots=True)
+class IncidentReport:
+    """Summary of one detection→remediation episode.
+
+    ``faulty_core`` is the response layer's *inference*; the fault-injection
+    campaign scores it against the injected ground truth.  A value of -1
+    means no core was ever implicated (clean run).
+    """
+
+    #: the core the response layer concluded is mercurial (-1: none)
+    faulty_core: int = -1
+    #: cores currently quarantined (usually ``[faulty_core]``)
+    quarantined_cores: list[int] = field(default_factory=list)
+    #: total detection events observed
+    detections: int = 0
+    #: detection events by kind (mismatch / checksum / ...)
+    detections_by_kind: dict[str, int] = field(default_factory=dict)
+    #: arbitration verdicts by suspect role (app / validator / inconclusive)
+    arbitrations: dict[str, int] = field(default_factory=dict)
+    #: heap time of the first confirmed fault on ``faulty_core``
+    first_fault_time: float | None = None
+    #: seq of the first closure confirmed faulty on ``faulty_core``
+    first_fault_seq: int | None = None
+    #: versions examined by blast-radius analysis
+    versions_scanned: int = 0
+    #: versions whose payload diverged from the healthy re-execution
+    versions_corrupted: int = 0
+    #: corrupted versions restored in place
+    versions_repaired: int = 0
+    #: tainted versions already reclaimed (or otherwise unrestorable)
+    versions_unrecoverable: int = 0
+    #: objects whose live value was restored (misdirected-write targets)
+    objects_restored: int = 0
+    #: closure replays the repairer performed on healthy cores
+    closures_reexecuted: int = 0
+    #: taint-propagation rounds the repair fixpoint needed
+    repair_rounds: int = 0
+    #: False when replays failed or unrecoverable versions remain
+    repair_complete: bool = True
+    timeline: list[TimelineEntry] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def add(self, time: float, kind: str, detail: str) -> None:
+        self.timeline.append(TimelineEntry(time=time, kind=kind, detail=detail))
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["timeline"] = [entry.to_dict() for entry in self.timeline]
+        return data
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "IncidentReport":
+        report = cls(
+            faulty_core=int(data.get("faulty_core", -1)),
+            quarantined_cores=[int(c) for c in data.get("quarantined_cores", [])],
+            detections=int(data.get("detections", 0)),
+            detections_by_kind={
+                str(k): int(v) for k, v in data.get("detections_by_kind", {}).items()
+            },
+            arbitrations={
+                str(k): int(v) for k, v in data.get("arbitrations", {}).items()
+            },
+            first_fault_time=data.get("first_fault_time"),
+            first_fault_seq=data.get("first_fault_seq"),
+            versions_scanned=int(data.get("versions_scanned", 0)),
+            versions_corrupted=int(data.get("versions_corrupted", 0)),
+            versions_repaired=int(data.get("versions_repaired", 0)),
+            versions_unrecoverable=int(data.get("versions_unrecoverable", 0)),
+            objects_restored=int(data.get("objects_restored", 0)),
+            closures_reexecuted=int(data.get("closures_reexecuted", 0)),
+            repair_rounds=int(data.get("repair_rounds", 0)),
+            repair_complete=bool(data.get("repair_complete", True)),
+        )
+        report.timeline = [
+            TimelineEntry.from_dict(entry) for entry in data.get("timeline", [])
+        ]
+        return report
+
+    @classmethod
+    def from_json(cls, text: str) -> "IncidentReport":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    def summary_lines(self) -> list[str]:
+        """Human-readable summary for CLI / demo output."""
+        lines = [
+            f"faulty core        : {self.faulty_core if self.faulty_core >= 0 else 'none'}",
+            f"quarantined cores  : {self.quarantined_cores or 'none'}",
+            f"detections         : {self.detections} {self.detections_by_kind}",
+            f"arbitrations       : {self.arbitrations}",
+            f"versions scanned   : {self.versions_scanned}",
+            f"versions corrupted : {self.versions_corrupted}",
+            f"versions repaired  : {self.versions_repaired}",
+            f"unrecoverable      : {self.versions_unrecoverable}",
+            f"objects restored   : {self.objects_restored}",
+            f"closures replayed  : {self.closures_reexecuted} "
+            f"({self.repair_rounds} round(s))",
+            f"repair complete    : {self.repair_complete}",
+        ]
+        if self.first_fault_seq is not None:
+            lines.insert(
+                2,
+                f"first fault        : seq={self.first_fault_seq} "
+                f"t={self.first_fault_time}",
+            )
+        return lines

@@ -107,6 +107,9 @@ class OrthrusRuntime:
         self._pop_cursor = 0
         self._bound = threading.local()
         self._on_log: Callable[[ClosureLog], None] | None = None
+        #: incident-response coordinator (repro.response); attached by
+        #: ResponseCoordinator, observes logs/outcomes/detections.
+        self.responder = None
         if self.obs.enabled:
             self._register_gauges()
         #: False = close each closure's active window immediately after the
@@ -259,12 +262,16 @@ class OrthrusRuntime:
             self.reclaimer.closure_finished(log.seq)
         if self._on_log is not None:
             self._on_log(log)
+        if self.responder is not None:
+            self.responder.on_log(log)
         if self.mode == "inline":
             val_core = self.scheduler.validation_core_for(core.core_id)
             outcome = self.validator.validate(log, val_core)
             self.sampler.on_validated(log, self.clock.now())
             self.latency.record(log.closure_name, outcome.latency)
             self.outcomes.append(outcome)
+            if self.responder is not None:
+                self.responder.on_outcome(outcome)
         elif self.mode == "queued":
             self.queues.push(log, self.clock.now())
         # mode == "external": an external driver (the discrete-event
@@ -324,6 +331,8 @@ class OrthrusRuntime:
             self.sampler.on_validated(log, self.clock.now())
             self.latency.record(log.closure_name, outcome.latency)
             self.outcomes.append(outcome)
+            if self.responder is not None:
+                self.responder.on_outcome(outcome)
         return processed
 
     def drain(self) -> int:
@@ -369,6 +378,10 @@ class OrthrusRuntime:
                 {"kind": event.kind, "closure": event.closure},
                 help="SDC detections by kind",
             ).inc()
+        # Response runs before the abort policy so the incident record is
+        # complete even when the strict deployment stops the application.
+        if self.responder is not None:
+            self.responder.on_detection(event)
         if self.detection_policy == "abort":
             if event.kind == "checksum":
                 raise ChecksumMismatch(event.detail, closure=event.closure)

@@ -46,6 +46,110 @@ class ValidationOutcome:
         return not self.passed
 
 
+@dataclass(slots=True)
+class Reexecution:
+    """One re-execution of a closure log, compared against its APP record.
+
+    Shared by the validator, the arbitration referee, quarantine probes
+    and the repairer — everything that replays a log on some core and asks
+    "does this execution agree with what the application recorded?".
+    """
+
+    result: ComparisonResult
+    #: cycles the re-execution consumed on its core
+    val_cycles: int
+    #: the execution context (its private heap holds the re-executed
+    #: writes/deletes — the repairer installs corrected versions from it)
+    context: ExecutionContext
+    #: set when the re-execution raised (the APP run did not)
+    error: str | None = None
+
+    @property
+    def matches(self) -> bool:
+        return self.result.matches
+
+
+def reexecute(
+    heap: VersionedHeap,
+    log: ClosureLog,
+    core: Core,
+    private_seed: dict[int, object] | None = None,
+) -> Reexecution:
+    """Re-execute ``log`` on ``core`` in VAL mode and compare (§3.3).
+
+    ``private_seed`` pre-loads the context's private heap with object
+    values that should shadow the pinned input versions — the repairer
+    uses it to replay a log against already-corrected upstream state
+    without recording the seeds as outputs.
+    """
+    if core.core_id == log.core_id:
+        raise ConfigurationError(
+            f"re-execution of {log.closure_name} scheduled on its own APP "
+            f"core {core.core_id}; a faulty unit would corrupt both runs"
+        )
+    ctx = ExecutionContext(
+        ExecutionContext.VAL,
+        core=core,
+        heap=heap,
+        log=log,
+        verify_checksums=False,
+    )
+    if private_seed:
+        for obj_id, value in private_seed.items():
+            ctx.private.seed(obj_id, value)
+    failure: str | None = None
+    val_retval = None
+    try:
+        with ctx:
+            raw = log.func(*log.args, **log.kwargs)
+            val_retval = ctx.canonicalize(raw)
+    except Exception as exc:  # divergence: the APP run did not raise
+        failure = f"re-execution raised {type(exc).__name__}: {exc}"
+    val_cycles = ctx.trace.cycles if ctx.trace is not None else 0
+
+    if failure is not None:
+        return Reexecution(
+            result=ComparisonResult.mismatch(failure),
+            val_cycles=val_cycles,
+            context=ctx,
+            error=failure,
+        )
+
+    app_positions = {oid: k for k, oid in enumerate(log.allocated)}
+
+    def canon_app(obj_id: int):
+        position = app_positions.get(obj_id)
+        return ("ptr:new", position) if position is not None else ("ptr", obj_id)
+
+    # Outputs are (target, value) pairs: a store of the right value to the
+    # *wrong object* (e.g. a mis-hashed bucket, Listing 2) must diverge
+    # even though the stored bytes match.
+    app_outputs = []
+    for vid in log.output_versions:
+        version = heap.version(vid)
+        app_outputs.append(
+            (
+                canon_app(version.obj_id),
+                canonicalize_ptrs(version.value, canon_app),
+            )
+        )
+    val_outputs = [
+        (ctx.canon_obj(obj_id), canonicalize_ptrs(value, ctx.canon_obj))
+        for obj_id, value in ctx.private.writes
+    ]
+    val_deletes = [ctx.canon_obj(oid) for oid in ctx.private.deleted]
+    result = compare_execution(
+        app_outputs=app_outputs,
+        val_outputs=val_outputs,
+        app_retval=log.retval,
+        val_retval=val_retval,
+        app_deletes=log.deletes,
+        val_deletes=val_deletes,
+        compare=log.compare,
+    )
+    return Reexecution(result=result, val_cycles=val_cycles, context=ctx)
+
+
 class Validator:
     """Re-executes closure logs and reports divergences."""
 
@@ -67,63 +171,9 @@ class Validator:
 
     def validate(self, log: ClosureLog, core: Core) -> ValidationOutcome:
         """Re-execute ``log`` on ``core`` and compare results."""
-        if core.core_id == log.core_id:
-            raise ConfigurationError(
-                f"validation of {log.closure_name} scheduled on its own APP "
-                f"core {core.core_id}; a faulty unit would corrupt both runs"
-            )
-        ctx = ExecutionContext(
-            ExecutionContext.VAL,
-            core=core,
-            heap=self._heap,
-            log=log,
-            verify_checksums=False,
-        )
-        failure: str | None = None
-        val_retval = None
-        try:
-            with ctx:
-                raw = log.func(*log.args, **log.kwargs)
-                val_retval = ctx.canonicalize(raw)
-        except Exception as exc:  # divergence: the APP run did not raise
-            failure = f"re-execution raised {type(exc).__name__}: {exc}"
-        val_cycles = ctx.trace.cycles if ctx.trace is not None else 0
-
-        if failure is not None:
-            result = ComparisonResult.mismatch(failure)
-        else:
-            app_positions = {oid: k for k, oid in enumerate(log.allocated)}
-
-            def canon_app(obj_id: int):
-                position = app_positions.get(obj_id)
-                return ("ptr:new", position) if position is not None else ("ptr", obj_id)
-
-            # Outputs are (target, value) pairs: a store of the right value
-            # to the *wrong object* (e.g. a mis-hashed bucket, Listing 2)
-            # must diverge even though the stored bytes match.
-            app_outputs = []
-            for vid in log.output_versions:
-                version = self._heap.version(vid)
-                app_outputs.append(
-                    (
-                        canon_app(version.obj_id),
-                        canonicalize_ptrs(version.value, canon_app),
-                    )
-                )
-            val_outputs = [
-                (ctx.canon_obj(obj_id), canonicalize_ptrs(value, ctx.canon_obj))
-                for obj_id, value in ctx.private.writes
-            ]
-            val_deletes = [ctx.canon_obj(oid) for oid in ctx.private.deleted]
-            result = compare_execution(
-                app_outputs=app_outputs,
-                val_outputs=val_outputs,
-                app_retval=log.retval,
-                val_retval=val_retval,
-                app_deletes=log.deletes,
-                val_deletes=val_deletes,
-                compare=log.compare,
-            )
+        rerun = reexecute(self._heap, log, core)
+        result = rerun.result
+        val_cycles = rerun.val_cycles
 
         now = self._clock.now()
         log.validated_time = now
@@ -138,6 +188,8 @@ class Validator:
                         seq=log.seq,
                         time=now,
                         detail=result.detail,
+                        app_core=log.core_id,
+                        val_core=core.core_id,
                     )
                 )
         if self._reclaimer is not None:

@@ -110,3 +110,26 @@ class TestTrials:
 
     def test_outcome_counts_total(self, result):
         assert sum(result.outcome_counts().values()) == 16
+
+
+class TestAttributionGroundTruth:
+    def test_every_trial_records_the_armed_core(self, result):
+        assert all(0 <= t.injected_core < 2 for t in result.trials)
+
+    def test_detected_trials_are_scorable(self, result):
+        scorable = [
+            t for t in result.trials if t.attribution_correct is not None
+        ]
+        assert scorable, "detection events must implicate cores"
+
+    def test_detection_blames_the_armed_core(self, result):
+        # Mismatch events tag the APP core that ran the closure; with one
+        # persistent armed core per trial that must be the injected core.
+        accuracy = result.attribution_accuracy
+        assert accuracy is not None
+        assert accuracy >= 0.5
+
+    def test_campaign_property_matches_module_function(self, result):
+        from repro.faultinject.classify import attribution_accuracy
+
+        assert result.attribution_accuracy == attribution_accuracy(result.trials)

@@ -3,6 +3,7 @@
 from repro.faultinject.classify import (
     OutcomeKind,
     TrialResult,
+    attribution_accuracy,
     classify_outcome,
     coverage_by_unit,
     overall_detection_rate,
@@ -40,7 +41,7 @@ class TestClassifyOutcome:
         assert classify_outcome(run(), trial) is OutcomeKind.FAIL_STOP
 
 
-def trial(unit, outcome, orthrus=False, rbv=None):
+def trial(unit, outcome, orthrus=False, rbv=None, injected=-1, implicated=()):
     return TrialResult(
         fault=Fault(unit=unit, kind=FaultKind.BITFLIP),
         unit=unit,
@@ -48,6 +49,8 @@ def trial(unit, outcome, orthrus=False, rbv=None):
         orthrus_detected=orthrus,
         orthrus_kind="mismatch" if orthrus else None,
         rbv_detected=rbv,
+        injected_core=injected,
+        implicated_cores=tuple(implicated),
     )
 
 
@@ -80,3 +83,47 @@ class TestAggregation:
         assert overall_detection_rate([]) == 0.0
         rows = coverage_by_unit([])
         assert all(row.total_sdcs == 0 for row in rows.values())
+
+
+class TestAttribution:
+    def test_correct_when_injected_core_implicated(self):
+        t = trial(Unit.ALU, OutcomeKind.SDC, orthrus=True,
+                  injected=1, implicated=(1,))
+        assert t.attribution_correct is True
+
+    def test_wrong_when_other_core_blamed(self):
+        t = trial(Unit.ALU, OutcomeKind.SDC, orthrus=True,
+                  injected=1, implicated=(0,))
+        assert t.attribution_correct is False
+
+    def test_extra_implicated_cores_still_count_as_correct(self):
+        t = trial(Unit.ALU, OutcomeKind.SDC, orthrus=True,
+                  injected=1, implicated=(0, 1))
+        assert t.attribution_correct is True
+
+    def test_unscorable_cases_are_none(self):
+        undetected = trial(Unit.ALU, OutcomeKind.SDC,
+                           injected=1, implicated=(1,))
+        no_ground_truth = trial(Unit.ALU, OutcomeKind.SDC, orthrus=True,
+                                implicated=(1,))
+        no_implication = trial(Unit.ALU, OutcomeKind.SDC, orthrus=True,
+                               injected=1)
+        assert undetected.attribution_correct is None
+        assert no_ground_truth.attribution_correct is None
+        assert no_implication.attribution_correct is None
+
+    def test_accuracy_over_scorable_trials_only(self):
+        trials = [
+            trial(Unit.ALU, OutcomeKind.SDC, orthrus=True,
+                  injected=1, implicated=(1,)),
+            trial(Unit.ALU, OutcomeKind.SDC, orthrus=True,
+                  injected=1, implicated=(0,)),
+            trial(Unit.ALU, OutcomeKind.SDC),  # unscorable, excluded
+        ]
+        assert attribution_accuracy(trials) == 0.5
+
+    def test_accuracy_none_when_nothing_scorable(self):
+        assert attribution_accuracy([]) is None
+        assert attribution_accuracy(
+            [trial(Unit.ALU, OutcomeKind.MASKED)]
+        ) is None

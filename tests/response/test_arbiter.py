@@ -1,0 +1,98 @@
+"""Third-core arbitration: who is lying, the APP core or the validator?"""
+
+from repro.closures.annotation import closure
+from repro.closures.context import ops
+from repro.machine.cpu import Machine
+from repro.machine.faults import Fault, FaultKind
+from repro.machine.instruction import Site
+from repro.machine.units import Unit
+from repro.obs import Observability
+from repro.response.arbiter import Arbiter
+from repro.runtime.orthrus import OrthrusRuntime
+
+
+@closure(name="arb.bump")
+def bump(ptr):
+    value = ptr.load()
+    ptr.store(ops().alu.add(value, 1))
+    return value + 1
+
+
+ADD_FAULT = Fault(
+    unit=Unit.ALU, kind=FaultKind.BITFLIP, site=Site("arb.bump", "add", 0), bit=5
+)
+
+
+def run_with_fault(faulty_core: int):
+    """One bump() on app core 0 with ``faulty_core`` armed; inline
+    validation on core 2 flags the mismatch either way."""
+    machine = Machine(cores_per_node=4, numa_nodes=1, seed=1)
+    runtime = OrthrusRuntime(
+        machine=machine, app_cores=[0, 1], validation_cores=[2], mode="inline"
+    )
+    logs = []
+    runtime._on_log = logs.append
+    ptr = runtime.new(0)
+    machine.arm(faulty_core, ADD_FAULT)
+    with runtime, runtime.bind_core(0):
+        bump(ptr)
+    return runtime, machine, logs
+
+
+def arbitrate(runtime, machine, logs, referee_id: int, obs=None):
+    event = runtime.report.first
+    assert event is not None and event.kind == "mismatch"
+    log = next(entry for entry in logs if entry.seq == event.seq)
+    arbiter = Arbiter(runtime.heap, obs=obs)
+    return arbiter.arbitrate(log, event, machine.core(referee_id))
+
+
+class TestVerdicts:
+    def test_faulty_app_core_implicated(self):
+        runtime, machine, logs = run_with_fault(0)
+        verdict = arbitrate(runtime, machine, logs, referee_id=3)
+        assert verdict.suspect == "app"
+        assert verdict.suspect_core == 0
+        assert verdict.conclusive
+        assert verdict.referee_core == 3
+
+    def test_faulty_validation_core_implicated(self):
+        # The APP record is clean; the validator's re-execution on armed
+        # core 2 diverged.  The referee agrees with the APP record, so the
+        # validation core is the outlier.
+        runtime, machine, logs = run_with_fault(2)
+        verdict = arbitrate(runtime, machine, logs, referee_id=3)
+        assert verdict.suspect == "validator"
+        assert verdict.suspect_core == 2
+        assert verdict.conclusive
+
+    def test_referee_equal_to_app_core_is_inconclusive(self):
+        # Re-execution on the same core that produced the log is refused
+        # (it would agree with its own defect); the arbiter reports it as
+        # an inconclusive verdict rather than crashing the response path.
+        runtime, machine, logs = run_with_fault(0)
+        verdict = arbitrate(runtime, machine, logs, referee_id=0)
+        assert verdict.suspect == "inconclusive"
+        assert verdict.suspect_core == -1
+        assert not verdict.conclusive
+        assert "failed" in verdict.detail
+
+    def test_verdict_serializes(self):
+        runtime, machine, logs = run_with_fault(0)
+        verdict = arbitrate(runtime, machine, logs, referee_id=3)
+        data = verdict.to_dict()
+        assert data["suspect"] == "app"
+        assert data["seq"] == verdict.seq
+        assert data["closure"] == "arb.bump"
+
+
+class TestInstrumentation:
+    def test_arbitration_counter_labeled_by_suspect(self):
+        obs = Observability(trace=True)
+        runtime, machine, logs = run_with_fault(0)
+        arbitrate(runtime, machine, logs, referee_id=3, obs=obs)
+        assert obs.registry.value(
+            "orthrus_arbitrations_total", {"suspect": "app"}
+        ) == 1.0
+        kinds = {event.kind for event in obs.tracer}
+        assert "response.arbitrate" in kinds

@@ -1,0 +1,134 @@
+"""Blast-radius analysis and in-place repair over a small closure graph."""
+
+from repro.closures.annotation import closure
+from repro.closures.context import ops
+from repro.machine.cpu import Machine
+from repro.machine.faults import Fault, FaultKind
+from repro.machine.instruction import Site
+from repro.machine.units import Unit
+from repro.response.blast import BlastRadiusAnalyzer
+from repro.response.repair import Repairer
+from repro.runtime.orthrus import OrthrusRuntime
+
+
+@closure(name="blast.put")
+def put(ptr, v):
+    ptr.store(ops().alu.add(v, 0))
+    return v
+
+
+@closure(name="blast.mix")
+def mix(dst, src):
+    dst.store(ops().alu.add(src.load(), 1))
+
+
+PUT_FAULT = Fault(
+    unit=Unit.ALU, kind=FaultKind.BITFLIP, site=Site("blast.put", "add", 0), bit=6
+)
+
+
+def build_graph(arm_second_put=False):
+    """seq1: put(a,1)@core0 (trusted) — seq2: put(a,2)@core0 (suspect) —
+    seq3: mix(b,a)@core1 (derived) — seq4: put(c,9)@core1 (independent)."""
+    machine = Machine(cores_per_node=4, numa_nodes=1, seed=1)
+    runtime = OrthrusRuntime(
+        machine=machine, app_cores=[0, 1], validation_cores=[2, 3], mode="inline"
+    )
+    logs = []
+    runtime._on_log = logs.append
+    a, b, c = runtime.new(0), runtime.new(0), runtime.new(0)
+    with runtime:
+        with runtime.bind_core(0):
+            put(a, 1)
+            if arm_second_put:
+                machine.arm(0, PUT_FAULT)
+            put(a, 2)
+            machine.disarm_all()
+        with runtime.bind_core(1):
+            mix(b, a)
+            put(c, 9)
+    return runtime, machine, logs, (a, b, c)
+
+
+class TestBlastRadius:
+    def test_taint_cone_direct_and_derived(self):
+        runtime, _, logs, (a, b, c) = build_graph()
+        since = logs[1].seq
+        blast = BlastRadiusAnalyzer(runtime.heap).analyze(logs, 0, since)
+        assert blast.affected_seqs == [logs[1].seq, logs[2].seq]
+        assert a.obj_id in blast.tainted_objects
+        assert b.obj_id in blast.tainted_objects
+        assert c.obj_id not in blast.tainted_objects
+        assert blast.unrecoverable_versions == []
+
+    def test_since_seq_bounds_the_walk_on_the_left(self):
+        runtime, _, logs, _ = build_graph()
+        blast = BlastRadiusAnalyzer(runtime.heap).analyze(logs, 0, logs[1].seq)
+        assert logs[0].seq not in blast.affected_seqs
+        # scanned versions exclude the trusted prefix too
+        in_window = [log for log in logs if log.seq >= logs[1].seq]
+        assert blast.versions_scanned == sum(
+            len(log.output_versions) for log in in_window
+        )
+
+    def test_seed_objects_extend_the_cone(self):
+        runtime, _, logs, (_, _, c) = build_graph()
+        blast = BlastRadiusAnalyzer(runtime.heap).analyze(
+            logs, 0, logs[1].seq, seed_objects={c.obj_id}
+        )
+        assert logs[3].seq in blast.affected_seqs
+
+    def test_reclaimed_tainted_version_is_unrecoverable(self):
+        runtime, _, logs, _ = build_graph()
+        analyzer = BlastRadiusAnalyzer(runtime.heap)
+        blast = analyzer.analyze(logs, 0, logs[1].seq)
+        victim = blast.tainted_versions[0]
+        # Simulate the version having left the reclamation window before
+        # the response layer could pause the reclaimer.
+        from repro.memory.version import RECLAIMED
+
+        runtime.heap._versions[victim].value = RECLAIMED
+        again = analyzer.analyze(logs, 0, logs[1].seq)
+        assert victim in again.unrecoverable_versions
+
+
+class TestRepairer:
+    def healthy(self, machine, exclude=(0,)):
+        return [
+            machine.core(i) for i in range(len(machine)) if i not in exclude
+        ]
+
+    def test_repairs_corrupted_and_derived_versions_in_place(self):
+        runtime, machine, logs, (a, b, _) = build_graph(arm_second_put=True)
+        heap = runtime.heap
+        assert heap.latest(a.obj_id).value != 2  # the fault really landed
+        result = Repairer(heap).repair(
+            logs, suspect_core=0, since_seq=logs[1].seq,
+            healthy_cores=self.healthy(machine),
+        )
+        assert result.complete
+        assert heap.latest(a.obj_id).value == 2
+        assert heap.latest(b.obj_id).value == 3  # derived value recomputed
+        assert len(result.versions_repaired) == len(result.versions_corrupted) == 2
+        assert result.rounds >= 1
+
+    def test_repair_is_idempotent_on_a_clean_graph(self):
+        runtime, machine, logs, (a, b, c) = build_graph()
+        heap = runtime.heap
+        result = Repairer(heap).repair(
+            logs, suspect_core=0, since_seq=logs[1].seq,
+            healthy_cores=self.healthy(machine),
+        )
+        assert result.complete
+        assert result.versions_corrupted == []
+        assert heap.latest(a.obj_id).value == 2
+        assert heap.latest(b.obj_id).value == 3
+        assert heap.latest(c.obj_id).value == 9
+
+    def test_no_healthy_cores_marks_repair_incomplete(self):
+        runtime, machine, logs, _ = build_graph(arm_second_put=True)
+        result = Repairer(runtime.heap).repair(
+            logs, suspect_core=0, since_seq=logs[1].seq, healthy_cores=[]
+        )
+        assert not result.complete
+        assert result.failed_seqs

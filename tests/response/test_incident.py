@@ -1,0 +1,249 @@
+"""End-to-end incident episodes: inject → detect → quarantine → repair."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.incident import (
+    IncidentConfig,
+    misdirected_fault,
+    run_incident,
+    value_fault,
+)
+from repro.harness.pipeline import PipelineConfig, run_orthrus_server
+from repro.harness.scenarios import lsmtree_scenario, memcached_scenario
+from repro.machine.faults import Fault, FaultKind
+from repro.machine.instruction import Site
+from repro.machine.units import Unit
+from repro.obs import Observability
+from repro.response import ResponseConfig
+from repro.response.report import IncidentReport
+
+
+@pytest.fixture(scope="module")
+def value_incident():
+    """Persistent SIMD value fault on app core 0, memcached."""
+    return run_incident(
+        memcached_scenario(n_keys=40),
+        IncidentConfig(n_ops=120, fault=value_fault()),
+    )
+
+
+@pytest.fixture(scope="module")
+def misdirected_incident():
+    """Persistent ALU hash fault: writes land on the wrong objects."""
+    return run_incident(
+        memcached_scenario(n_keys=40),
+        IncidentConfig(n_ops=120, fault=misdirected_fault()),
+    )
+
+
+class TestValueFaultEpisode:
+    def test_attribution_blames_the_injected_core(self, value_incident):
+        assert value_incident.attribution_correct
+        assert value_incident.report.faulty_core == 0
+
+    def test_only_the_faulty_core_is_quarantined(self, value_incident):
+        assert value_incident.report.quarantined_cores == [0]
+
+    def test_arbitration_implicated_the_app_side(self, value_incident):
+        assert value_incident.report.arbitrations.get("app", 0) >= 2
+        assert value_incident.report.detections >= 2
+
+    def test_blast_radius_found_corruption_and_repair_fixed_it(
+        self, value_incident
+    ):
+        report = value_incident.report
+        assert report.versions_corrupted > 0
+        assert report.versions_repaired == report.versions_corrupted
+        assert report.versions_unrecoverable == 0
+        assert report.repair_complete
+
+    def test_heap_byte_identical_to_fault_free_run(self, value_incident):
+        assert value_incident.repaired
+        assert value_incident.final_digest == value_incident.reference_digest
+
+    def test_timeline_orders_the_response(self, value_incident):
+        kinds = [entry.kind for entry in value_incident.report.timeline]
+        assert kinds.index("detection") < kinds.index("quarantine")
+        assert kinds.index("quarantine") < kinds.index("repair")
+        assert kinds.index("reclamation-paused") < kinds.index(
+            "reclamation-resumed"
+        )
+        assert kinds[-1] == "report"
+
+    def test_reclamation_resumed_after_finalize(self, value_incident):
+        assert not value_incident.runtime.reclaimer.paused
+
+    def test_finalize_is_single_shot(self, value_incident):
+        with pytest.raises(ConfigurationError):
+            value_incident.coordinator.finalize()
+
+    def test_report_round_trips_through_json(self, value_incident):
+        report = value_incident.report
+        restored = IncidentReport.from_json(report.to_json(indent=2))
+        assert restored.to_dict() == report.to_dict()
+
+    def test_summary_lines_render(self, value_incident):
+        text = "\n".join(value_incident.report.summary_lines())
+        assert "faulty core" in text
+        assert "repair complete" in text
+
+
+class TestMisdirectedFaultEpisode:
+    def test_repair_walks_object_taint_to_the_true_targets(
+        self, misdirected_incident
+    ):
+        report = misdirected_incident.report
+        # Misdirected writes leave the true target without a corrupted
+        # version of its own — restoring it is object-level repair.
+        assert report.objects_restored > 0
+        assert misdirected_incident.repaired
+
+    def test_attribution_still_correct(self, misdirected_incident):
+        assert misdirected_incident.attribution_correct
+        assert misdirected_incident.report.quarantined_cores == [0]
+
+
+class TestValidatorFaultEpisode:
+    def test_faulty_validation_core_quarantined_no_repair_needed(self):
+        result = run_incident(
+            memcached_scenario(n_keys=40),
+            IncidentConfig(n_ops=120, faulty_core=2, fault=value_fault()),
+        )
+        report = result.report
+        assert report.arbitrations.get("validator", 0) >= 2
+        assert report.quarantined_cores == [2]
+        assert result.attribution_correct
+        # User data was never corrupted: the divergences came from the
+        # validator's own re-executions.
+        assert report.versions_corrupted == 0
+        assert result.repaired
+
+
+class TestCleanEpisode:
+    def test_unarmed_run_produces_an_empty_incident(self):
+        result = run_incident(
+            memcached_scenario(n_keys=40),
+            # arm_after beyond the op stream: the fault never arms
+            IncidentConfig(n_ops=60, fault=value_fault(), arm_after=10_000),
+        )
+        report = result.report
+        assert report.detections == 0
+        assert report.faulty_core == -1
+        assert report.quarantined_cores == []
+        assert result.repaired
+
+
+class TestProbation:
+    def test_transient_core_earns_readmission(self):
+        result = run_incident(
+            memcached_scenario(n_keys=40),
+            IncidentConfig(n_ops=120, fault=value_fault(), probation=True),
+        )
+        assert result.readmitted == [0]
+        assert result.coordinator.quarantine.state(0) == "in-service"
+        assert result.runtime.scheduler.in_service(0)
+
+
+class TestLsmTreeEpisode:
+    def test_lsm_value_fault_repaired_byte_identical(self):
+        result = run_incident(
+            lsmtree_scenario(n_keys=40),
+            IncidentConfig(n_ops=120, fault=value_fault(closure="lsm.put")),
+        )
+        assert result.attribution_correct
+        assert result.report.versions_repaired > 0
+        assert result.repaired
+
+    def test_lsm_misdirected_fault_with_probation(self):
+        # Regression: (a) delete-heavy replays (lsm.flush) must compare
+        # raw object ids against the log's canonicalized delete records —
+        # spurious "unrestorable" objects made repair report incomplete;
+        # (b) probation probes replay retained logs *after* finalize, so
+        # the evidence hold must outlive the deferred reclamation pass.
+        result = run_incident(
+            lsmtree_scenario(),
+            IncidentConfig(
+                n_ops=200,
+                seed=1,
+                fault=misdirected_fault(closure="lsm.put"),
+                probation=True,
+            ),
+        )
+        assert result.attribution_correct
+        assert result.repaired
+        assert result.report.repair_complete
+        assert result.coordinator.last_repair.objects_unrestorable == []
+        assert result.readmitted == [result.injected_core]
+        assert not result.runtime.reclaimer.paused
+
+
+class TestObservability:
+    @pytest.fixture(scope="class")
+    def observed(self):
+        obs = Observability(trace=True)
+        result = run_incident(
+            memcached_scenario(n_keys=40),
+            IncidentConfig(
+                n_ops=120, fault=value_fault(), probation=True, obs=obs
+            ),
+        )
+        return obs, result
+
+    def test_response_counter_families_populated(self, observed):
+        obs, result = observed
+        registry = obs.registry
+        assert registry.value("orthrus_quarantines_total", {"core": "0"}) == 1.0
+        assert registry.value("orthrus_arbitrations_total", {"suspect": "app"}) >= 2.0
+        assert registry.value("orthrus_repair_reexecutions_total") >= 1.0
+        assert registry.value(
+            "orthrus_repair_versions_total", {"result": "repaired"}
+        ) == float(result.report.versions_repaired)
+        assert registry.value(
+            "orthrus_probation_probes_total", {"result": "pass"}
+        ) >= 1.0
+        assert registry.value("orthrus_readmissions_total") == 1.0
+
+    def test_quarantined_cores_gauge_reflects_readmission(self, observed):
+        obs, _ = observed
+        # probation re-admitted the core, so the live gauge reads zero
+        assert obs.registry.value("orthrus_quarantined_cores") == 0.0
+
+    def test_response_trace_events_emitted(self, observed):
+        obs, _ = observed
+        kinds = {event.kind for event in obs.tracer}
+        for expected in (
+            "response.arbitrate",
+            "response.quarantine",
+            "response.probe",
+            "response.readmit",
+            "response.repair",
+            "response.report",
+        ):
+            assert expected in kinds, expected
+
+    def test_snapshot_carries_response_families(self, observed):
+        obs, _ = observed
+        names = {family["name"] for family in obs.registry.snapshot()["metrics"]}
+        assert "orthrus_quarantines_total" in names
+        assert "orthrus_repair_versions_total" in names
+
+
+class TestPipelineIntegration:
+    def test_orthrus_driver_attaches_response_layer(self):
+        scenario = memcached_scenario(n_keys=40)
+        config = PipelineConfig(seed=2, response=ResponseConfig())
+        config.deferred_faults = (
+            (0, Fault(unit=Unit.SIMD, kind=FaultKind.BITFLIP, bit=3,
+                      site=Site("mc.set", "vsum", 0))),
+        )
+        result = run_orthrus_server(scenario, 200, config)
+        assert result.incident is not None
+        assert result.incident.detections >= 1
+        assert result.incident.faulty_core == 0
+
+    def test_no_response_config_leaves_incident_unset(self):
+        result = run_orthrus_server(
+            memcached_scenario(n_keys=40), 100, PipelineConfig(seed=2)
+        )
+        assert result.incident is None

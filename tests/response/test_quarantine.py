@@ -1,0 +1,208 @@
+"""Quarantine state machine: health scores, pool removal, probation."""
+
+import pytest
+
+from repro.closures.annotation import closure
+from repro.closures.context import ops
+from repro.errors import ConfigurationError
+from repro.machine.cpu import Machine
+from repro.machine.faults import Fault, FaultKind
+from repro.machine.instruction import Site
+from repro.machine.units import Unit
+from repro.memory.heap import VersionedHeap
+from repro.response.quarantine import (
+    IN_SERVICE,
+    PROBATION,
+    QUARANTINED,
+    QuarantineConfig,
+    QuarantineManager,
+)
+from repro.runtime.orthrus import OrthrusRuntime
+from repro.runtime.scheduler import Scheduler
+
+
+@closure(name="quar.bump")
+def bump(ptr):
+    value = ptr.load()
+    ptr.store(ops().alu.add(value, 1))
+    return value + 1
+
+
+BUMP_FAULT = Fault(
+    unit=Unit.ALU, kind=FaultKind.BITFLIP, site=Site("quar.bump", "add", 0), bit=4
+)
+
+
+def make_manager(app=(0, 1), val=(2, 3), config=None):
+    machine = Machine(cores_per_node=4, numa_nodes=1, seed=1)
+    scheduler = Scheduler(machine, list(app), list(val))
+    manager = QuarantineManager(machine, scheduler, VersionedHeap(), config)
+    return manager, machine, scheduler
+
+
+def runtime_with_logs(n=4, core_id=1):
+    """Real validated-clean closure logs, the probe material."""
+    machine = Machine(cores_per_node=4, numa_nodes=1, seed=1)
+    runtime = OrthrusRuntime(
+        machine=machine, app_cores=[0, 1], validation_cores=[2, 3], mode="inline"
+    )
+    logs = []
+    runtime._on_log = logs.append
+    ptr = runtime.new(0)
+    with runtime, runtime.bind_core(core_id):
+        for _ in range(n):
+            bump(ptr)
+    assert runtime.detections == 0
+    return runtime, machine, logs
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        QuarantineConfig().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"fault_threshold": 0.0},
+            {"fault_weight": -1.0},
+            {"clean_decay": 1.5},
+            {"clean_decay": -0.1},
+            {"probation_probes": 0},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            QuarantineConfig(**kwargs).validate()
+
+
+class TestHealthScores:
+    def test_single_fault_below_threshold_keeps_core_in_service(self):
+        manager, machine, scheduler = make_manager()
+        assert manager.record_fault(0, when=1.0, seq=5) is False
+        assert manager.state(0) == IN_SERVICE
+        assert scheduler.in_service(0)
+        assert not machine.core(0).quarantined
+
+    def test_threshold_crossing_quarantines(self):
+        manager, machine, scheduler = make_manager()
+        manager.record_fault(0, when=1.0, seq=5)
+        assert manager.record_fault(0, when=2.0, seq=9) is True
+        assert manager.state(0) == QUARANTINED
+        assert manager.quarantined == [0]
+        assert not scheduler.in_service(0)
+        assert machine.core(0).quarantined
+        health = manager.health(0)
+        assert health.first_fault_time == 1.0
+        assert health.first_fault_seq == 5
+
+    def test_validation_core_pulled_from_validator_pool(self):
+        manager, machine, scheduler = make_manager()
+        manager.record_fault(2, when=1.0)
+        manager.record_fault(2, when=2.0)
+        assert manager.quarantined == [2]
+        assert not scheduler.in_service(2)
+
+    def test_clean_decay_ages_out_transients(self):
+        manager, _, _ = make_manager(config=QuarantineConfig(clean_decay=0.5))
+        manager.record_fault(0, when=1.0)
+        manager.record_clean(0)  # 1.0 -> 0.5
+        manager.record_fault(0, when=2.0)  # 1.5 < threshold 2.0
+        assert manager.state(0) == IN_SERVICE
+        manager.record_fault(0, when=3.0)  # 2.5 >= 2.0
+        assert manager.state(0) == QUARANTINED
+
+    def test_default_config_never_decays(self):
+        manager, _, _ = make_manager()
+        manager.record_fault(0, when=1.0)
+        for _ in range(50):
+            manager.record_clean(0)
+        manager.record_fault(0, when=9.0)
+        assert manager.state(0) == QUARANTINED
+
+    def test_first_fault_seq_keeps_minimum(self):
+        manager, _, _ = make_manager()
+        manager.record_fault(0, when=1.0, seq=20)
+        manager.record_fault(0, when=2.0, seq=7)
+        assert manager.health(0).first_fault_seq == 7
+
+    def test_top_suspect_prefers_quarantined_then_score(self):
+        manager, _, _ = make_manager()
+        assert manager.top_suspect() is None
+        manager.record_fault(1, when=1.0)
+        manager.record_fault(0, when=1.5)
+        manager.record_fault(0, when=2.0)  # quarantined
+        assert manager.top_suspect().core_id == 0
+
+
+class TestLastCoreRefusal:
+    def test_last_app_core_held_in_service(self):
+        manager, machine, scheduler = make_manager(app=(0,), val=(1,))
+        manager.record_fault(0, when=1.0)
+        assert manager.record_fault(0, when=2.0) is False
+        health = manager.health(0)
+        assert health.held_in_service
+        assert health.state == IN_SERVICE
+        assert scheduler.in_service(0)
+        assert not machine.core(0).quarantined
+
+    def test_last_validation_core_held_in_service(self):
+        manager, _, scheduler = make_manager(app=(0, 1), val=(2,))
+        manager.record_fault(2, when=1.0)
+        assert manager.record_fault(2, when=2.0) is False
+        assert manager.health(2).held_in_service
+        assert scheduler.in_service(2)
+
+
+class TestProbation:
+    def quarantined_manager(self, probes=2):
+        runtime, machine, logs = runtime_with_logs(n=4, core_id=1)
+        manager = QuarantineManager(
+            machine,
+            runtime.scheduler,
+            runtime.heap,
+            QuarantineConfig(probation_probes=probes),
+        )
+        manager.record_fault(0, when=1.0)
+        manager.record_fault(0, when=2.0)
+        assert manager.state(0) == QUARANTINED
+        return manager, machine, runtime, logs
+
+    def test_probe_of_in_service_core_rejected(self):
+        manager, _, _ = make_manager()
+        with pytest.raises(ConfigurationError):
+            manager.probe(0, log=None)
+
+    def test_consecutive_clean_probes_readmit(self):
+        manager, machine, runtime, logs = self.quarantined_manager(probes=2)
+        assert manager.probe(0, logs[0]) is True
+        assert manager.state(0) == PROBATION
+        assert manager.probe(0, logs[1]) is True
+        assert manager.state(0) == IN_SERVICE
+        assert runtime.scheduler.in_service(0)
+        assert not machine.core(0).quarantined
+        assert manager.health(0).score == 0.0
+
+    def test_failed_probe_resets_the_streak(self):
+        manager, machine, runtime, logs = self.quarantined_manager(probes=2)
+        assert manager.probe(0, logs[0]) is True
+        machine.arm(0, BUMP_FAULT)  # the defect is still there
+        assert manager.probe(0, logs[1]) is False
+        assert manager.health(0).probes_passed == 0
+        assert manager.state(0) == PROBATION
+        machine.disarm_all()
+        manager.probe(0, logs[2])
+        manager.probe(0, logs[3])
+        assert manager.state(0) == IN_SERVICE
+
+    def test_probe_with_same_core_log_fails_safely(self):
+        # A log produced on the quarantined core itself is not valid probe
+        # material (re-execution on the producing core is refused); the
+        # probe counts as failed rather than raising.
+        runtime, machine, logs = runtime_with_logs(n=2, core_id=0)
+        manager = QuarantineManager(
+            machine, runtime.scheduler, runtime.heap, QuarantineConfig()
+        )
+        manager.record_fault(0, when=1.0)
+        manager.record_fault(0, when=2.0)
+        assert manager.probe(0, logs[0]) is False
+        assert manager.state(0) == PROBATION

@@ -1,0 +1,86 @@
+"""SafeModePolicy edge cases and strict-mode hold/release ordering."""
+
+import pytest
+
+from repro.harness.pipeline import PipelineConfig, run_orthrus_server
+from repro.harness.scenarios import memcached_scenario
+from repro.runtime.safemode import SafeModePolicy
+
+
+class TestPolicyEdgeCases:
+    def test_strict_with_empty_externalizing_set_holds_nothing(self):
+        policy = SafeModePolicy.strict(())
+        assert policy.enabled
+        assert not policy.must_hold("mc.get")
+        assert not policy.must_hold("")
+
+    def test_disabled_policy_never_holds_even_when_listed(self):
+        policy = SafeModePolicy(enabled=False, externalizing=frozenset({"mc.get"}))
+        assert not policy.must_hold("mc.get")
+        assert not SafeModePolicy.off().must_hold("mc.get")
+
+    def test_strict_holds_only_listed_closures(self):
+        policy = SafeModePolicy.strict({"mc.get"})
+        assert policy.must_hold("mc.get")
+        assert not policy.must_hold("mc.set")
+        assert not policy.must_hold("mc.get ")  # exact-name match only
+
+    def test_strict_accepts_any_iterable_and_dedupes(self):
+        policy = SafeModePolicy.strict(["a", "b", "a"])
+        assert policy.externalizing == frozenset({"a", "b"})
+        assert policy.must_hold("a") and policy.must_hold("b")
+
+
+class TestStrictModeOrdering:
+    def test_empty_externalizing_set_behaves_like_relaxed_mode(self):
+        # With nothing externalizing, strict mode must introduce no holds
+        # at all: identical responses AND identical (virtual) latency.
+        relaxed = run_orthrus_server(
+            memcached_scenario(n_keys=30), 200, PipelineConfig(seed=3)
+        )
+        stripped = memcached_scenario(n_keys=30)
+        stripped.externalizing = frozenset()
+        strict = run_orthrus_server(
+            stripped, 200, PipelineConfig(seed=3, safe_mode=True)
+        )
+        assert strict.responses == relaxed.responses
+        assert strict.metrics.request_latency.mean == pytest.approx(
+            relaxed.metrics.request_latency.mean
+        )
+
+    def test_hold_release_ordering_monotone_in_externalizing_set(self):
+        # Strict mode releases a response only after every held closure of
+        # the request validates; holding *more* closures can only release
+        # later.  Latency must therefore be monotone in the externalizing
+        # set: {} <= {mc.get} <= all closures — with identical responses.
+        # A single app thread keeps the request interleaving identical
+        # across arms (holds shift virtual time, which would otherwise
+        # reorder set/get races between threads).
+        one = dict(seed=4, app_threads=1)
+        scenario = memcached_scenario(n_keys=30)
+        relaxed = run_orthrus_server(scenario, 250, PipelineConfig(**one))
+        strict_gets = run_orthrus_server(
+            memcached_scenario(n_keys=30),
+            250,
+            PipelineConfig(safe_mode=True, **one),
+        )
+        everything = memcached_scenario(n_keys=30)
+        everything.externalizing = frozenset(
+            {"mc.set", "mc.get", "mc.remove", "mc.incr"}
+        )
+        strict_all = run_orthrus_server(
+            everything, 250, PipelineConfig(safe_mode=True, **one)
+        )
+        assert relaxed.responses == strict_gets.responses == strict_all.responses
+        assert (
+            strict_all.metrics.request_latency.mean
+            >= strict_gets.metrics.request_latency.mean
+            >= relaxed.metrics.request_latency.mean
+        )
+        # every request completed in each arm
+        assert (
+            relaxed.metrics.operations
+            == strict_gets.metrics.operations
+            == strict_all.metrics.operations
+            == 250
+        )

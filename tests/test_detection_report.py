@@ -1,0 +1,72 @@
+"""DetectionReport rollups: per-kind/per-closure/per-core counts, summary."""
+
+import json
+
+from repro.detection import DetectionEvent, DetectionReport
+
+
+def event(kind="mismatch", closure="mc.set", seq=1, time=1.0, app_core=0, val_core=2):
+    return DetectionEvent(
+        kind=kind, closure=closure, seq=seq, time=time,
+        app_core=app_core, val_core=val_core,
+    )
+
+
+def populated():
+    report = DetectionReport()
+    report.record(event(seq=1, time=1.0))
+    report.record(event(seq=2, time=2.0, closure="mc.incr"))
+    report.record(
+        event(kind="checksum", closure="mc.control.tx", seq=3, time=3.0,
+              app_core=1, val_core=-1)
+    )
+    return report
+
+
+class TestRollups:
+    def test_by_kind(self):
+        assert populated().by_kind() == {"mismatch": 2, "checksum": 1}
+
+    def test_by_closure(self):
+        assert populated().by_closure() == {
+            "mc.set": 1, "mc.incr": 1, "mc.control.tx": 1,
+        }
+
+    def test_by_app_core(self):
+        assert populated().by_app_core() == {0: 2, 1: 1}
+
+    def test_count_with_and_without_kind(self):
+        report = populated()
+        assert report.count() == 3
+        assert report.count("mismatch") == 2
+        assert report.count("rbv") == 0
+
+    def test_event_cores_filters_unknowns(self):
+        assert event().cores == (0, 2)
+        assert event(app_core=-1, val_core=3).cores == (3,)
+        assert event(app_core=-1, val_core=-1).cores == ()
+
+
+class TestSummary:
+    def test_summary_contents(self):
+        summary = populated().summary()
+        assert summary["detected"] is True
+        assert summary["total"] == 3
+        assert summary["by_kind"] == {"mismatch": 2, "checksum": 1}
+        assert summary["by_app_core"] == {"0": 2, "1": 1}
+        assert summary["first_time"] == 1.0
+
+    def test_summary_is_json_serializable(self):
+        text = json.dumps(populated().summary())
+        assert json.loads(text)["total"] == 3
+
+    def test_empty_report_summary(self):
+        summary = DetectionReport().summary()
+        assert summary == {
+            "detected": False,
+            "total": 0,
+            "by_kind": {},
+            "by_closure": {},
+            "by_app_core": {},
+            "first_time": None,
+        }
