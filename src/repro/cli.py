@@ -8,6 +8,9 @@ Usage (also exposed as the ``repro-bench`` console script)::
     python -m repro.cli latency --app lsmtree --ops 2000
     python -m repro.cli respond --app memcached --fault-kind misdirected
     python -m repro.cli perf --metrics-out run.json --trace-out run.jsonl
+    python -m repro.cli perf --timeline-out timeline.json
+    python -m repro.cli timeline timeline.json --stat p95
+    python -m repro.cli bench-compare --out-dir bench/ --tolerance 0.25
     python -m repro.cli obs-summary run.json
 
 Each subcommand drives the same harness the benchmark suite uses and
@@ -15,7 +18,16 @@ prints a compact report; seeds make every invocation reproducible.
 ``--metrics-out`` / ``--trace-out`` enable the observability layer on the
 Orthrus arm and save a metrics snapshot (JSON, or Prometheus text when the
 path ends in ``.prom``) and a JSON-lines trace; ``obs-summary`` re-renders
-a saved JSON snapshot as a table.
+a saved JSON snapshot as a table (or a ``.jsonl`` trace in total
+``event_seq`` order).
+
+``--timeline-out`` additionally attaches the time-series recorder to the
+Orthrus arm, evaluates the stock SLOs (override with repeatable ``--slo``
+specs like ``"validation_lag_p95 p95 <= 200us"``) and saves an
+``orthrus-timeseries/1`` artifact; ``timeline`` renders such an artifact
+as terminal sparklines.  ``bench-compare`` runs the tracked benchmarks,
+writes ``BENCH_<name>.json`` artifacts and diffs them against a baseline
+directory with per-metric direction-aware tolerances.
 
 ``respond`` runs one full inject→detect→quarantine→repair incident
 episode and prints the resulting IncidentReport; ``--quarantine`` on
@@ -27,10 +39,21 @@ from __future__ import annotations
 
 import argparse
 import functools
+import json
+import os
 import sys
 
 from repro.faultinject.campaign import FaultInjectionCampaign
 from repro.faultinject.config import InjectionConfig
+from repro.harness.benchtrack import (
+    BENCHES,
+    artifact_filename,
+    compare_artifacts,
+    load_artifact,
+    render_comparison,
+    run_bench,
+    write_artifact,
+)
 from repro.harness.incident import (
     IncidentConfig,
     misdirected_fault,
@@ -53,12 +76,17 @@ from repro.harness.scenarios import (
 from repro.machine.units import Unit
 from repro.obs import (
     Observability,
+    TimeSeriesConfig,
     console_summary,
     load_metrics_json,
+    load_timeline,
+    render_sparkline,
     to_prometheus,
     write_metrics_json,
+    write_timeline_json,
     write_trace_jsonl,
 )
+from repro.obs.slo import SloObjective
 from repro.response import ResponseConfig
 from repro.sim.metrics import slowdown
 
@@ -100,16 +128,23 @@ def cmd_list(_args) -> int:
     print("applications:")
     for name, (_, _, _, _, size) in _APPS.items():
         print(f"  {name:<10} (default workload size {size})")
-    print("\nsubcommands: perf, latency, coverage, respond, obs-summary")
+    print(
+        "\nsubcommands: perf, latency, coverage, respond, obs-summary, "
+        "timeline, bench-compare"
+    )
+    print("tracked benchmarks (bench-compare): " + ", ".join(sorted(BENCHES)))
     return 0
 
 
 def _make_obs(args) -> Observability | None:
     """An Observability handle when export flags ask for one, else None
     (the pipeline then runs fully uninstrumented)."""
-    if args.metrics_out is None and args.trace_out is None:
+    timeline_out = getattr(args, "timeline_out", None)
+    wants_slo = bool(getattr(args, "slo", None))
+    if args.metrics_out is None and args.trace_out is None and \
+            timeline_out is None and not wants_slo:
         return None
-    for path in (args.metrics_out, args.trace_out):
+    for path in (args.metrics_out, args.trace_out, timeline_out):
         if path is None:
             continue
         # Fail before the run, not at export time — a bad path after a
@@ -138,6 +173,56 @@ def _export_obs(obs: Observability | None, args, run_metrics=None) -> None:
     if args.trace_out is not None:
         written = write_trace_jsonl(obs.tracer, args.trace_out)
         print(f"trace events       : {written} -> {args.trace_out}")
+
+
+def _timeseries_setup(args):
+    """(TimeSeriesConfig, objectives) for the Orthrus arm, or (None, None).
+
+    ``--slo`` specs replace the stock objectives; with ``--timeline-out``
+    alone the pipeline evaluates its defaults.
+    """
+    timeline_out = getattr(args, "timeline_out", None)
+    specs = getattr(args, "slo", None) or []
+    if timeline_out is None and not specs:
+        return None, None
+    try:
+        objectives = [SloObjective.parse(spec) for spec in specs]
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    return TimeSeriesConfig(cadence=args.timeline_cadence), (objectives or None)
+
+
+def _report_timeline(result, args) -> None:
+    """Save the timeline artifact and print the SLO verdicts.
+
+    Defensive getattrs: the phoenix harness returns its own result type
+    without timeline/slo attributes.
+    """
+    timeline_out = getattr(args, "timeline_out", None)
+    timeline = getattr(result, "timeline", None)
+    slo = getattr(result, "slo", None)
+    if timeline_out is not None and timeline is None:
+        print(f"timeline           : (the {type(result).__name__} runner "
+              "does not attach the recorder; no artifact written)")
+    if timeline_out is not None and timeline is not None:
+        try:
+            write_timeline_json(timeline, timeline_out)
+        except OSError as exc:
+            raise SystemExit(f"cannot write {timeline_out}: {exc}")
+        print(
+            f"timeline           : {timeline.samples_taken} samples, "
+            f"{len(timeline.summary())} series -> {timeline_out}"
+        )
+    if slo is not None:
+        for line in slo.summary_lines():
+            print(line)
+        report = result.runtime.report
+        if report.anomalies:
+            regimes = ", ".join(
+                f"{regime}={count}"
+                for regime, count in sorted(report.anomaly_regimes().items())
+            )
+            print(f"telemetry anomalies: {regimes}")
 
 
 def _response_config(args, auto_repair: bool = True) -> ResponseConfig | None:
@@ -172,15 +257,18 @@ def cmd_perf(args) -> int:
     scenario, orthrus, vanilla, rbv, default_size = _resolve(args.app)
     size = args.ops or default_size
     obs = _make_obs(args)
-    config = lambda obs=None, response=None: PipelineConfig(
+    timeseries, slos = _timeseries_setup(args)
+    config = lambda obs=None, response=None, timeseries=None, slos=None: PipelineConfig(
         app_threads=args.threads,
         validation_cores=args.cores,
         seed=args.seed,
         obs=obs,
         response=response,
+        timeseries=timeseries,
+        slos=slos,
     )
     v = vanilla(scenario, size, config())
-    o = orthrus(scenario, size, config(obs, _response_config(args)))
+    o = orthrus(scenario, size, config(obs, _response_config(args), timeseries, slos))
     r = rbv(scenario, size, config())
     if args.app == "phoenix":
         base = v.metrics.duration
@@ -195,6 +283,7 @@ def cmd_perf(args) -> int:
     print(f"validated/skipped  : {o.metrics.validated}/{o.metrics.skipped}")
     if args.quarantine:
         _print_response(o)
+    _report_timeline(o, args)
     _export_obs(obs, args, o.metrics)
     return 0
 
@@ -203,14 +292,17 @@ def cmd_latency(args) -> int:
     scenario, orthrus, _vanilla, rbv, default_size = _resolve(args.app)
     size = args.ops or default_size
     obs = _make_obs(args)
-    config = lambda obs=None, response=None: PipelineConfig(
+    timeseries, slos = _timeseries_setup(args)
+    config = lambda obs=None, response=None, timeseries=None, slos=None: PipelineConfig(
         app_threads=args.threads,
         validation_cores=args.cores,
         seed=args.seed,
         obs=obs,
         response=response,
+        timeseries=timeseries,
+        slos=slos,
     )
-    o = orthrus(scenario, size, config(obs, _response_config(args)))
+    o = orthrus(scenario, size, config(obs, _response_config(args), timeseries, slos))
     r = rbv(scenario, size, config())
     ol, rl = o.metrics.validation_latency, r.metrics.validation_latency
     print(f"orthrus validation latency : mean {ol.mean * 1e6:.2f} us, p95 {ol.p95 * 1e6:.2f} us")
@@ -219,6 +311,7 @@ def cmd_latency(args) -> int:
         print(f"ratio                      : {rl.mean / ol.mean:.0f}x")
     if args.quarantine:
         _print_response(o)
+    _report_timeline(o, args)
     _export_obs(obs, args, o.metrics)
     return 0
 
@@ -339,7 +432,42 @@ def cmd_respond(args) -> int:
     return 0 if result.repaired and result.attribution_correct else 1
 
 
+def _summarize_trace_jsonl(path: str) -> int:
+    """Render a saved trace in total post-hoc order (sorted by event_seq;
+    ties and legacy traces without the field fall back to timestamp)."""
+    events = []
+    try:
+        with open(path, encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    events.append(json.loads(line))
+                except ValueError as exc:
+                    raise SystemExit(f"{path}:{lineno} is not valid JSON: {exc}")
+    except OSError as exc:
+        raise SystemExit(f"cannot read {path}: {exc}")
+    events.sort(key=lambda e: (e.get("event_seq", 0), e.get("ts", 0.0)))
+    by_kind: dict[str, int] = {}
+    for event in events:
+        by_kind[event.get("kind", "?")] = by_kind.get(event.get("kind", "?"), 0) + 1
+        seq = event.get("event_seq", "?")
+        ts = event.get("ts", 0.0)
+        rest = " ".join(
+            f"{key}={value}"
+            for key, value in event.items()
+            if key not in ("event_seq", "ts", "kind")
+        )
+        print(f"#{seq:>6} t={ts:.9f} {event.get('kind', '?'):<24} {rest}")
+    print(f"-- {len(events)} events, " +
+          ", ".join(f"{k}={v}" for k, v in sorted(by_kind.items())))
+    return 0
+
+
 def cmd_obs_summary(args) -> int:
+    if args.path.endswith(".jsonl"):
+        return _summarize_trace_jsonl(args.path)
     try:
         snapshot = load_metrics_json(args.path)
     except OSError as exc:
@@ -356,6 +484,84 @@ def cmd_obs_summary(args) -> int:
     else:
         print(console_summary(snapshot), end="")
     return 0
+
+
+_TIMELINE_STATS = ("count", "mean", "min", "max", "p50", "p95", "last")
+
+
+def cmd_timeline(args) -> int:
+    try:
+        series_map = load_timeline(args.path)
+    except OSError as exc:
+        raise SystemExit(f"cannot read {args.path}: {exc}")
+    except ValueError as exc:
+        raise SystemExit(f"{args.path}: {exc}")
+    if args.series:
+        missing = [name for name in args.series if name not in series_map]
+        if missing:
+            raise SystemExit(
+                f"series not in artifact: {', '.join(missing)} "
+                f"(have: {', '.join(series_map)})"
+            )
+        series_map = {name: series_map[name] for name in args.series}
+    if args.format == "jsonl":
+        for series in series_map.values():
+            for t, value in series.values(args.stat):
+                print(json.dumps(
+                    {"series": series.name, "t": t,
+                     "stat": args.stat, "value": value}
+                ))
+        return 0
+    width = max(len(name) for name in series_map) if series_map else 0
+    for series in series_map.values():
+        points = [value for _, value in series.values(args.stat)]
+        if args.format == "table":
+            stats = series.summary()
+            print(f"{series.name.ljust(width)}  " + "  ".join(
+                f"{stat}={stats[stat]:.4g}" for stat in _TIMELINE_STATS
+            ))
+            continue
+        spark = render_sparkline(points, width=args.width)
+        low = f"{min(points):.3g}" if points else "-"
+        high = f"{max(points):.3g}" if points else "-"
+        unit = f" {series.unit}" if series.unit else ""
+        print(
+            f"{series.name.ljust(width)}  {spark}  "
+            f"[{low}, {high}]{unit} ({series.total_samples} samples)"
+        )
+    return 0
+
+
+def cmd_bench_compare(args) -> int:
+    names = args.bench or sorted(BENCHES)
+    for name in names:
+        if name not in BENCHES:
+            raise SystemExit(
+                f"unknown benchmark {name!r}; tracked: {', '.join(sorted(BENCHES))}"
+            )
+    failures = 0
+    for name in names:
+        artifact = run_bench(name, scale=args.scale, seed=args.seed)
+        path = write_artifact(artifact, args.out_dir)
+        print(f"wrote {path} (wall {artifact['wall_time_s']:.2f}s)")
+        baseline_path = os.path.join(args.baseline_dir, artifact_filename(name))
+        if args.update:
+            write_artifact(artifact, args.baseline_dir)
+            print(f"baseline updated: {baseline_path}")
+            continue
+        if not os.path.exists(baseline_path):
+            print(f"no baseline at {baseline_path}; skipping comparison "
+                  "(run with --update to create one)")
+            continue
+        try:
+            baseline = load_artifact(baseline_path)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        comparison = compare_artifacts(baseline, artifact, tolerance=args.tolerance)
+        print(render_comparison(comparison))
+        if not comparison.ok:
+            failures += 1
+    return 1 if failures else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -390,13 +596,32 @@ def build_parser() -> argparse.ArgumentParser:
             "the Orthrus arm and report what it concluded",
         )
 
+    def timeline_flags(p):
+        p.add_argument(
+            "--timeline-out", default=None, metavar="PATH",
+            help="attach the time-series recorder to the Orthrus arm and "
+            "save an orthrus-timeseries/1 artifact",
+        )
+        p.add_argument(
+            "--timeline-cadence", type=float, default=5e-6, metavar="SIM_S",
+            help="sampling cadence in sim-seconds (default: %(default)g)",
+        )
+        p.add_argument(
+            "--slo", action="append", default=None, metavar="SPEC",
+            help="SLO objective '<series> <stat> <op> <value>[unit]' "
+            "(e.g. 'validation_lag_p95 p95 <= 200us'); repeatable, "
+            "replaces the stock objectives",
+        )
+
     perf = sub.add_parser("perf", help="Fig 6-style performance comparison")
     common(perf)
     quarantine_flag(perf)
+    timeline_flags(perf)
 
     latency = sub.add_parser("latency", help="Fig 8-style validation latency")
     common(latency)
     quarantine_flag(latency)
+    timeline_flags(latency)
 
     coverage = sub.add_parser("coverage", help="Table 2-style fault campaign")
     common(coverage)
@@ -437,12 +662,70 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     obs_summary = sub.add_parser(
-        "obs-summary", help="render a saved metrics snapshot"
+        "obs-summary",
+        help="render a saved metrics snapshot (or a .jsonl trace in "
+        "event_seq order)",
     )
-    obs_summary.add_argument("path", help="JSON snapshot from --metrics-out")
+    obs_summary.add_argument(
+        "path",
+        help="JSON snapshot from --metrics-out, or a .jsonl trace "
+        "from --trace-out",
+    )
     obs_summary.add_argument(
         "--format", choices=("table", "prom"), default="table",
         help="output format (default: human-readable table)",
+    )
+
+    timeline = sub.add_parser(
+        "timeline", help="render an orthrus-timeseries/1 artifact"
+    )
+    timeline.add_argument("path", help="artifact from --timeline-out")
+    timeline.add_argument(
+        "--series", action="append", default=None, metavar="NAME",
+        help="only these series (repeatable; default: all)",
+    )
+    timeline.add_argument(
+        "--stat", default="mean",
+        choices=("count", "mean", "min", "max", "p50", "p95", "last"),
+        help="bucket statistic to plot (default: mean)",
+    )
+    timeline.add_argument(
+        "--format", choices=("spark", "table", "jsonl"), default="spark",
+        help="sparklines, whole-run summary table, or JSON-lines points",
+    )
+    timeline.add_argument(
+        "--width", type=int, default=60, help="sparkline width (columns)"
+    )
+
+    bench_compare = sub.add_parser(
+        "bench-compare",
+        help="run tracked benchmarks, write BENCH_*.json, diff vs baselines",
+    )
+    bench_compare.add_argument(
+        "--bench", action="append", default=None, metavar="NAME",
+        help=f"benchmark to run (repeatable; default: all of "
+        f"{', '.join(sorted(BENCHES))})",
+    )
+    bench_compare.add_argument(
+        "--out-dir", default="bench-artifacts", metavar="DIR",
+        help="where BENCH_<name>.json artifacts are written",
+    )
+    bench_compare.add_argument(
+        "--baseline-dir", default="benchmarks/baselines", metavar="DIR",
+        help="directory holding the baseline artifacts",
+    )
+    bench_compare.add_argument(
+        "--tolerance", type=float, default=0.1,
+        help="relative drift allowed per metric (default: %(default)s)",
+    )
+    bench_compare.add_argument(
+        "--scale", type=float, default=0.25,
+        help="workload scale factor (must match the baseline's)",
+    )
+    bench_compare.add_argument("--seed", type=int, default=1)
+    bench_compare.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baselines from this run instead of comparing",
     )
     return parser
 
@@ -456,6 +739,8 @@ def main(argv=None) -> int:
         "coverage": cmd_coverage,
         "respond": cmd_respond,
         "obs-summary": cmd_obs_summary,
+        "timeline": cmd_timeline,
+        "bench-compare": cmd_bench_compare,
     }[args.command]
     return handler(args)
 

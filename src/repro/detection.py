@@ -46,9 +46,35 @@ class DetectionReport:
     """Aggregated detections for one run."""
 
     events: list[DetectionEvent] = field(default_factory=list)
+    #: telemetry anomaly flags (EWMA + z-score hooks in
+    #: :class:`repro.obs.slo.SloMonitor`): dicts with ``time``, ``series``,
+    #: ``regime`` (e.g. ``validator-starvation``), ``value``, ``zscore``.
+    anomalies: list[dict] = field(default_factory=list)
 
     def record(self, event: DetectionEvent) -> None:
         self.events.append(event)
+
+    def flag_anomaly(
+        self, time: float, series: str, regime: str, value: float, zscore: float
+    ) -> None:
+        """Attach one telemetry anomaly (validator starvation, lag/depth
+        spikes) to the run's detection record."""
+        self.anomalies.append(
+            {
+                "time": time,
+                "series": series,
+                "regime": regime,
+                "value": value,
+                "zscore": zscore,
+            }
+        )
+
+    def anomaly_regimes(self) -> dict[str, int]:
+        """Anomaly counts keyed by flagged regime."""
+        counts: dict[str, int] = {}
+        for anomaly in self.anomalies:
+            counts[anomaly["regime"]] = counts.get(anomaly["regime"], 0) + 1
+        return counts
 
     @property
     def detected(self) -> bool:
@@ -88,10 +114,12 @@ class DetectionReport:
         """JSON-able rollup of the run's detections.
 
         Keys: ``detected``, ``total``, ``by_kind``, ``by_closure``,
-        ``by_app_core`` (core ids stringified for JSON), ``first_time``.
+        ``by_app_core`` (core ids stringified for JSON), ``first_time``;
+        plus ``anomalies`` (count + per-regime rollup) whenever the
+        telemetry anomaly hooks flagged anything.
         """
         first = self.first
-        return {
+        summary = {
             "detected": self.detected,
             "total": len(self.events),
             "by_kind": self.by_kind(),
@@ -99,6 +127,13 @@ class DetectionReport:
             "by_app_core": {str(core): n for core, n in self.by_app_core().items()},
             "first_time": first.time if first is not None else None,
         }
+        if self.anomalies:
+            summary["anomalies"] = {
+                "total": len(self.anomalies),
+                "by_regime": self.anomaly_regimes(),
+            }
+        return summary
 
     def clear(self) -> None:
         self.events.clear()
+        self.anomalies.clear()

@@ -29,6 +29,8 @@ from repro.closures.log import ClosureLog
 from repro.errors import ConfigurationError
 from repro.machine.cpu import Machine
 from repro.memory.version import approx_size
+from repro.obs.slo import SloMonitor, default_objectives
+from repro.obs.timeseries import TimeSeriesRecorder, install_default_probes
 from repro.response.coordinator import ResponseCoordinator
 from repro.runtime.orthrus import OrthrusRuntime
 from repro.runtime.sampling import AdaptiveSampler, SamplerConfig, sampler_decision
@@ -83,6 +85,14 @@ class PipelineConfig:
     #: attaches a ResponseCoordinator (arbitration + quarantine + repair)
     #: and the finalized IncidentReport lands on ``RunResult.incident``
     response: Any = None
+    #: a ``repro.obs.TimeSeriesConfig``; with ``obs`` also set, the Orthrus
+    #: driver runs a virtual-time sampling process over the registry and
+    #: lands the recorder on ``RunResult.timeline``
+    timeseries: Any = None
+    #: list of ``repro.obs.SloObjective`` evaluated on every telemetry
+    #: tick; None picks :func:`repro.obs.slo.default_objectives`, [] turns
+    #: SLO evaluation off.  The terminal report lands on ``RunResult.slo``
+    slos: Any = None
     seed: int = 1
     rbv_batch_size: int | None = None
     rbv_state_check_every: int = 64
@@ -116,6 +126,11 @@ class RunResult:
     #: finalized ``repro.response.IncidentReport`` when the run was
     #: configured with a response layer (``PipelineConfig.response``)
     incident: Any = None
+    #: ``repro.obs.TimeSeriesRecorder`` when the run was configured with
+    #: ``PipelineConfig.timeseries`` (and obs); None otherwise
+    timeline: Any = None
+    #: terminal ``repro.obs.SloReport`` for the same runs
+    slo: Any = None
 
     @property
     def detections(self) -> int:
@@ -374,6 +389,19 @@ def run_orthrus_server(scenario, n_ops: int, config: PipelineConfig) -> RunResul
             "orthrus_log_store_depth",
             help="pending closure logs in the shared validation store",
         ).set_function(lambda: float(len(log_store)))
+    recorder = None
+    slo_monitor = None
+    if config.timeseries is not None and obs.enabled:
+        recorder = TimeSeriesRecorder(obs.registry, config.timeseries)
+        install_default_probes(recorder)
+        slo_monitor = SloMonitor(
+            recorder,
+            objectives=(
+                config.slos if config.slos is not None else default_objectives()
+            ),
+            tracer=obs.tracer,
+            report=runtime.report,
+        )
 
     def track_memory() -> None:
         extra = (
@@ -491,6 +519,19 @@ def run_orthrus_server(scenario, n_ops: int, config: PipelineConfig) -> RunResul
         for cid in val_cores:
             spawn_validator(cid)
 
+    if recorder is not None:
+        # A dedicated virtual-time sampling process: telemetry must tick
+        # even while every app thread is blocked (safe-mode holds, RBV-ish
+        # stalls) — that is exactly when queue depth and lag are
+        # interesting.  The loop is simply abandoned when the coordinator
+        # fires; its one pending timeout dies with the environment.
+        def telemetry_process():
+            while True:
+                recorder.sample(env.now)
+                yield env.timeout(recorder.cadence)
+
+        env.process(telemetry_process())
+
     def coordinator():
         yield env.all_of(threads)
         apps_done[0] = True
@@ -503,6 +544,12 @@ def run_orthrus_server(scenario, n_ops: int, config: PipelineConfig) -> RunResul
     env.run(until=env.process(coordinator()))
     metrics.detections = runtime.detections
     result.responses = [responses_by_index.get(i) for i in range(len(ops))]
+    if recorder is not None:
+        # Final flush: one forced sample so the tail of the run (the drain
+        # phase) is in the series, then freeze the SLO verdicts.
+        recorder.sample(env.now, force=True)
+        result.timeline = recorder
+        result.slo = slo_monitor.finalize(env.now)
     if responder is not None and not result.crashed:
         result.incident = responder.finalize()
     result.digest = server.state_digest() if not result.crashed else None

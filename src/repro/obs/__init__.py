@@ -23,10 +23,27 @@ from repro.obs.metrics import (
     default_latency_buckets,
 )
 from repro.obs.observability import NULL_OBS, Observability
+from repro.obs.slo import (
+    EwmaAnomalyDetector,
+    SloMonitor,
+    SloObjective,
+    SloReport,
+    default_objectives,
+)
+from repro.obs.timeseries import (
+    TimeSeries,
+    TimeSeriesConfig,
+    TimeSeriesRecorder,
+    install_default_probes,
+    load_timeline,
+    render_sparkline,
+    write_timeline_json,
+)
 from repro.obs.trace import NULL_TRACER, NullTracer, TraceEvent, Tracer
 
 __all__ = [
     "Counter",
+    "EwmaAnomalyDetector",
     "Gauge",
     "MetricFamily",
     "MetricsRegistry",
@@ -34,14 +51,25 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "Observability",
+    "SloMonitor",
+    "SloObjective",
+    "SloReport",
     "StreamingHistogram",
+    "TimeSeries",
+    "TimeSeriesConfig",
+    "TimeSeriesRecorder",
     "TraceEvent",
     "Tracer",
     "console_summary",
     "default_latency_buckets",
+    "default_objectives",
+    "install_default_probes",
     "load_metrics_json",
+    "load_timeline",
     "read_trace_jsonl",
+    "render_sparkline",
     "to_prometheus",
     "write_metrics_json",
+    "write_timeline_json",
     "write_trace_jsonl",
 ]

@@ -101,6 +101,11 @@ def _escape(value) -> str:
     return str(value).replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
 
 
+def _escape_help(value) -> str:
+    # HELP text escapes only backslash and newline (no quotes to close).
+    return str(value).replace("\\", r"\\").replace("\n", r"\n")
+
+
 def _prom_number(value: float) -> str:
     if value != value:  # NaN
         return "NaN"
@@ -118,7 +123,10 @@ def to_prometheus(source: MetricsRegistry | dict) -> str:
     for family in snapshot["metrics"]:
         name, kind = family["name"], family["kind"]
         if family.get("help"):
-            lines.append(f"# HELP {name} {family['help']}")
+            lines.append(f"# HELP {name} {_escape_help(family['help'])}")
+        # One TYPE line per family, always — even when the family has no
+        # series yet (a registered histogram nothing has observed must
+        # still announce its type, or scrapers reject the exposition).
         lines.append(f"# TYPE {name} {kind}")
         for series in family["series"]:
             labels = series["labels"]

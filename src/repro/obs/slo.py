@@ -1,0 +1,422 @@
+"""Service-level objectives over the time-series recorder.
+
+Declarative objectives (``p95 detection latency ≤ X sim-ms``, ``sampler
+skip rate ≤ Y``) are evaluated against :class:`TimeSeriesRecorder` series
+on every sampling tick.  Each objective aggregates its series over a
+trailing *window* and — when a shorter *burn window* is configured —
+enters the breached state only when both the long and the short window
+violate the target (the SRE multi-window burn-rate rule: the long window
+filters noise, the short window confirms the breach is still burning).
+Transitions emit ``slo.breach`` / ``slo.recover`` trace events; the
+terminal :class:`SloReport` summarizes compliance per objective.
+
+The monitor also carries *anomaly hooks*: EWMA + z-score detectors over
+the lag/depth series.  A sample whose z-score exceeds the threshold is an
+anomaly; lag and depth anomalous **together** is the validator-starvation
+regime (validators cannot keep up, so the queue grows *and* every
+validated log is old).  Flags feed :meth:`DetectionReport.flag_anomaly`
+so a run's detection summary carries its telemetry verdicts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.obs.timeseries import TimeSeriesRecorder
+
+__all__ = [
+    "SloObjective",
+    "SloMonitor",
+    "SloReport",
+    "ObjectiveResult",
+    "EwmaAnomalyDetector",
+    "default_objectives",
+]
+
+_OPS = {
+    "<=": lambda value, threshold: value <= threshold,
+    ">=": lambda value, threshold: value >= threshold,
+}
+
+#: duration-suffix multipliers for SloObjective.parse thresholds
+_UNITS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0, "": 1.0, "%": 0.01}
+
+
+@dataclass(frozen=True, slots=True)
+class SloObjective:
+    """One declarative objective: ``stat(series) over window OP threshold``."""
+
+    name: str
+    series: str
+    #: bucket stat aggregated over the window: mean/min/max/p50/p95/last
+    stat: str
+    op: str
+    threshold: float
+    #: trailing window in sim-seconds; None = everything recorded so far
+    window: float | None = None
+    #: short confirmation window (burn-rate rule); None = long window only
+    burn_window: float | None = None
+    #: ignore the objective until the series holds this many raw samples
+    min_samples: int = 1
+
+    def __post_init__(self):
+        if self.op not in _OPS:
+            raise ValueError(f"unknown SLO op {self.op!r}; use <= or >=")
+
+    def satisfied_by(self, value: float) -> bool:
+        return _OPS[self.op](value, self.threshold)
+
+    @classmethod
+    def parse(cls, spec: str, window: float | None = None) -> "SloObjective":
+        """Parse ``"<series> <stat> <op> <value>[unit]"``.
+
+        e.g. ``"validation_lag_p95 p95 <= 200us"`` or
+        ``"sampler_skip_rate mean <= 60%"``.  The CLI ``--slo`` flag feeds
+        this.
+        """
+        parts = spec.split()
+        if len(parts) != 4:
+            raise ValueError(
+                f"bad SLO spec {spec!r}; expected '<series> <stat> <op> <value>'"
+            )
+        series, stat, op, raw = parts
+        unit = ""
+        for candidate in ("ns", "us", "ms", "s", "%"):
+            if raw.endswith(candidate):
+                unit = candidate
+                raw = raw[: -len(candidate)]
+                break
+        try:
+            threshold = float(raw) * _UNITS[unit]
+        except ValueError:
+            raise ValueError(f"bad SLO threshold in spec {spec!r}")
+        return cls(
+            name=f"{series}.{stat}{op}{threshold:g}",
+            series=series,
+            stat=stat,
+            op=op,
+            threshold=threshold,
+            window=window,
+        )
+
+
+def default_objectives(
+    lag_p95_ceiling: float = 1e-3, window: float | None = None
+) -> list[SloObjective]:
+    """The stock pipeline objectives: timely detection + bounded skipping.
+
+    ``lag_p95_ceiling`` is the detection-latency SLO in sim-seconds (the
+    paper's timeliness claim: a corruption is caught while its closure's
+    versions are still held, i.e. within ~one drain window).
+    """
+    return [
+        SloObjective(
+            name="detection-latency",
+            series="validation_lag_p95",
+            stat="p95",
+            op="<=",
+            threshold=lag_p95_ceiling,
+            window=window,
+        ),
+        SloObjective(
+            name="coverage-floor",
+            series="sampler_skip_rate",
+            stat="mean",
+            op="<=",
+            threshold=0.9,
+            window=window,
+            min_samples=4,
+        ),
+    ]
+
+
+class EwmaAnomalyDetector:
+    """EWMA mean/variance with z-score flagging, one detector per series.
+
+    ``update`` returns the z-score of the sample against the *previous*
+    estimate (so a spike is judged against history, not against itself),
+    then folds the sample in.  The first ``warmup`` samples never flag.
+    """
+
+    def __init__(self, alpha: float = 0.2, z_threshold: float = 4.0, warmup: int = 8):
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self.z_threshold = z_threshold
+        self.warmup = warmup
+        self.mean = 0.0
+        self.var = 0.0
+        self.n = 0
+
+    def update(self, value: float) -> tuple[bool, float]:
+        """Feed one sample; returns (anomalous, z_score)."""
+        self.n += 1
+        if self.n == 1:
+            self.mean = value
+            return False, 0.0
+        deviation = value - self.mean
+        std = math.sqrt(self.var)
+        z = abs(deviation) / std if std > 0 else 0.0
+        anomalous = self.n > self.warmup and std > 0 and z >= self.z_threshold
+        # EWMA updates (Roberts / West): variance first, against the old
+        # mean, so the estimate the z-score used is the one we evolve.
+        self.var = (1 - self.alpha) * (self.var + self.alpha * deviation**2)
+        self.mean += self.alpha * deviation
+        return anomalous, z
+
+
+@dataclass
+class ObjectiveResult:
+    """Terminal per-objective rollup inside the :class:`SloReport`."""
+
+    objective: SloObjective
+    evaluations: int = 0
+    compliant: int = 0
+    breaches: int = 0
+    breached_now: bool = False
+    breach_time: float = 0.0
+    worst_value: float | None = None
+    last_value: float | None = None
+    _breach_started: float | None = None
+
+    @property
+    def evaluated(self) -> bool:
+        return self.evaluations > 0
+
+    @property
+    def compliance(self) -> float:
+        if self.evaluations == 0:
+            return 1.0
+        return self.compliant / self.evaluations
+
+    def as_dict(self) -> dict:
+        objective = self.objective
+        return {
+            "name": objective.name,
+            "series": objective.series,
+            "stat": objective.stat,
+            "op": objective.op,
+            "threshold": objective.threshold,
+            "window": objective.window,
+            "evaluations": self.evaluations,
+            "compliance": self.compliance,
+            "breaches": self.breaches,
+            "breached_now": self.breached_now,
+            "breach_time": self.breach_time,
+            "worst_value": self.worst_value,
+            "last_value": self.last_value,
+        }
+
+
+@dataclass
+class SloReport:
+    """Everything the monitor concluded, JSON-able."""
+
+    results: list[ObjectiveResult] = field(default_factory=list)
+    anomalies: list[dict] = field(default_factory=list)
+
+    @property
+    def evaluated_objectives(self) -> int:
+        return sum(1 for result in self.results if result.evaluated)
+
+    @property
+    def breached_objectives(self) -> int:
+        return sum(1 for result in self.results if result.breaches > 0)
+
+    @property
+    def ok(self) -> bool:
+        return all(not result.breached_now for result in self.results)
+
+    def as_dict(self) -> dict:
+        return {
+            "format": "orthrus-slo/1",
+            "objectives": [result.as_dict() for result in self.results],
+            "anomalies": list(self.anomalies),
+        }
+
+    def summary_lines(self) -> list[str]:
+        lines = []
+        for result in self.results:
+            objective = result.objective
+            if not result.evaluated:
+                lines.append(f"slo {objective.name:<24}: not evaluated (no data)")
+                continue
+            status = "BREACHED" if result.breached_now else (
+                "ok" if result.breaches == 0 else "recovered"
+            )
+            lines.append(
+                f"slo {objective.name:<24}: {status}  "
+                f"{objective.stat}({objective.series}) {objective.op} "
+                f"{objective.threshold:g} — last {result.last_value:.3g}, "
+                f"worst {result.worst_value:.3g}, "
+                f"compliance {result.compliance:.1%} "
+                f"({result.breaches} breach(es))"
+            )
+        if self.anomalies:
+            regimes: dict[str, int] = {}
+            for anomaly in self.anomalies:
+                regimes[anomaly["regime"]] = regimes.get(anomaly["regime"], 0) + 1
+            rollup = ", ".join(f"{k}={v}" for k, v in sorted(regimes.items()))
+            lines.append(f"anomalies                    : {rollup}")
+        return lines
+
+
+class SloMonitor:
+    """Evaluates objectives (and anomaly hooks) on every recorder tick."""
+
+    #: series the EWMA/z-score hooks watch, and the starvation pairing
+    LAG_SERIES = "validation_lag_p95"
+    DEPTH_SERIES = "queue_depth"
+
+    def __init__(
+        self,
+        recorder: TimeSeriesRecorder,
+        objectives: list[SloObjective] | None = None,
+        tracer=None,
+        report=None,
+        anomaly_alpha: float = 0.2,
+        anomaly_z: float = 4.0,
+    ):
+        self.recorder = recorder
+        self.objectives = list(objectives) if objectives else []
+        self.tracer = tracer
+        #: a DetectionReport (or anything with flag_anomaly) to feed
+        self.report = report
+        self._results = {
+            id(objective): ObjectiveResult(objective) for objective in self.objectives
+        }
+        self._detectors = {
+            self.LAG_SERIES: EwmaAnomalyDetector(anomaly_alpha, anomaly_z),
+            self.DEPTH_SERIES: EwmaAnomalyDetector(anomaly_alpha, anomaly_z),
+        }
+        self._fed: dict[str, int] = {name: 0 for name in self._detectors}
+        self.anomalies: list[dict] = []
+        # register on the recorder so drivers only pump one object
+        recorder.listeners.append(self.evaluate)
+
+    # ------------------------------------------------------------------
+    def _window_value(self, objective: SloObjective, now: float, span: float | None):
+        series = self.recorder.series(objective.series)
+        if series is None or series.empty:
+            return None
+        if series.total_samples < objective.min_samples:
+            return None
+        start = -math.inf if span is None else now - span
+        window = series.window(start, now)
+        if window.count == 0:
+            return None
+        return window.stat(objective.stat)
+
+    def evaluate(self, _recorder, now: float) -> None:
+        """One evaluation pass; recorder listeners call this per sample."""
+        for objective in self.objectives:
+            result = self._results[id(objective)]
+            value = self._window_value(objective, now, objective.window)
+            if value is None:
+                continue
+            result.evaluations += 1
+            result.last_value = value
+            if result.worst_value is None:
+                result.worst_value = value
+            elif objective.op == "<=":
+                result.worst_value = max(result.worst_value, value)
+            else:
+                result.worst_value = min(result.worst_value, value)
+            violated = not objective.satisfied_by(value)
+            if violated and objective.burn_window is not None:
+                # burn-rate confirmation: the short window must also burn
+                short = self._window_value(objective, now, objective.burn_window)
+                violated = short is not None and not objective.satisfied_by(short)
+            if violated:
+                if not result.breached_now:
+                    result.breached_now = True
+                    result.breaches += 1
+                    result._breach_started = now
+                    if self.tracer is not None:
+                        self.tracer.emit(
+                            "slo.breach",
+                            ts=now,
+                            objective=objective.name,
+                            series=objective.series,
+                            stat=objective.stat,
+                            value=value,
+                            threshold=objective.threshold,
+                        )
+            else:
+                result.compliant += 1
+                if result.breached_now:
+                    result.breached_now = False
+                    if result._breach_started is not None:
+                        result.breach_time += now - result._breach_started
+                        result._breach_started = None
+                    if self.tracer is not None:
+                        self.tracer.emit(
+                            "slo.recover",
+                            ts=now,
+                            objective=objective.name,
+                            series=objective.series,
+                            stat=objective.stat,
+                            value=value,
+                            threshold=objective.threshold,
+                        )
+        self._evaluate_anomalies(now)
+
+    def _evaluate_anomalies(self, now: float) -> None:
+        flagged: dict[str, tuple[float, float]] = {}
+        for name, detector in self._detectors.items():
+            series = self.recorder.series(name)
+            if series is None or series.empty:
+                continue
+            # feed only genuinely new samples (the recorder may tick with
+            # no data for a series, e.g. no validations this interval)
+            if series.total_samples <= self._fed[name]:
+                continue
+            self._fed[name] = series.total_samples
+            value = series.latest("last")
+            anomalous, z = detector.update(value)
+            if anomalous:
+                flagged[name] = (value, z)
+        if not flagged:
+            return
+        if self.LAG_SERIES in flagged and self.DEPTH_SERIES in flagged:
+            regime = "validator-starvation"
+        elif self.LAG_SERIES in flagged:
+            regime = "lag-spike"
+        else:
+            regime = "depth-spike"
+        for name, (value, z) in flagged.items():
+            record = {
+                "time": now,
+                "series": name,
+                "regime": regime,
+                "value": value,
+                "zscore": z,
+            }
+            self.anomalies.append(record)
+            if self.report is not None:
+                self.report.flag_anomaly(
+                    time=now, series=name, regime=regime, value=value, zscore=z
+                )
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "anomaly.flag",
+                    ts=now,
+                    series=name,
+                    regime=regime,
+                    value=value,
+                    zscore=z,
+                )
+
+    # ------------------------------------------------------------------
+    def finalize(self, now: float) -> SloReport:
+        """Close open breach intervals and build the terminal report."""
+        for result in self._results.values():
+            if result.breached_now and result._breach_started is not None:
+                result.breach_time += now - result._breach_started
+                result._breach_started = None
+        report = SloReport(
+            results=[self._results[id(o)] for o in self.objectives],
+            anomalies=list(self.anomalies),
+        )
+        return report

@@ -20,8 +20,12 @@ kind                 emitted when / key fields
 ===================  ==========================================================
 
 Timestamps are the runtime's clock (virtual seconds under the simulation
-drivers, logical ticks under the default clock).  Events are emitted in
-clock order per closure, so a JSON-lines export replays the lifecycle:
+drivers, logical ticks under the default clock).  Every event is
+additionally tagged with ``event_seq`` — the tracer's monotonically
+increasing emission counter — because concurrent queues can tie on the
+clock; sorting a merged JSON-lines trace by ``event_seq`` restores the
+total emission order.  Events are emitted in clock order per closure, so
+a JSON-lines export replays the lifecycle:
 ``closure.run`` → ``queue.push`` → ``queue.pop`` → ``sampler.decision`` →
 ``validator.validate``/``validator.skip``.
 
@@ -40,14 +44,27 @@ __all__ = ["TraceEvent", "Tracer", "NullTracer", "NULL_TRACER"]
 
 @dataclass(slots=True)
 class TraceEvent:
-    """One structured event: a kind, a timestamp, and flat fields."""
+    """One structured event: a kind, a timestamp, and flat fields.
+
+    ``event_seq`` is the tracer's emission counter — distinct from the
+    ``seq`` *field* many events carry, which identifies the closure
+    execution.  Timestamps alone cannot totally order a JSON-lines trace
+    (concurrent queues tie on the sim clock); ``event_seq`` can, even
+    after traces from several runs or shards are merged post-hoc.
+    """
 
     kind: str
     ts: float
     fields: dict[str, Any] = field(default_factory=dict)
+    event_seq: int = 0
 
     def as_dict(self) -> dict[str, Any]:
-        return {"ts": self.ts, "kind": self.kind, **self.fields}
+        return {
+            "event_seq": self.event_seq,
+            "ts": self.ts,
+            "kind": self.kind,
+            **self.fields,
+        }
 
 
 class Tracer:
@@ -61,12 +78,17 @@ class Tracer:
         self.events: list[TraceEvent] = []
         self.dropped = 0
         self._max_events = max_events
+        self._seq = 0
 
     def emit(self, kind: str, ts: float, **fields: Any) -> None:
+        # The counter advances even for dropped events so a gap in
+        # event_seq across the trailing drop marker is visible evidence
+        # of how much was lost.
+        self._seq += 1
         if len(self.events) >= self._max_events:
             self.dropped += 1
             return
-        self.events.append(TraceEvent(kind, ts, fields))
+        self.events.append(TraceEvent(kind, ts, fields, event_seq=self._seq))
 
     def __len__(self) -> int:
         return len(self.events)
@@ -84,6 +106,7 @@ class Tracer:
     def clear(self) -> None:
         self.events.clear()
         self.dropped = 0
+        self._seq = 0
 
 
 class NullTracer:

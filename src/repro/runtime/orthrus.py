@@ -110,12 +110,33 @@ class OrthrusRuntime:
         #: incident-response coordinator (repro.response); attached by
         #: ResponseCoordinator, observes logs/outcomes/detections.
         self.responder = None
+        #: a ``repro.obs.TimeSeriesRecorder`` sampled opportunistically
+        #: after each closure run / pump step (cadence-gated inside the
+        #: recorder); attach via :meth:`attach_timeseries`.  The DES
+        #: drivers instead run a dedicated sampling process so telemetry
+        #: ticks even while the runtime is idle.
+        self.timeseries = None
         if self.obs.enabled:
             self._register_gauges()
         #: False = close each closure's active window immediately after the
         #: APP run (no deferred validation will reference its versions) —
         #: used by vanilla/RBV configurations that do not validate logs.
         self._hold_versions = hold_versions
+
+    def attach_timeseries(self, recorder) -> None:
+        """Sample ``recorder`` on this runtime's clock as work happens.
+
+        The recorder must be built over this runtime's obs registry (its
+        probes read the families the runtime writes).  Sampling piggybacks
+        on closure completion and validation pumping — adequate for the
+        library modes, where the clock only advances when work happens.
+        """
+        if not self.obs.enabled:
+            raise ConfigurationError(
+                "attach_timeseries needs an observability-enabled runtime "
+                "(pass obs=Observability() to OrthrusRuntime)"
+            )
+        self.timeseries = recorder
 
     def _register_gauges(self) -> None:
         """Callback gauges over live runtime state: sampled only at export
@@ -274,6 +295,8 @@ class OrthrusRuntime:
                 self.responder.on_outcome(outcome)
         elif self.mode == "queued":
             self.queues.push(log, self.clock.now())
+        if self.timeseries is not None:
+            self.timeseries.sample(self.clock.now())
         # mode == "external": an external driver (the discrete-event
         # harness, or an RBV baseline that validates whole requests) owns
         # the log via the _on_log hook; nothing is queued here.
@@ -333,6 +356,8 @@ class OrthrusRuntime:
             self.outcomes.append(outcome)
             if self.responder is not None:
                 self.responder.on_outcome(outcome)
+            if self.timeseries is not None:
+                self.timeseries.sample(self.clock.now())
         return processed
 
     def drain(self) -> int:

@@ -168,6 +168,15 @@ class Validator:
         self._obs = obs if obs is not None else NULL_OBS
         self.validated_count = 0
         self.mismatch_count = 0
+        #: latency of the most recent validation — the cheap point-in-time
+        #: lag signal the time-series recorder samples between histogram
+        #: windows (a starved validator shows up here immediately).
+        self.last_latency = 0.0
+        if self._obs.enabled:
+            self._obs.registry.gauge(
+                "orthrus_validation_lag_seconds",
+                help="latency of the most recent validation (completion to verdict)",
+            ).set_function(lambda: self.last_latency)
 
     def validate(self, log: ClosureLog, core: Core) -> ValidationOutcome:
         """Re-execute ``log`` on ``core`` and compare results."""
@@ -195,6 +204,7 @@ class Validator:
         if self._reclaimer is not None:
             self._reclaimer.closure_finished(log.seq)
         latency = now - log.end_time
+        self.last_latency = latency
         obs = self._obs
         if obs.enabled:
             labels = {"closure": log.closure_name, "caller": log.caller}

@@ -1,0 +1,120 @@
+"""Benchmark tracking: artifact schema, direction-aware comparison."""
+
+import copy
+
+import pytest
+
+from repro.harness.benchtrack import (
+    BENCH_FORMAT,
+    BENCHES,
+    artifact_filename,
+    compare_artifacts,
+    load_artifact,
+    render_comparison,
+    run_bench,
+    write_artifact,
+)
+
+#: small but non-degenerate: every bench finishes in well under a minute
+SCALE = 0.1
+
+
+@pytest.fixture(scope="module")
+def fig8_artifact():
+    return run_bench("fig8_validation_latency", scale=SCALE, seed=1)
+
+
+class TestArtifacts:
+    def test_schema(self, fig8_artifact):
+        artifact = fig8_artifact
+        assert artifact["format"] == BENCH_FORMAT
+        assert artifact["name"] == "fig8_validation_latency"
+        assert artifact["config"]["scale"] == SCALE
+        assert len(artifact["config_digest"]) == 16
+        assert artifact["wall_time_s"] > 0
+        assert artifact["sim"]  # non-empty metric dict
+        # The Orthrus arm runs with the recorder attached, so whole-run
+        # series percentiles land in the artifact.
+        lag = artifact["series_percentiles"]["memcached.validation_lag_p95"]
+        assert lag["p95"] > 0
+
+    def test_digest_depends_on_config(self):
+        a = run_bench("table2_coverage", scale=SCALE, seed=1)
+        b = run_bench("table2_coverage", scale=SCALE, seed=2)
+        assert a["config_digest"] != b["config_digest"]
+
+    def test_write_and_load_round_trip(self, fig8_artifact, tmp_path):
+        path = write_artifact(fig8_artifact, str(tmp_path))
+        assert path.endswith(artifact_filename("fig8_validation_latency"))
+        assert load_artifact(path) == fig8_artifact
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text('{"format": "not-a-bench"}')
+        with pytest.raises(ValueError):
+            load_artifact(str(path))
+
+    def test_unknown_bench_rejected(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            run_bench("fig99")
+
+    def test_every_bench_declares_directions(self):
+        for spec in BENCHES.values():
+            assert spec.directions, spec.name
+
+
+class TestComparison:
+    def test_identical_artifacts_compare_clean(self, fig8_artifact):
+        rerun = run_bench("fig8_validation_latency", scale=SCALE, seed=1)
+        # Determinism first: identical config ⇒ identical sim metrics.
+        assert rerun["sim"] == fig8_artifact["sim"]
+        comparison = compare_artifacts(fig8_artifact, rerun, tolerance=0.01)
+        assert comparison.ok
+        assert comparison.config_match
+        assert all(d.status == "ok" for d in comparison.deltas)
+
+    def test_direction_aware_verdicts(self, fig8_artifact):
+        worse = copy.deepcopy(fig8_artifact)
+        worse["sim"]["memcached_orthrus_val_p95_us"] *= 2.0   # lower_better ↑
+        worse["sim"]["memcached_rbv_over_orthrus_ratio"] *= 2.0  # higher_better ↑
+        comparison = compare_artifacts(fig8_artifact, worse, tolerance=0.25)
+        by_metric = {d.metric: d.status for d in comparison.deltas}
+        assert by_metric["memcached_orthrus_val_p95_us"] == "regression"
+        assert by_metric["memcached_rbv_over_orthrus_ratio"] == "improvement"
+        assert not comparison.ok
+        assert len(comparison.regressions) == 1
+
+    def test_stable_metrics_regress_in_both_directions(self):
+        artifact = run_bench("table2_coverage", scale=SCALE, seed=1)
+        drifted = copy.deepcopy(artifact)
+        drifted["sim"]["profiled_sites"] *= 0.5  # STABLE: any drift is bad
+        comparison = compare_artifacts(artifact, drifted, tolerance=0.25)
+        by_metric = {d.metric: d.status for d in comparison.deltas}
+        assert by_metric["profiled_sites"] == "regression"
+
+    def test_within_tolerance_is_ok(self, fig8_artifact):
+        nudged = copy.deepcopy(fig8_artifact)
+        nudged["sim"]["memcached_orthrus_val_p95_us"] *= 1.05
+        assert compare_artifacts(fig8_artifact, nudged, tolerance=0.25).ok
+
+    def test_new_and_missing_metrics_reported_not_regressed(self, fig8_artifact):
+        changed = copy.deepcopy(fig8_artifact)
+        changed["sim"]["brand_new_metric"] = 1.0
+        del changed["sim"]["lsmtree_orthrus_val_mean_us"]
+        comparison = compare_artifacts(fig8_artifact, changed, tolerance=0.25)
+        by_metric = {d.metric: d.status for d in comparison.deltas}
+        assert by_metric["brand_new_metric"] == "new"
+        assert by_metric["lsmtree_orthrus_val_mean_us"] == "missing"
+        assert comparison.ok  # presence changes inform, they don't gate
+
+    def test_config_mismatch_is_called_out(self, fig8_artifact):
+        other = run_bench("fig8_validation_latency", scale=SCALE, seed=2)
+        comparison = compare_artifacts(fig8_artifact, other, tolerance=0.25)
+        assert not comparison.config_match
+        assert any("config digests differ" in note for note in comparison.notes)
+
+    def test_render_includes_verdict(self, fig8_artifact):
+        comparison = compare_artifacts(fig8_artifact, fig8_artifact, tolerance=0.1)
+        text = render_comparison(comparison)
+        assert "verdict: no regressions" in text
+        assert "fig8_validation_latency" in text

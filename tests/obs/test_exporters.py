@@ -113,6 +113,38 @@ class TestPrometheus:
         text = to_prometheus(registry)
         assert r'x_total{name="a\"b\\c"} 1.0' in text
 
+    def test_label_newlines_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", {"name": "line1\nline2"}).inc()
+        text = to_prometheus(registry)
+        assert r'x_total{name="line1\nline2"} 1.0' in text
+        # The exposition must stay one-sample-per-line.
+        assert "line1\nline2" not in text
+
+    def test_help_text_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", help="multi\nline \\help").inc()
+        text = to_prometheus(registry)
+        assert r"# HELP x_total multi\nline \\help" in text
+
+    def test_type_emitted_once_per_family_across_children(self):
+        registry = MetricsRegistry()
+        for queue in ("0", "1", "2"):
+            registry.gauge("orthrus_queue_depth", {"queue": queue}).set(1)
+        text = to_prometheus(registry)
+        assert text.count("# TYPE orthrus_queue_depth gauge") == 1
+
+    def test_histogram_with_no_samples_still_announces_type(self):
+        registry = MetricsRegistry()
+        registry.histogram("orthrus_idle_seconds", help="never observed")
+        text = to_prometheus(registry)
+        assert "# TYPE orthrus_idle_seconds histogram" in text
+        assert "orthrus_idle_seconds_count 0" in text
+        assert 'orthrus_idle_seconds_bucket{le="+Inf"} 0' in text
+        # And the snapshot round-trips the empty family intact.
+        restored = to_prometheus(registry.snapshot())
+        assert restored == text
+
 
 class TestConsoleSummary:
     def test_table_contains_every_family(self):

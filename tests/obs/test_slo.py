@@ -1,0 +1,213 @@
+"""SLO monitor: objective parsing, breach/recover, anomaly hooks."""
+
+import pytest
+
+from repro.detection import DetectionReport
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    EwmaAnomalyDetector,
+    SloMonitor,
+    SloObjective,
+    default_objectives,
+)
+from repro.obs.timeseries import TimeSeriesConfig, TimeSeriesRecorder
+from repro.obs.trace import Tracer
+
+
+class SettableProbe:
+    """Test probe: whatever `value` holds is the sample."""
+
+    def __init__(self):
+        self.value = 0.0
+
+    def sample(self, registry, now, dt):
+        return self.value
+
+
+def make_monitor(objective, **kwargs):
+    registry = MetricsRegistry()
+    recorder = TimeSeriesRecorder(registry, TimeSeriesConfig(cadence=1.0))
+    probe = SettableProbe()
+    recorder.add_series(objective.series, probe)
+    monitor = SloMonitor(recorder, objectives=[objective], **kwargs)
+    return recorder, probe, monitor
+
+
+class TestSloObjective:
+    def test_parse_with_units(self):
+        objective = SloObjective.parse("validation_lag_p95 p95 <= 200us")
+        assert objective.series == "validation_lag_p95"
+        assert objective.stat == "p95"
+        assert objective.threshold == pytest.approx(200e-6)
+        percent = SloObjective.parse("sampler_skip_rate mean <= 60%")
+        assert percent.threshold == pytest.approx(0.6)
+
+    def test_parse_rejects_malformed_specs(self):
+        with pytest.raises(ValueError):
+            SloObjective.parse("just_three <= 1")
+        with pytest.raises(ValueError):
+            SloObjective.parse("series stat == 1")
+        with pytest.raises(ValueError):
+            SloObjective.parse("series stat <= banana")
+
+    def test_default_objectives_cover_lag_and_skipping(self):
+        names = {o.name for o in default_objectives()}
+        assert names == {"detection-latency", "coverage-floor"}
+
+
+class TestBreachRecover:
+    def objective(self, **kw):
+        return SloObjective(
+            name="lag", series="lag", stat="mean", op="<=", threshold=1.0,
+            window=2.0, **kw,
+        )
+
+    def test_breach_and_recover_emit_trace_events(self):
+        tracer = Tracer()
+        recorder, probe, monitor = make_monitor(self.objective(), tracer=tracer)
+        probe.value = 0.5
+        recorder.sample(0.0)
+        probe.value = 5.0
+        recorder.sample(3.0)   # window [1,3] sees only the bad sample
+        probe.value = 0.5
+        recorder.sample(6.0)   # window [4,6] sees only the good sample
+        kinds = [e.kind for e in tracer]
+        assert kinds.count("slo.breach") == 1
+        assert kinds.count("slo.recover") == 1
+        report = monitor.finalize(6.0)
+        result = report.results[0]
+        assert result.breaches == 1
+        assert result.breached_now is False
+        assert result.breach_time == pytest.approx(3.0)
+        assert report.ok
+
+    def test_open_breach_closed_by_finalize(self):
+        recorder, probe, monitor = make_monitor(self.objective())
+        probe.value = 5.0
+        recorder.sample(0.0)
+        report = monitor.finalize(4.0)
+        result = report.results[0]
+        assert result.breached_now is True
+        assert result.breach_time == pytest.approx(4.0)
+        assert not report.ok
+        assert report.breached_objectives == 1
+
+    def test_burn_window_requires_short_window_confirmation(self):
+        # The long window still carries the old spike, but the short
+        # window is clean — burn-rate logic suppresses the breach.
+        objective = self.objective(burn_window=1.0)
+        objective = SloObjective(
+            name="lag", series="lag", stat="max", op="<=", threshold=1.0,
+            window=10.0, burn_window=1.0,
+        )
+        recorder, probe, monitor = make_monitor(objective)
+        probe.value = 5.0
+        recorder.sample(0.0)
+        probe.value = 0.1
+        recorder.sample(5.0)  # long window max=5 violates; short is clean
+        report = monitor.finalize(5.0)
+        result = report.results[0]
+        assert result.breaches == 1      # the t=0 tick breached for real
+        assert result.breached_now is False  # t=5 suppressed by burn window
+
+    def test_min_samples_gates_evaluation(self):
+        objective = SloObjective(
+            name="lag", series="lag", stat="mean", op="<=", threshold=1.0,
+            min_samples=3,
+        )
+        recorder, probe, monitor = make_monitor(objective)
+        probe.value = 9.0
+        recorder.sample(0.0)
+        recorder.sample(1.0)
+        assert monitor.finalize(1.0).evaluated_objectives == 0
+        recorder.sample(2.0)
+        assert monitor.finalize(2.0).results[0].evaluations == 1
+
+    def test_worst_value_tracks_across_compliant_samples(self):
+        recorder, probe, monitor = make_monitor(self.objective())
+        for t, value in enumerate((0.2, 0.8, 0.4)):
+            probe.value = value
+            recorder.sample(float(t) * 3)
+        result = monitor.finalize(9.0).results[0]
+        assert result.worst_value == pytest.approx(0.8)
+        assert result.compliance == 1.0
+
+
+class TestEwmaAnomalyDetector:
+    def test_step_change_flags_after_warmup(self):
+        detector = EwmaAnomalyDetector(alpha=0.2, z_threshold=4.0, warmup=8)
+        for _ in range(20):
+            anomalous, _ = detector.update(1.0 + 0.01 * (_ % 3))
+            assert not anomalous
+        anomalous, z = detector.update(50.0)
+        assert anomalous and z >= 4.0
+
+    def test_never_flags_during_warmup(self):
+        detector = EwmaAnomalyDetector(warmup=8)
+        flags = [detector.update(v)[0] for v in (1.0, 1.0, 100.0, 1.0)]
+        assert flags == [False, False, False, False]
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            EwmaAnomalyDetector(alpha=0.0)
+
+
+class TestAnomalyHooks:
+    def make(self, report=None, tracer=None):
+        registry = MetricsRegistry()
+        recorder = TimeSeriesRecorder(registry, TimeSeriesConfig(cadence=1.0))
+        lag, depth = SettableProbe(), SettableProbe()
+        recorder.add_series(SloMonitor.LAG_SERIES, lag)
+        recorder.add_series(SloMonitor.DEPTH_SERIES, depth)
+        monitor = SloMonitor(recorder, objectives=[], report=report, tracer=tracer)
+        return recorder, lag, depth, monitor
+
+    def run_regime(self, lag_spike, depth_spike, report=None, tracer=None):
+        recorder, lag, depth, monitor = self.make(report=report, tracer=tracer)
+        for t in range(12):
+            lag.value = 1.0 + 0.01 * (t % 2)
+            depth.value = 3.0 + 0.01 * (t % 2)
+            recorder.sample(float(t))
+        if lag_spike:
+            lag.value = 500.0
+        if depth_spike:
+            depth.value = 900.0
+        recorder.sample(12.0)
+        return monitor
+
+    def test_joint_spike_is_validator_starvation(self):
+        monitor = self.run_regime(lag_spike=True, depth_spike=True)
+        regimes = {a["regime"] for a in monitor.anomalies}
+        assert regimes == {"validator-starvation"}
+        assert len(monitor.anomalies) == 2  # one record per flagged series
+
+    def test_lone_spikes_get_their_own_regimes(self):
+        assert {
+            a["regime"]
+            for a in self.run_regime(lag_spike=True, depth_spike=False).anomalies
+        } == {"lag-spike"}
+        assert {
+            a["regime"]
+            for a in self.run_regime(lag_spike=False, depth_spike=True).anomalies
+        } == {"depth-spike"}
+
+    def test_feeds_detection_report_and_tracer(self):
+        report = DetectionReport()
+        tracer = Tracer()
+        monitor = self.run_regime(
+            lag_spike=True, depth_spike=True, report=report, tracer=tracer
+        )
+        assert monitor.anomalies  # sanity
+        assert report.anomaly_regimes() == {"validator-starvation": 2}
+        summary = report.summary()
+        assert summary["anomalies"]["total"] == 2
+        assert summary["anomalies"]["by_regime"] == {"validator-starvation": 2}
+        assert len(tracer.of_kind("anomaly.flag")) == 2
+
+    def test_quiet_run_flags_nothing(self):
+        monitor = self.run_regime(lag_spike=False, depth_spike=False)
+        assert monitor.anomalies == []
+        report = monitor.finalize(12.0)
+        assert report.anomalies == []
+        # An empty DetectionReport summary must stay anomaly-free too.
+        assert "anomalies" not in DetectionReport().summary()

@@ -13,8 +13,34 @@ class TestTracer:
         tracer.emit("queue.push", ts=2.0, seq=1, queue=0)
         assert [e.kind for e in tracer] == ["closure.run", "queue.push"]
         assert tracer.events[0].as_dict() == {
-            "ts": 1.0, "kind": "closure.run", "seq": 1,
+            "event_seq": 1, "ts": 1.0, "kind": "closure.run", "seq": 1,
         }
+
+    def test_event_seq_totally_orders_emissions(self):
+        # Same-timestamp events (ubiquitous under a virtual clock) still
+        # get a strict total order via the per-tracer emission counter.
+        tracer = Tracer()
+        for _ in range(5):
+            tracer.emit("closure.run", ts=0.0, seq=9)
+        seqs = [e.event_seq for e in tracer]
+        assert seqs == [1, 2, 3, 4, 5]
+
+    def test_event_seq_advances_past_dropped_events(self):
+        # Gaps in event_seq are the post-hoc evidence that the cap dropped
+        # something, so dropped events must still consume numbers.
+        tracer = Tracer(max_events=2)
+        for i in range(5):
+            tracer.emit("closure.run", ts=float(i), seq=i)
+        assert [e.event_seq for e in tracer] == [1, 2]
+        tracer.emit("late", ts=9.0)
+        assert tracer.dropped == 4
+
+    def test_clear_resets_event_seq(self):
+        tracer = Tracer()
+        tracer.emit("a", ts=0.0)
+        tracer.clear()
+        tracer.emit("b", ts=0.0)
+        assert tracer.events[0].event_seq == 1
 
     def test_of_kind_and_for_seq(self):
         tracer = Tracer()

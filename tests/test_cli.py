@@ -134,3 +134,114 @@ class TestObservabilityFlags:
         garbage.write_text("not json")
         with pytest.raises(SystemExit, match="not valid JSON"):
             main(["obs-summary", str(garbage)])
+
+    def test_obs_summary_renders_trace_in_event_seq_order(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        main([
+            "perf", "--app", "memcached", "--ops", "200",
+            "--trace-out", str(trace),
+        ])
+        capsys.readouterr()
+        assert main(["obs-summary", str(trace)]) == 0
+        out = capsys.readouterr().out
+        seqs = [
+            int(line[1:].split()[0])
+            for line in out.splitlines()
+            if line.startswith("#")
+        ]
+        assert seqs and seqs == sorted(seqs)
+        assert "closure.run" in out
+
+
+class TestTimelineFlags:
+    def test_perf_timeline_out_writes_artifact_and_evaluates_slos(
+        self, tmp_path, capsys
+    ):
+        artifact = tmp_path / "timeline.json"
+        assert main([
+            "perf", "--app", "memcached", "--ops", "300",
+            "--timeline-out", str(artifact),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "timeline" in out
+        assert "slo detection-latency" in out
+
+        from repro.obs import load_timeline
+
+        series = load_timeline(str(artifact))
+        lag = series["validation_lag_p95"]
+        assert lag.total_samples > 0
+        assert lag.summary()["p95"] > 0
+
+    def test_custom_slo_spec_replaces_defaults(self, tmp_path, capsys):
+        artifact = tmp_path / "timeline.json"
+        assert main([
+            "latency", "--app", "memcached", "--ops", "300",
+            "--timeline-out", str(artifact),
+            "--slo", "validation_lag_p95 p95 <= 1ns",  # impossible: must breach
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "BREACHED" in out
+        assert "detection-latency" not in out
+
+    def test_bad_slo_spec_fails_fast(self, tmp_path):
+        with pytest.raises(SystemExit, match="bad SLO"):
+            main([
+                "perf", "--app", "memcached", "--ops", "100",
+                "--timeline-out", str(tmp_path / "t.json"),
+                "--slo", "nonsense",
+            ])
+
+    def test_timeline_subcommand_renders_artifact(self, tmp_path, capsys):
+        artifact = tmp_path / "timeline.json"
+        main([
+            "perf", "--app", "memcached", "--ops", "300",
+            "--timeline-out", str(artifact),
+        ])
+        capsys.readouterr()
+        assert main(["timeline", str(artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "validation_lag_p95" in out and "queue_depth" in out
+        assert main([
+            "timeline", str(artifact), "--format", "table",
+            "--series", "validation_lag_p95",
+        ]) == 0
+        table = capsys.readouterr().out
+        assert "p95=" in table and "queue_depth" not in table
+
+    def test_timeline_rejects_unknown_series_and_bad_files(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"format": "wrong"}')
+        with pytest.raises(SystemExit, match="not an orthrus-timeseries"):
+            main(["timeline", str(bad)])
+
+
+class TestBenchCompare:
+    def test_twice_on_identical_config_reports_zero_regressions(
+        self, tmp_path, capsys
+    ):
+        baseline_dir = str(tmp_path / "baselines")
+        out_dir = str(tmp_path / "artifacts")
+        common = [
+            "bench-compare", "--bench", "table2_coverage", "--scale", "0.1",
+            "--out-dir", out_dir, "--baseline-dir", baseline_dir,
+        ]
+        assert main(common + ["--update"]) == 0
+        capsys.readouterr()
+        assert main(common + ["--tolerance", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: no regressions" in out
+        assert (tmp_path / "artifacts" / "BENCH_table2_coverage.json").exists()
+
+    def test_missing_baseline_skips_without_failing(self, tmp_path, capsys):
+        assert main([
+            "bench-compare", "--bench", "table2_coverage", "--scale", "0.1",
+            "--out-dir", str(tmp_path / "a"),
+            "--baseline-dir", str(tmp_path / "nowhere"),
+        ]) == 0
+        assert "no baseline" in capsys.readouterr().out
+
+    def test_unknown_bench_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown benchmark"):
+            main(["bench-compare", "--bench", "fig99",
+                  "--out-dir", str(tmp_path)])
