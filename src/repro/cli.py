@@ -33,6 +33,12 @@ directory with per-metric direction-aware tolerances.
 episode and prints the resulting IncidentReport; ``--quarantine`` on
 perf/latency/coverage attaches the response layer (arbitration +
 quarantine) to the Orthrus arm of those experiments.
+
+``--validator-faults`` / ``--degradation`` on perf, latency, and respond
+route the Orthrus arm through the fault-tolerant chaos driver (bounded
+queues, watchdog re-dispatch, degradation ladder) and print the
+conservation ledger; ``--ft-json`` saves the report, and a run whose
+terminal degradation state is ``SAFE_HOLD`` exits nonzero (status 2).
 """
 
 from __future__ import annotations
@@ -43,8 +49,10 @@ import json
 import os
 import sys
 
+from repro.errors import ConfigurationError
 from repro.faultinject.campaign import FaultInjectionCampaign
 from repro.faultinject.config import InjectionConfig
+from repro.faultinject.validator_faults import ValidatorChaosConfig
 from repro.harness.benchtrack import (
     BENCHES,
     artifact_filename,
@@ -88,7 +96,10 @@ from repro.obs import (
 )
 from repro.obs.slo import SloObjective
 from repro.response import ResponseConfig
+from repro.runtime.degradation import FaultToleranceConfig
 from repro.sim.metrics import slowdown
+from repro.validation.queues import OVERFLOW_POLICIES
+from repro.validation.watchdog import WatchdogConfig
 
 #: app name → (scenario factory, orthrus runner, vanilla runner, rbv runner,
 #:             default workload size)
@@ -253,12 +264,105 @@ def _print_response(result) -> None:
         )
 
 
+def _fault_tolerance_setup(args):
+    """(FaultToleranceConfig, ValidatorChaosConfig | None) when the
+    fault-tolerance flags ask for the chaos driver, else (None, None).
+
+    Any of --validator-faults / --degradation / --queue-capacity /
+    --overflow-policy opts the Orthrus arm into the fault-tolerant plane.
+    """
+    specs = getattr(args, "validator_faults", None) or []
+    enabled = (
+        bool(specs)
+        or getattr(args, "degradation", False)
+        or getattr(args, "queue_capacity", None) is not None
+        or getattr(args, "overflow_policy", None) is not None
+        or getattr(args, "watchdog_deadline", None) is not None
+    )
+    if not enabled:
+        return None, None
+    chaos = None
+    if specs:
+        try:
+            chaos = ValidatorChaosConfig.parse(specs, seed=args.seed)
+        except ConfigurationError as exc:
+            raise SystemExit(str(exc))
+    kwargs = {}
+    if args.queue_capacity is not None:
+        kwargs["queue_capacity"] = args.queue_capacity
+    if args.overflow_policy is not None:
+        kwargs["overflow_policy"] = args.overflow_policy
+    if args.watchdog_deadline is not None:
+        deadline = args.watchdog_deadline
+        kwargs["watchdog"] = WatchdogConfig(deadline=deadline)
+        # Tight deadlines need a tick fast enough to notice them expire.
+        kwargs["check_interval"] = min(
+            FaultToleranceConfig().check_interval, deadline / 8
+        )
+    return FaultToleranceConfig(**kwargs), chaos
+
+
+def _finish_fault_tolerance(result, args) -> int:
+    """Print the chaos-plane report and save ``--ft-json``.
+
+    Returns this run's exit-status contribution: 2 when the terminal
+    degradation state is SAFE_HOLD (the run ended still holding
+    externalizing closures), else 0.
+    """
+    ft = getattr(result, "ft", None)
+    if ft is None:
+        print("fault tolerance    : (runner does not attach the chaos plane)")
+        return 0
+    ledger = ft.ledger
+    print(
+        f"log conservation   : {ledger['enqueued']} in = "
+        f"{ledger['validated']} validated + {ledger['skipped']} skipped + "
+        f"{ledger['dropped']} dropped + {ledger['fallback']} fallback "
+        + ("(conserved)" if ft.conserved else "(NOT CONSERVED)")
+    )
+    print(
+        f"watchdog           : {ft.timeouts} timeouts, "
+        f"{ft.redispatches} re-dispatches, "
+        f"{ft.exhausted} retry budgets exhausted"
+    )
+    if ft.queue_drops:
+        print("queue drops        : " + ", ".join(
+            f"{reason}={count}"
+            for reason, count in sorted(ft.queue_drops.items())
+        ))
+    if ft.faulted_cores:
+        print("armed faults       : " + ", ".join(
+            f"{kind}={cores}"
+            for kind, cores in sorted(ft.faulted_cores.items())
+        ))
+    if ft.quarantined_validators:
+        print(f"quarantined cores  : {ft.quarantined_validators}")
+    print(
+        f"degradation        : peak {ft.peak_level}, "
+        f"terminal {ft.terminal_level}"
+    )
+    if getattr(args, "ft_json", None) is not None:
+        try:
+            with open(args.ft_json, "w", encoding="utf-8") as fh:
+                json.dump(ft.summary(), fh, indent=2)
+                fh.write("\n")
+        except OSError as exc:
+            raise SystemExit(f"cannot write {args.ft_json}: {exc}")
+        print(f"fault-tolerance out: {args.ft_json}")
+    if ft.terminal_level == "safe-hold":
+        print("verdict            : run ended in SAFE_HOLD")
+        return 2
+    return 0
+
+
 def cmd_perf(args) -> int:
     scenario, orthrus, vanilla, rbv, default_size = _resolve(args.app)
     size = args.ops or default_size
     obs = _make_obs(args)
     timeseries, slos = _timeseries_setup(args)
-    config = lambda obs=None, response=None, timeseries=None, slos=None: PipelineConfig(
+    ft, chaos = _fault_tolerance_setup(args)
+    config = lambda obs=None, response=None, timeseries=None, slos=None, \
+            ft=None, chaos=None: PipelineConfig(
         app_threads=args.threads,
         validation_cores=args.cores,
         seed=args.seed,
@@ -266,9 +370,14 @@ def cmd_perf(args) -> int:
         response=response,
         timeseries=timeseries,
         slos=slos,
+        fault_tolerance=ft,
+        validator_faults=chaos,
     )
     v = vanilla(scenario, size, config())
-    o = orthrus(scenario, size, config(obs, _response_config(args), timeseries, slos))
+    o = orthrus(
+        scenario, size,
+        config(obs, _response_config(args), timeseries, slos, ft, chaos),
+    )
     r = rbv(scenario, size, config())
     if args.app == "phoenix":
         base = v.metrics.duration
@@ -283,9 +392,12 @@ def cmd_perf(args) -> int:
     print(f"validated/skipped  : {o.metrics.validated}/{o.metrics.skipped}")
     if args.quarantine:
         _print_response(o)
+    rc = 0
+    if ft is not None or chaos is not None:
+        rc = _finish_fault_tolerance(o, args)
     _report_timeline(o, args)
     _export_obs(obs, args, o.metrics)
-    return 0
+    return rc
 
 
 def cmd_latency(args) -> int:
@@ -293,7 +405,9 @@ def cmd_latency(args) -> int:
     size = args.ops or default_size
     obs = _make_obs(args)
     timeseries, slos = _timeseries_setup(args)
-    config = lambda obs=None, response=None, timeseries=None, slos=None: PipelineConfig(
+    ft, chaos = _fault_tolerance_setup(args)
+    config = lambda obs=None, response=None, timeseries=None, slos=None, \
+            ft=None, chaos=None: PipelineConfig(
         app_threads=args.threads,
         validation_cores=args.cores,
         seed=args.seed,
@@ -301,8 +415,13 @@ def cmd_latency(args) -> int:
         response=response,
         timeseries=timeseries,
         slos=slos,
+        fault_tolerance=ft,
+        validator_faults=chaos,
     )
-    o = orthrus(scenario, size, config(obs, _response_config(args), timeseries, slos))
+    o = orthrus(
+        scenario, size,
+        config(obs, _response_config(args), timeseries, slos, ft, chaos),
+    )
     r = rbv(scenario, size, config())
     ol, rl = o.metrics.validation_latency, r.metrics.validation_latency
     print(f"orthrus validation latency : mean {ol.mean * 1e6:.2f} us, p95 {ol.p95 * 1e6:.2f} us")
@@ -311,9 +430,12 @@ def cmd_latency(args) -> int:
         print(f"ratio                      : {rl.mean / ol.mean:.0f}x")
     if args.quarantine:
         _print_response(o)
+    rc = 0
+    if ft is not None or chaos is not None:
+        rc = _finish_fault_tolerance(o, args)
     _report_timeline(o, args)
     _export_obs(obs, args, o.metrics)
-    return 0
+    return rc
 
 
 def cmd_coverage(args) -> int:
@@ -421,15 +543,39 @@ def cmd_respond(args) -> int:
     )
     if args.probation:
         print(f"readmitted cores   : {result.readmitted or 'none'}")
+    # Optional chaos arm: replay the same scenario through the
+    # fault-tolerant validation plane so the incident episode also scores
+    # how detection holds up when the detectors themselves fail.
+    ft, chaos = _fault_tolerance_setup(args)
+    stress = None
+    ft_rc = 0
+    if ft is not None or chaos is not None:
+        print("validation-plane stress arm:")
+        stress = run_orthrus_server(
+            scenario,
+            args.ops or 200,
+            PipelineConfig(
+                app_threads=args.threads,
+                validation_cores=args.cores,
+                seed=args.seed,
+                fault_tolerance=ft,
+                validator_faults=chaos,
+            ),
+        )
+        ft_rc = _finish_fault_tolerance(stress, args)
     if args.json is not None:
+        payload = json.loads(report.to_json())
+        if stress is not None and stress.ft is not None:
+            payload["fault_tolerance"] = stress.ft.summary()
         try:
             with open(args.json, "w", encoding="utf-8") as fh:
-                fh.write(report.to_json(indent=2) + "\n")
+                fh.write(json.dumps(payload, indent=2) + "\n")
         except OSError as exc:
             raise SystemExit(f"cannot write {args.json}: {exc}")
         print(f"incident report    : {args.json}")
     _export_obs(obs, args)
-    return 0 if result.repaired and result.attribution_correct else 1
+    rc = 0 if result.repaired and result.attribution_correct else 1
+    return rc or ft_rc
 
 
 def _summarize_trace_jsonl(path: str) -> int:
@@ -613,15 +759,55 @@ def build_parser() -> argparse.ArgumentParser:
             "replaces the stock objectives",
         )
 
+    def fault_tolerance_flags(p):
+        p.add_argument(
+            "--validator-faults", action="append", default=None,
+            metavar="KIND=N",
+            help="arm chaos faults against the validation plane itself "
+            "(crash|hang|slowdown|verdict-loss; N < 1 is a fraction of "
+            "the validation cores, N >= 1 a core count); repeatable, "
+            "routes the Orthrus arm through the fault-tolerant driver",
+        )
+        p.add_argument(
+            "--degradation", action="store_true",
+            help="enable the fault-tolerant validation plane (bounded "
+            "queues, watchdog re-dispatch, NORMAL->DEGRADED->"
+            "CHECKSUM_ONLY->SAFE_HOLD ladder) even with no faults armed",
+        )
+        p.add_argument(
+            "--queue-capacity", type=int, default=None, metavar="N",
+            help="bounded per-validator queue capacity (default: 64); "
+            "implies --degradation",
+        )
+        p.add_argument(
+            "--overflow-policy", choices=sorted(OVERFLOW_POLICIES),
+            default=None,
+            help="bounded-queue overflow policy (default: drop-oldest); "
+            "implies --degradation",
+        )
+        p.add_argument(
+            "--watchdog-deadline", type=float, default=None, metavar="SIM_S",
+            help="virtual-time deadline per dispatched log before the "
+            "watchdog re-dispatches it (default: 500e-6); implies "
+            "--degradation",
+        )
+        p.add_argument(
+            "--ft-json", default=None, metavar="PATH",
+            help="save the fault-tolerance report (conservation ledger, "
+            "watchdog counters, terminal degradation state) as JSON",
+        )
+
     perf = sub.add_parser("perf", help="Fig 6-style performance comparison")
     common(perf)
     quarantine_flag(perf)
     timeline_flags(perf)
+    fault_tolerance_flags(perf)
 
     latency = sub.add_parser("latency", help="Fig 8-style validation latency")
     common(latency)
     quarantine_flag(latency)
     timeline_flags(latency)
+    fault_tolerance_flags(latency)
 
     coverage = sub.add_parser("coverage", help="Table 2-style fault campaign")
     common(coverage)
@@ -658,8 +844,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     respond.add_argument(
         "--json", default=None, metavar="PATH",
-        help="save the IncidentReport as JSON",
+        help="save the IncidentReport as JSON (includes the "
+        "fault_tolerance summary when the stress arm ran)",
     )
+    fault_tolerance_flags(respond)
 
     obs_summary = sub.add_parser(
         "obs-summary",

@@ -14,16 +14,23 @@ import time
 from typing import Callable
 
 from repro.closures.context import syscall
+from repro.determinism import derived_rng
+
+#: Fallback stream for callers that pass no rng.  A *seeded* instance, not
+#: the process-global ``random`` module: APP-side draws are recorded in the
+#: closure log either way, but an unseeded source makes the whole run
+#: unreplayable from its config (the determinism audit forbids it).
+_DEFAULT_RNG = derived_rng(0, "syscalls-default")
 
 
 def sys_random(rng: random.Random | None = None) -> float:
     """Recorded random number in [0, 1)."""
-    source = rng.random if rng is not None else random.random
-    return syscall("random", source)
+    source = rng if rng is not None else _DEFAULT_RNG
+    return syscall("random", source.random)
 
 
 def sys_randint(low: int, high: int, rng: random.Random | None = None) -> int:
-    source = rng if rng is not None else random
+    source = rng if rng is not None else _DEFAULT_RNG
     return syscall("randint", lambda: source.randint(low, high))
 
 

@@ -1,0 +1,68 @@
+"""Seed derivation and config digests for byte-replayable runs.
+
+Every stochastic component in the reproduction — workload generators, the
+AIMD sampler's coin flips, fault-injection plans, validator chaos — must
+draw from a :class:`random.Random` seeded from one *root* seed, never from
+the process-global ``random`` module (a lint test enforces this).  Two
+helpers make that discipline compositional:
+
+* :func:`derive_seed` hashes the root seed with a label path, so each
+  component gets an independent, stable stream — adding a component never
+  perturbs the draws of another (the classic off-by-one-seed bug where a
+  new RNG consumer reshuffles every existing trial);
+* :func:`stable_digest` canonically hashes a configuration, so a chaos
+  run can be re-created — byte-identically — from its config digest alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import random
+from typing import Any
+
+
+def _jsonable(obj: Any) -> Any:
+    """Canonical JSON rendering for the config types digests cover."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, frozenset):
+        return sorted(_jsonable(v) for v in obj)
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(f"cannot canonicalize {type(obj).__name__} for a digest")
+
+
+def stable_digest(payload: Any) -> str:
+    """A stable hex digest of ``payload`` (dataclasses/dicts/sequences)."""
+    canon = json.dumps(_jsonable(payload), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+def derive_seed(root: int | str, *labels: int | str) -> int:
+    """A 63-bit seed derived from ``root`` and a label path.
+
+    ``derive_seed(1, "chaos")`` and ``derive_seed(1, "workload")`` are
+    independent streams of the same run.
+    """
+    hasher = hashlib.sha256(str(root).encode("utf-8"))
+    for label in labels:
+        hasher.update(b"/")
+        hasher.update(str(label).encode("utf-8"))
+    return int.from_bytes(hasher.digest()[:8], "big") >> 1
+
+
+def derived_rng(root: int | str, *labels: int | str) -> random.Random:
+    """A seeded RNG for one component of a run."""
+    return random.Random(derive_seed(root, *labels))

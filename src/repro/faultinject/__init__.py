@@ -10,12 +10,22 @@ from repro.faultinject.classify import (
     overall_detection_rate,
 )
 from repro.faultinject.config import InjectionConfig
+from repro.faultinject.validator_faults import (
+    ValidatorChaosConfig,
+    ValidatorFault,
+    ValidatorFaultBox,
+    ValidatorFaultKind,
+)
 
 __all__ = [
     "CampaignResult",
     "CoverageRow",
     "FaultInjectionCampaign",
     "InjectionConfig",
+    "ValidatorChaosConfig",
+    "ValidatorFault",
+    "ValidatorFaultBox",
+    "ValidatorFaultKind",
     "OutcomeKind",
     "TrialResult",
     "classify_outcome",

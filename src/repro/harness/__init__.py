@@ -1,5 +1,6 @@
 """Benchmark harness: scenarios and virtual-time deployment drivers."""
 
+from repro.harness.chaos import FaultToleranceReport, run_chaos_server
 from repro.harness.phoenix import run_phoenix
 from repro.harness.pipeline import (
     PipelineConfig,
@@ -20,7 +21,9 @@ from repro.harness.scenarios import (
 
 __all__ = [
     "BatchScenario",
+    "FaultToleranceReport",
     "PipelineConfig",
+    "run_chaos_server",
     "RunResult",
     "ServerScenario",
     "all_server_scenarios",

@@ -93,6 +93,14 @@ class PipelineConfig:
     #: tick; None picks :func:`repro.obs.slo.default_objectives`, [] turns
     #: SLO evaluation off.  The terminal report lands on ``RunResult.slo``
     slos: Any = None
+    #: a ``repro.runtime.degradation.FaultToleranceConfig``; when set the
+    #: Orthrus driver swaps the reliable shared log store for the
+    #: fault-tolerant validation plane (bounded per-core queues, watchdog
+    #: re-dispatch, degradation ladder) in :mod:`repro.harness.chaos`
+    fault_tolerance: Any = None
+    #: a ``repro.faultinject.ValidatorChaosConfig``; arms chaos faults on
+    #: validation cores (implies the fault-tolerant driver)
+    validator_faults: Any = None
     seed: int = 1
     rbv_batch_size: int | None = None
     rbv_state_check_every: int = 64
@@ -131,6 +139,9 @@ class RunResult:
     timeline: Any = None
     #: terminal ``repro.obs.SloReport`` for the same runs
     slo: Any = None
+    #: ``repro.harness.chaos.FaultToleranceReport`` when the run used the
+    #: fault-tolerant validation plane; None otherwise
+    ft: Any = None
 
     @property
     def detections(self) -> int:
@@ -337,6 +348,12 @@ def run_vanilla_server(scenario, n_ops: int, config: PipelineConfig) -> RunResul
 # ----------------------------------------------------------------------
 def run_orthrus_server(scenario, n_ops: int, config: PipelineConfig) -> RunResult:
     """The Orthrus deployment: logging + asynchronous sampled validation."""
+    if config.fault_tolerance is not None or config.validator_faults is not None:
+        # The fault-tolerant validation plane (bounded queues + watchdog +
+        # degradation ladder) lives in its own driver.
+        from repro.harness.chaos import run_chaos_server
+
+        return run_chaos_server(scenario, n_ops, config)
     if config.validation_cores < 1:
         raise ConfigurationError("Orthrus needs at least one validation core")
     env = Environment()

@@ -63,6 +63,7 @@ DEFAULT_SERIES = (
     "checksum_verify_rate",
     "quarantined_cores",
     "reclaim_backlog",
+    "degradation_level",
 )
 
 _STATS = ("count", "mean", "min", "max", "p50", "p95", "last")
@@ -571,6 +572,11 @@ def install_default_probes(recorder: TimeSeriesRecorder) -> None:
         "reclaim_backlog",
         GaugeProbe("orthrus_heap_reclaimable_versions"),
         unit="versions",
+    )
+    recorder.add_series(
+        "degradation_level",
+        GaugeProbe("orthrus_degradation_level"),
+        unit="level",
     )
 
 

@@ -1,8 +1,15 @@
 """Orthrus runtime: sampler, scheduler, safe mode, and the main façade."""
 
+from repro.runtime.degradation import (
+    DegradationConfig,
+    DegradationController,
+    DegradationLevel,
+    FaultToleranceConfig,
+)
 from repro.runtime.orthrus import OrthrusRuntime, active
 from repro.runtime.safemode import SafeModePolicy
 from repro.runtime.sampling import (
+    COVERAGE_REASONS,
     AdaptiveSampler,
     AlwaysSampler,
     RandomSampler,
@@ -15,6 +22,11 @@ from repro.runtime.scheduler import LatencyTracker, Scheduler
 __all__ = [
     "AdaptiveSampler",
     "AlwaysSampler",
+    "COVERAGE_REASONS",
+    "DegradationConfig",
+    "DegradationController",
+    "DegradationLevel",
+    "FaultToleranceConfig",
     "LatencyTracker",
     "OrthrusRuntime",
     "RandomSampler",

@@ -1,0 +1,240 @@
+"""Graceful degradation of the validation plane under overload.
+
+When validation demand exceeds capacity, the AIMD sampler (§3.5) sheds
+load *silently* — coverage quietly thins and nothing tells the operator.
+Production detection infrastructure must instead degrade *explicitly*
+(the fleet-scale SDC studies are blunt about this: a detector that lies
+about its coverage is worse than no detector).  The
+:class:`DegradationController` is that explicit ladder::
+
+    NORMAL → DEGRADED → CHECKSUM_ONLY → SAFE_HOLD
+
+* ``NORMAL`` — full sampled re-execution validation;
+* ``DEGRADED`` — only *coverage-critical* logs are re-executed (the
+  never-validated / stale decisions of §3.5; steady-state resampling is
+  shed first because persistent-core errors are what staleness targets);
+* ``CHECKSUM_ONLY`` — re-execution capacity is effectively gone; outputs
+  are verified against their CRC-16 boundary checksums only (§3.2/§3.4),
+  an honest, cheap, reduced-coverage fallback accounted separately;
+* ``SAFE_HOLD`` — the validation plane cannot vouch for results at all;
+  :class:`~repro.runtime.safemode.SafeModePolicy` is engaged so
+  externalizing closures block rather than ship unvalidated data.
+
+Transitions are driven by three load signals — bounded-queue utilization,
+drop rate, and watchdog timeout rate — with hysteresis in *both*
+directions (distinct high/low water marks plus consecutive-observation
+streaks) so a noisy signal cannot flap the ladder.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.obs.observability import NULL_OBS
+from repro.runtime.safemode import SafeModePolicy
+from repro.validation.watchdog import WatchdogConfig
+
+
+class DegradationLevel(enum.IntEnum):
+    NORMAL = 0
+    DEGRADED = 1
+    CHECKSUM_ONLY = 2
+    SAFE_HOLD = 3
+
+    @property
+    def label(self) -> str:
+        return self.name.lower().replace("_", "-")
+
+
+@dataclass(slots=True)
+class DegradationConfig:
+    """Thresholds and hysteresis for the degradation ladder."""
+
+    #: queue fill fraction above which the plane is overloaded
+    queue_high_water: float = 0.75
+    #: queue fill fraction below which the plane has recovered
+    queue_low_water: float = 0.25
+    #: drops per accepted push (per observation window) that count as hot
+    drop_rate_high: float = 0.05
+    #: watchdog timeouts per dispatch (per window) that count as hot
+    timeout_rate_high: float = 0.25
+    #: consecutive hot observations before escalating one level
+    escalate_after: int = 2
+    #: consecutive cool observations before recovering one level
+    recover_after: int = 4
+
+    def validate(self) -> None:
+        if not 0.0 <= self.queue_low_water < self.queue_high_water <= 1.0:
+            raise ConfigurationError(
+                "degradation water marks must satisfy 0 <= low < high <= 1"
+            )
+        if self.drop_rate_high <= 0 or self.timeout_rate_high <= 0:
+            raise ConfigurationError("degradation rate thresholds must be positive")
+        if self.escalate_after < 1 or self.recover_after < 1:
+            raise ConfigurationError("degradation streaks must be >= 1")
+
+
+@dataclass(slots=True)
+class Transition:
+    """One recorded ladder move."""
+
+    time: float
+    frm: DegradationLevel
+    to: DegradationLevel
+    reason: str
+
+
+class DegradationController:
+    """Hysteresis state machine over the validation-plane load signals."""
+
+    def __init__(
+        self,
+        config: DegradationConfig | None = None,
+        obs=None,
+        safe_mode: SafeModePolicy | None = None,
+    ):
+        self.config = config if config is not None else DegradationConfig()
+        self.config.validate()
+        self._obs = obs if obs is not None else NULL_OBS
+        self._safe_mode = safe_mode
+        self.level = DegradationLevel.NORMAL
+        self.peak = DegradationLevel.NORMAL
+        self.history: list[Transition] = []
+        self.observations = 0
+        self._hot_streak = 0
+        self._cool_streak = 0
+        if self._obs.enabled:
+            self._obs.registry.gauge(
+                "orthrus_degradation_level",
+                help="degradation ladder position (0=normal .. 3=safe-hold)",
+            ).set_function(lambda: float(self.level))
+
+    # ------------------------------------------------------------------
+    # effects of the current level
+    # ------------------------------------------------------------------
+    @property
+    def coverage_only(self) -> bool:
+        """Shed steady-state resampling; keep coverage-critical logs."""
+        return self.level >= DegradationLevel.DEGRADED
+
+    @property
+    def checksum_only(self) -> bool:
+        """Re-execution is off; CRC boundary checks only."""
+        return self.level >= DegradationLevel.CHECKSUM_ONLY
+
+    @property
+    def hold_externalizing(self) -> bool:
+        return self.level >= DegradationLevel.SAFE_HOLD
+
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        now: float,
+        utilization: float = 0.0,
+        drop_rate: float = 0.0,
+        timeout_rate: float = 0.0,
+    ) -> DegradationLevel:
+        """Feed one observation window; returns the (possibly new) level."""
+        config = self.config
+        self.observations += 1
+        hot_reasons = []
+        if utilization >= config.queue_high_water:
+            hot_reasons.append(f"queue-utilization={utilization:.2f}")
+        if drop_rate >= config.drop_rate_high:
+            hot_reasons.append(f"drop-rate={drop_rate:.2f}")
+        if timeout_rate >= config.timeout_rate_high:
+            hot_reasons.append(f"timeout-rate={timeout_rate:.2f}")
+        # Recovery demands *every* signal well clear of its threshold —
+        # the lower half of the hysteresis band.
+        cool = (
+            utilization <= config.queue_low_water
+            and drop_rate <= config.drop_rate_high / 4
+            and timeout_rate <= config.timeout_rate_high / 4
+        )
+        if hot_reasons:
+            self._hot_streak += 1
+            self._cool_streak = 0
+            if (
+                self._hot_streak >= config.escalate_after
+                and self.level < DegradationLevel.SAFE_HOLD
+            ):
+                self._transition(
+                    now, DegradationLevel(self.level + 1), ", ".join(hot_reasons)
+                )
+                self._hot_streak = 0
+        elif cool:
+            self._cool_streak += 1
+            self._hot_streak = 0
+            if (
+                self._cool_streak >= config.recover_after
+                and self.level > DegradationLevel.NORMAL
+            ):
+                self._transition(
+                    now, DegradationLevel(self.level - 1), "load-subsided"
+                )
+                self._cool_streak = 0
+        else:
+            # Inside the hysteresis band: neither streak accumulates.
+            self._hot_streak = 0
+            self._cool_streak = 0
+        return self.level
+
+    def _transition(self, now: float, to: DegradationLevel, reason: str) -> None:
+        frm = self.level
+        self.level = to
+        self.peak = max(self.peak, to)
+        self.history.append(Transition(time=now, frm=frm, to=to, reason=reason))
+        if self._safe_mode is not None:
+            if to >= DegradationLevel.SAFE_HOLD:
+                self._safe_mode.engage()
+            elif frm >= DegradationLevel.SAFE_HOLD:
+                self._safe_mode.release()
+        if self._obs.enabled:
+            self._obs.registry.counter(
+                "orthrus_degradation_transitions_total",
+                {"from": frm.label, "to": to.label},
+                help="degradation ladder transitions",
+            ).inc()
+            self._obs.tracer.emit(
+                "degradation.transition",
+                ts=now,
+                frm=frm.label,
+                to=to.label,
+                level=int(to),
+                reason=reason,
+            )
+
+    def summary(self) -> dict:
+        return {
+            "level": self.level.label,
+            "peak": self.peak.label,
+            "observations": self.observations,
+            "transitions": [
+                {
+                    "time": t.time,
+                    "from": t.frm.label,
+                    "to": t.to.label,
+                    "reason": t.reason,
+                }
+                for t in self.history
+            ],
+        }
+
+
+@dataclass
+class FaultToleranceConfig:
+    """Validation-plane fault-tolerance knobs for the chaos harness."""
+
+    #: per-queue capacity (None = unbounded, policies never fire)
+    queue_capacity: int | None = 64
+    #: `repro.validation.queues` overflow policy
+    overflow_policy: str = "drop-oldest"
+    watchdog: WatchdogConfig = field(default_factory=WatchdogConfig)
+    #: None disables the degradation ladder (watchdog/bounding still run)
+    degradation: DegradationConfig | None = field(default_factory=DegradationConfig)
+    #: watchdog sweep + degradation observation cadence (virtual seconds)
+    check_interval: float = 25e-6
+    #: producer retry interval under the block-producer policy
+    block_poll: float = 10e-6

@@ -43,7 +43,7 @@ from repro.memory.reclaim import ReclamationManager
 from repro.obs.observability import NULL_OBS
 from repro.runtime.sampling import AlwaysSampler, sampler_decision
 from repro.runtime.scheduler import LatencyTracker, Scheduler
-from repro.validation.queues import QueueSet
+from repro.validation.queues import OVERFLOW_REJECT, QueueSet
 from repro.validation.validator import ValidationOutcome, Validator
 
 _active_lock = threading.Lock()
@@ -72,6 +72,8 @@ class OrthrusRuntime:
         reclaim_batch: int = 64,
         hold_versions: bool = True,
         obs=None,
+        queue_capacity: int | None = None,
+        overflow_policy: str = OVERFLOW_REJECT,
     ):
         if mode not in ("inline", "queued", "external"):
             raise ConfigurationError(f"unknown runtime mode {mode!r}")
@@ -91,7 +93,12 @@ class OrthrusRuntime:
             self.heap, batch_size=reclaim_batch, obs=self.obs
         )
         self.scheduler = Scheduler(self.machine, app_cores, validation_cores)
-        self.queues = QueueSet(len(validation_cores), obs=self.obs)
+        self.queues = QueueSet(
+            len(validation_cores),
+            capacity=queue_capacity,
+            policy=overflow_policy,
+            obs=self.obs,
+        )
         self.report = DetectionReport()
         self.validator = Validator(
             self.heap,
@@ -294,7 +301,22 @@ class OrthrusRuntime:
             if self.responder is not None:
                 self.responder.on_outcome(outcome)
         elif self.mode == "queued":
-            self.queues.push(log, self.clock.now())
+            pushed = self.queues.push(log, self.clock.now())
+            if pushed.would_block:
+                # block-producer backpressure: the library runtime has no
+                # producer thread to park, so the closure's own thread pays
+                # for an inline validation instead of losing the log.
+                val_core = self.scheduler.validation_core_for(core.core_id)
+                outcome = self.validator.validate(log, val_core)
+                self.sampler.on_validated(log, self.clock.now())
+                self.latency.record(log.closure_name, outcome.latency)
+                self.outcomes.append(outcome)
+                if self.responder is not None:
+                    self.responder.on_outcome(outcome)
+            elif pushed.dropped is not None:
+                # reject drops the incoming log, drop-oldest the evicted
+                # head; either way the window closes with a reason.
+                self.validator.drop(pushed.dropped, pushed.reason)
         if self.timeseries is not None:
             self.timeseries.sample(self.clock.now())
         # mode == "external": an external driver (the discrete-event

@@ -24,6 +24,14 @@ class SafeModePolicy:
         """Should this closure's result be withheld until validated?"""
         return self.enabled and closure_name in self.externalizing
 
+    def engage(self) -> None:
+        """Turn holds on (the degradation ladder's SAFE_HOLD rung)."""
+        self.enabled = True
+
+    def release(self) -> None:
+        """Turn holds back off once the validation plane recovers."""
+        self.enabled = False
+
     @staticmethod
     def strict(externalizing) -> "SafeModePolicy":
         return SafeModePolicy(enabled=True, externalizing=frozenset(externalizing))

@@ -48,6 +48,12 @@ _SAMPLED = SampleDecision(True, "sampled")
 _RATE_LIMITED = SampleDecision(False, "rate-limited")
 _ALWAYS = SampleDecision(True, "always")
 
+#: Decision reasons that are *coverage-critical*: a DEGRADED validation
+#: plane (see :mod:`repro.runtime.degradation`) keeps re-executing these —
+#: persistent-core errors hide exactly where coverage has lapsed — and
+#: sheds the steady-state resampling ("full-rate" / "sampled") first.
+COVERAGE_REASONS = frozenset({"never-validated", "stale", "always"})
+
 
 def sampler_decision(sampler, log: ClosureLog, now: float) -> SampleDecision:
     """Ask ``sampler`` for a reasoned decision, tolerating third-party

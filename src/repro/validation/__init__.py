@@ -1,15 +1,38 @@
 """Out-of-order validation: queues, re-execution, result comparison."""
 
 from repro.validation.comparator import ComparisonResult, compare_execution, values_equal
-from repro.validation.queues import LogQueue, QueueSet
+from repro.validation.queues import (
+    OVERFLOW_BLOCK,
+    OVERFLOW_DROP_OLDEST,
+    OVERFLOW_POLICIES,
+    OVERFLOW_REJECT,
+    LogQueue,
+    PushOutcome,
+    QueueSet,
+)
 from repro.validation.validator import ValidationOutcome, Validator
+from repro.validation.watchdog import (
+    Dispatch,
+    ValidationLedger,
+    ValidationWatchdog,
+    WatchdogConfig,
+)
 
 __all__ = [
     "ComparisonResult",
+    "Dispatch",
     "LogQueue",
+    "OVERFLOW_BLOCK",
+    "OVERFLOW_DROP_OLDEST",
+    "OVERFLOW_POLICIES",
+    "OVERFLOW_REJECT",
+    "PushOutcome",
     "QueueSet",
+    "ValidationLedger",
     "ValidationOutcome",
+    "ValidationWatchdog",
     "Validator",
+    "WatchdogConfig",
     "compare_execution",
     "values_equal",
 ]

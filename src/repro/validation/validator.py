@@ -245,6 +245,31 @@ class Validator:
             latency=latency,
         )
 
+    def drop(self, log: ClosureLog, reason: str) -> None:
+        """A bounded queue or watchdog shed ``log`` unvalidated.
+
+        Unlike :meth:`skip` (a sampler *decision*), a drop is overload
+        shedding — accounted by reason so the conservation invariant stays
+        checkable.  Closes the log's version window either way.
+        """
+        obs = self._obs
+        if obs.enabled:
+            obs.registry.counter(
+                "orthrus_validation_drops_total",
+                {"closure": log.closure_name, "reason": reason},
+                help="logs dropped unvalidated by the fault-tolerance layer",
+            ).inc()
+            obs.tracer.emit(
+                "validator.drop",
+                ts=self._clock.now(),
+                closure=log.closure_name,
+                caller=log.caller,
+                seq=log.seq,
+                reason=reason,
+            )
+        if self._reclaimer is not None:
+            self._reclaimer.closure_finished(log.seq)
+
     def skip(self, log: ClosureLog) -> None:
         """Drop a log unvalidated (sampler decision); closes its window."""
         obs = self._obs

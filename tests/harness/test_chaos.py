@@ -1,0 +1,311 @@
+"""Fault-tolerant validation plane: conservation, degradation, recovery.
+
+The acceptance contract: under injected validator faults every sampled
+log is eventually validated or *explicitly* accounted (dropped with a
+reason or settled by the CRC fallback) — ``logs_in == validated +
+skipped + dropped + fallback`` — with zero false-positive detections;
+and under 2x overload the degradation ladder reaches CHECKSUM_ONLY,
+recovers to NORMAL once load subsides, and does not flap.
+"""
+
+import pytest
+
+from repro.faultinject.validator_faults import ValidatorChaosConfig
+from repro.harness.pipeline import (
+    PipelineConfig,
+    run_orthrus_server,
+    run_vanilla_server,
+)
+from repro.harness.scenarios import memcached_scenario
+from repro.obs.observability import Observability
+from repro.obs.timeseries import TimeSeriesConfig
+from repro.runtime.degradation import (
+    DegradationConfig,
+    DegradationLevel,
+    FaultToleranceConfig,
+)
+from repro.runtime.sampling import AlwaysSampler
+from repro.validation.watchdog import WatchdogConfig
+
+
+def _conserves(report) -> bool:
+    ledger = report.ledger
+    return ledger["enqueued"] == (
+        ledger["validated"]
+        + ledger["skipped"]
+        + ledger["dropped"]
+        + ledger["fallback"]
+    )
+
+
+class TestCleanChaosPlane:
+    """With no faults armed, the fault-tolerant plane is just Orthrus."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        scenario = memcached_scenario(n_keys=40)
+        vanilla = run_vanilla_server(scenario, 200, PipelineConfig(seed=2))
+        chaos = run_orthrus_server(
+            scenario,
+            200,
+            PipelineConfig(seed=2, fault_tolerance=FaultToleranceConfig()),
+        )
+        return vanilla, chaos
+
+    def test_functional_agreement_with_vanilla(self, runs):
+        vanilla, chaos = runs
+        assert not chaos.crashed
+        assert chaos.responses == vanilla.responses
+        assert chaos.digest == vanilla.digest
+
+    def test_conserved_with_no_drops(self, runs):
+        _, chaos = runs
+        assert chaos.ft.conserved
+        assert _conserves(chaos.ft)
+        assert chaos.ft.ledger["dropped"] == 0
+        assert chaos.ft.ledger["fallback"] == 0
+
+    def test_no_degradation_no_detections(self, runs):
+        _, chaos = runs
+        assert chaos.ft.peak_level == "normal"
+        assert chaos.detections == 0
+
+
+class TestConservationUnderValidatorFaults:
+    """25% of validator cores crash + 25% hang: nothing silently stranded."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        scenario = memcached_scenario(n_keys=40)
+        config = PipelineConfig(
+            seed=2,
+            validation_cores=4,
+            sampler=AlwaysSampler(),
+            fault_tolerance=FaultToleranceConfig(
+                watchdog=WatchdogConfig(deadline=80e-6),
+                check_interval=10e-6,
+            ),
+            validator_faults=ValidatorChaosConfig.parse(
+                ["crash=0.25", "hang=0.25"], seed=5
+            ),
+        )
+        return run_orthrus_server(scenario, 300, config)
+
+    def test_run_completes(self, result):
+        assert not result.crashed
+        assert result.metrics.operations == 300
+
+    def test_every_log_accounted(self, result):
+        assert result.ft.conserved
+        assert _conserves(result.ft)
+        assert result.ft.ledger["outstanding"] == 0
+
+    def test_faults_were_actually_armed(self, result):
+        armed = {k: len(v) for k, v in result.ft.faulted_cores.items()}
+        assert armed == {"crash": 1, "hang": 1}
+
+    def test_stranded_logs_redispatched(self, result):
+        # The crash and the hang each strand a dispatched log; the
+        # watchdog must time them out and re-dispatch to healthy cores.
+        assert result.ft.timeouts > 0
+        assert result.ft.redispatches > 0
+
+    def test_zero_false_positives(self, result):
+        assert result.detections == 0
+
+    def test_chaos_digest_present(self, result):
+        assert result.ft.chaos_digest is not None
+
+    def test_validator_faults_alone_select_chaos_driver(self):
+        # validator_faults without an explicit FaultToleranceConfig must
+        # still route to the fault-tolerant driver.
+        scenario = memcached_scenario(n_keys=30)
+        config = PipelineConfig(
+            seed=3,
+            validation_cores=4,
+            validator_faults=ValidatorChaosConfig.parse(["crash=1"], seed=1),
+        )
+        result = run_orthrus_server(scenario, 100, config)
+        assert result.ft is not None
+        assert result.ft.conserved
+
+
+class TestOffenderQuarantine:
+    def test_verdict_loss_core_is_quarantined(self):
+        # A verdict-loss core does the work, loses every verdict, and eats
+        # deadline after deadline — the watchdog must feed it to quarantine.
+        scenario = memcached_scenario(n_keys=40)
+        config = PipelineConfig(
+            seed=2,
+            validation_cores=4,
+            sampler=AlwaysSampler(),
+            fault_tolerance=FaultToleranceConfig(
+                watchdog=WatchdogConfig(deadline=80e-6, offender_threshold=2),
+                check_interval=10e-6,
+            ),
+            validator_faults=ValidatorChaosConfig.parse(
+                ["verdict-loss=1"], seed=7
+            ),
+        )
+        result = run_orthrus_server(scenario, 300, config)
+        assert not result.crashed
+        (victim_core,) = result.ft.faulted_cores["verdict-loss"]
+        assert victim_core in result.ft.quarantined_validators
+        assert result.ft.conserved
+        assert result.detections == 0
+
+
+class TestTotalValidationPlaneDeath:
+    def test_all_validators_crashed_still_conserves(self):
+        # Every validator dies: the sweep must settle the backlog via the
+        # CRC fallback so producers (and the run) are never deadlocked.
+        scenario = memcached_scenario(n_keys=30)
+        config = PipelineConfig(
+            seed=4,
+            validation_cores=2,
+            sampler=AlwaysSampler(),
+            fault_tolerance=FaultToleranceConfig(check_interval=10e-6),
+            validator_faults=ValidatorChaosConfig.parse(["crash=2"], seed=3),
+        )
+        result = run_orthrus_server(scenario, 150, config)
+        assert not result.crashed
+        assert result.metrics.operations == 150
+        assert result.ft.conserved
+        assert result.ft.ledger["fallback"] > 0
+        assert result.detections == 0
+
+    def test_block_producer_policy_never_deadlocks(self):
+        scenario = memcached_scenario(n_keys=30)
+        config = PipelineConfig(
+            seed=4,
+            app_threads=4,
+            validation_cores=1,
+            sampler=AlwaysSampler(),
+            fault_tolerance=FaultToleranceConfig(
+                queue_capacity=8,
+                overflow_policy="block-producer",
+                degradation=None,
+            ),
+        )
+        result = run_orthrus_server(scenario, 200, config)
+        assert not result.crashed
+        assert result.metrics.operations == 200
+        assert result.ft.conserved
+        # Backpressure, not shedding: no capacity evictions happened.
+        assert "capacity" not in result.ft.queue_drops
+        assert "evicted-oldest" not in result.ft.queue_drops
+
+
+class TestOverloadDegradationLadder:
+    """4 app threads vs 1 validator at full sampling: sustained overload."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        scenario = memcached_scenario(n_keys=40)
+        config = PipelineConfig(
+            seed=3,
+            app_threads=4,
+            validation_cores=1,
+            sampler=AlwaysSampler(),
+            obs=Observability(),
+            timeseries=TimeSeriesConfig(cadence=10e-6),
+            fault_tolerance=FaultToleranceConfig(
+                queue_capacity=16,
+                overflow_policy="drop-oldest",
+                degradation=DegradationConfig(
+                    escalate_after=1, recover_after=12
+                ),
+                check_interval=25e-6,
+            ),
+        )
+        return run_orthrus_server(scenario, 400, config)
+
+    def test_reaches_checksum_only(self, result):
+        assert result.ft.peak_level == "checksum-only"
+
+    def test_recovers_to_normal(self, result):
+        assert result.ft.terminal_level == "normal"
+
+    def test_no_flapping(self, result):
+        # The ladder must walk monotonically up, then monotonically down —
+        # hysteresis forbids oscillation within one overload episode.
+        levels = [DegradationLevel.NORMAL] + [
+            DegradationLevel[t["to"].upper().replace("-", "_")]
+            for t in result.ft.degradation["transitions"]
+        ]
+        peak_at = levels.index(max(levels))
+        rising, falling = levels[: peak_at + 1], levels[peak_at:]
+        assert rising == sorted(rising)
+        assert falling == sorted(falling, reverse=True)
+
+    def test_overload_is_explicitly_accounted(self, result):
+        assert result.ft.conserved
+        assert _conserves(result.ft)
+        assert result.ft.ledger["drop_reasons"].get("evicted-oldest", 0) > 0
+        assert result.ft.ledger["fallback"] > 0
+        assert result.detections == 0
+
+    def test_transitions_in_trace_events(self, result):
+        obs = result.runtime.obs
+        moves = [
+            (e.fields["frm"], e.fields["to"])
+            for e in obs.tracer.events
+            if e.kind == "degradation.transition"
+        ]
+        expected = [
+            (t["from"], t["to"])
+            for t in result.ft.degradation["transitions"]
+        ]
+        assert moves == expected
+        assert ("degraded", "checksum-only") in moves
+
+    def test_degradation_level_in_timeline(self, result):
+        series = result.timeline.series("degradation_level")
+        peaks = [bucket.max for bucket in series.buckets]
+        assert max(peaks) == float(DegradationLevel.CHECKSUM_ONLY)
+        # the tail of the run is back at NORMAL
+        assert peaks[-1] == float(DegradationLevel.NORMAL)
+
+
+class TestChaosDeterminism:
+    def _snapshot(self, result):
+        m = result.metrics
+        return (
+            result.responses,
+            result.digest,
+            m.operations,
+            m.duration,
+            m.validated,
+            m.skipped,
+            result.ft.summary(),
+        )
+
+    def _config(self):
+        return PipelineConfig(
+            seed=6,
+            validation_cores=4,
+            sampler=AlwaysSampler(),
+            fault_tolerance=FaultToleranceConfig(
+                watchdog=WatchdogConfig(deadline=80e-6),
+                check_interval=10e-6,
+            ),
+            validator_faults=ValidatorChaosConfig.parse(
+                ["crash=0.25", "slowdown=0.25"], seed=11
+            ),
+        )
+
+    def test_chaos_runs_identical(self):
+        scenario = memcached_scenario(n_keys=40)
+        a = run_orthrus_server(scenario, 250, self._config())
+        b = run_orthrus_server(scenario, 250, self._config())
+        assert self._snapshot(a) == self._snapshot(b)
+
+    def test_equal_digests_mean_equal_plans(self):
+        config_a, config_b = self._config(), self._config()
+        assert (
+            config_a.validator_faults.digest()
+            == config_b.validator_faults.digest()
+        )
+        assert config_a.validator_faults.plan([4, 5, 6, 7]) == (
+            config_b.validator_faults.plan([4, 5, 6, 7])
+        )

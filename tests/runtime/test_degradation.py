@@ -1,0 +1,165 @@
+"""Degradation ladder and hysteresis tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import Observability
+from repro.runtime.degradation import (
+    DegradationConfig,
+    DegradationController,
+    DegradationLevel,
+    FaultToleranceConfig,
+)
+from repro.runtime.safemode import SafeModePolicy
+
+
+def make_controller(**kwargs):
+    defaults = dict(escalate_after=2, recover_after=3)
+    defaults.update(kwargs)
+    return DegradationController(DegradationConfig(**defaults))
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"queue_low_water": 0.8, "queue_high_water": 0.7},
+            {"queue_high_water": 1.5},
+            {"drop_rate_high": 0.0},
+            {"escalate_after": 0},
+            {"recover_after": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            DegradationConfig(**kwargs).validate()
+
+    def test_fault_tolerance_defaults(self):
+        ft = FaultToleranceConfig()
+        assert ft.queue_capacity == 64
+        assert ft.overflow_policy == "drop-oldest"
+        assert ft.degradation is not None
+
+
+class TestLadder:
+    def test_starts_normal(self):
+        controller = make_controller()
+        assert controller.level is DegradationLevel.NORMAL
+        assert not controller.coverage_only
+        assert not controller.checksum_only
+        assert not controller.hold_externalizing
+
+    def test_single_hot_observation_does_not_escalate(self):
+        controller = make_controller(escalate_after=2)
+        controller.observe(1.0, utilization=0.9)
+        assert controller.level is DegradationLevel.NORMAL
+
+    def test_escalates_one_level_per_streak(self):
+        controller = make_controller(escalate_after=2)
+        for tick in range(4):
+            controller.observe(float(tick), utilization=0.9)
+        assert controller.level is DegradationLevel.CHECKSUM_ONLY
+        assert controller.coverage_only and controller.checksum_only
+        assert [t.to for t in controller.history] == [
+            DegradationLevel.DEGRADED,
+            DegradationLevel.CHECKSUM_ONLY,
+        ]
+
+    def test_caps_at_safe_hold(self):
+        controller = make_controller(escalate_after=1)
+        for tick in range(6):
+            controller.observe(float(tick), drop_rate=0.5)
+        assert controller.level is DegradationLevel.SAFE_HOLD
+        assert controller.hold_externalizing
+        assert controller.peak is DegradationLevel.SAFE_HOLD
+
+    def test_each_signal_can_escalate(self):
+        for signal in (
+            {"utilization": 0.8},
+            {"drop_rate": 0.1},
+            {"timeout_rate": 0.3},
+        ):
+            controller = make_controller(escalate_after=1)
+            controller.observe(0.0, **signal)
+            assert controller.level is DegradationLevel.DEGRADED, signal
+
+    def test_recovery_needs_streak(self):
+        controller = make_controller(escalate_after=1, recover_after=3)
+        controller.observe(0.0, utilization=0.9)
+        for tick in range(2):
+            controller.observe(1.0 + tick, utilization=0.0)
+        assert controller.level is DegradationLevel.DEGRADED
+        controller.observe(3.0, utilization=0.0)
+        assert controller.level is DegradationLevel.NORMAL
+
+    def test_hysteresis_band_blocks_flapping(self):
+        """Load hovering between the water marks must not move the ladder
+        in either direction, no matter how long it stays there."""
+        controller = make_controller(escalate_after=1, recover_after=1)
+        controller.observe(0.0, utilization=0.9)
+        assert controller.level is DegradationLevel.DEGRADED
+        for tick in range(20):
+            controller.observe(1.0 + tick, utilization=0.5)
+        assert controller.level is DegradationLevel.DEGRADED
+        assert len(controller.history) == 1
+
+    def test_band_resets_streaks(self):
+        """hot, band, hot must not count as a streak of two."""
+        controller = make_controller(escalate_after=2)
+        controller.observe(0.0, utilization=0.9)
+        controller.observe(1.0, utilization=0.5)  # band
+        controller.observe(2.0, utilization=0.9)
+        assert controller.level is DegradationLevel.NORMAL
+
+    def test_cool_requires_all_signals_quiet(self):
+        controller = make_controller(escalate_after=1, recover_after=1)
+        controller.observe(0.0, utilization=0.9)
+        # Queue drained but drops still streaming: not cool.
+        controller.observe(1.0, utilization=0.0, drop_rate=0.04)
+        assert controller.level is DegradationLevel.DEGRADED
+        controller.observe(2.0, utilization=0.0, drop_rate=0.0)
+        assert controller.level is DegradationLevel.NORMAL
+
+
+class TestSafeModeWiring:
+    def test_safe_hold_engages_and_releases_policy(self):
+        policy = SafeModePolicy(enabled=False, externalizing=frozenset({"get"}))
+        controller = DegradationController(
+            DegradationConfig(escalate_after=1, recover_after=1),
+            safe_mode=policy,
+        )
+        for tick in range(3):
+            controller.observe(float(tick), timeout_rate=0.9)
+        assert controller.level is DegradationLevel.SAFE_HOLD
+        assert policy.enabled and policy.must_hold("get")
+        controller.observe(4.0)
+        assert controller.level is DegradationLevel.CHECKSUM_ONLY
+        assert not policy.enabled
+
+
+class TestObservability:
+    def test_gauge_counter_and_trace(self):
+        obs = Observability()
+        controller = DegradationController(
+            DegradationConfig(escalate_after=1, recover_after=1), obs=obs
+        )
+        controller.observe(1.0, utilization=0.9)
+        controller.observe(2.0)
+        ((_, gauge),) = obs.registry.series("orthrus_degradation_level")
+        assert gauge.read() == 0.0  # recovered
+        transitions = obs.registry.series("orthrus_degradation_transitions_total")
+        assert {
+            (labels["from"], labels["to"]) for labels, _ in transitions
+        } == {("normal", "degraded"), ("degraded", "normal")}
+        events = [
+            e for e in obs.tracer.events if e.kind == "degradation.transition"
+        ]
+        assert [e.fields["to"] for e in events] == ["degraded", "normal"]
+
+    def test_summary(self):
+        controller = make_controller(escalate_after=1)
+        controller.observe(1.0, utilization=0.9)
+        summary = controller.summary()
+        assert summary["level"] == "degraded"
+        assert summary["peak"] == "degraded"
+        assert summary["transitions"][0]["reason"].startswith("queue-utilization")

@@ -160,6 +160,61 @@ class TestReclamationWiring:
         assert runtime.heap.stale_bytes == 0
 
 
+class TestBoundedQueuedMode:
+    def test_reject_policy_drops_and_closes_windows(self):
+        runtime = make_runtime(
+            mode="queued", queue_capacity=3, overflow_policy="reject"
+        )
+        with runtime:
+            ptr = runtime.new(0)
+            for _ in range(10):
+                incr(ptr)
+        # 3 queued, 7 rejected — every rejected window must be closed.
+        assert runtime.queues.pending == 3
+        assert runtime.queues.drops == {"capacity": 7}
+        assert runtime.reclaimer.open_windows == 3
+        assert runtime.drain() == 3
+
+    def test_drop_oldest_keeps_freshest_logs(self):
+        runtime = make_runtime(
+            mode="queued", queue_capacity=3, overflow_policy="drop-oldest"
+        )
+        with runtime:
+            ptr = runtime.new(0)
+            for _ in range(10):
+                incr(ptr)
+            pending = runtime.queues.queues[0]._logs
+            assert [log.seq for log in pending] == [8, 9, 10]
+        assert runtime.queues.drops == {"evicted-oldest": 7}
+        assert runtime.drain() == 3
+        assert runtime.reclaimer.open_windows == 0
+
+    def test_block_producer_validates_inline(self):
+        runtime = make_runtime(
+            mode="queued", queue_capacity=3, overflow_policy="block-producer"
+        )
+        with runtime:
+            ptr = runtime.new(0)
+            for _ in range(10):
+                incr(ptr)
+        # Overflow beyond capacity was validated on the producer's dime:
+        # nothing dropped, nothing lost.
+        assert runtime.queues.pending == 3
+        assert runtime.queues.drops == {}
+        assert len(runtime.outcomes) == 7
+        assert runtime.drain() == 3
+        assert runtime.detections == 0
+
+    def test_unbounded_default_never_drops(self):
+        runtime = make_runtime(mode="queued")
+        with runtime:
+            ptr = runtime.new(0)
+            for _ in range(10):
+                incr(ptr)
+            assert runtime.queues.pending == 10
+        assert runtime.queues.drops == {}
+
+
 class TestCoreBinding:
     def test_bound_core_used_for_app_execution(self):
         captured = []

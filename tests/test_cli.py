@@ -1,5 +1,7 @@
 """Command-line interface tests."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -214,6 +216,82 @@ class TestTimelineFlags:
         bad.write_text('{"format": "wrong"}')
         with pytest.raises(SystemExit, match="not an orthrus-timeseries"):
             main(["timeline", str(bad)])
+
+
+class TestFaultToleranceFlags:
+    def test_parser_accepts_ft_flags(self):
+        args = build_parser().parse_args([
+            "perf", "--validator-faults", "crash=0.25",
+            "--validator-faults", "hang=1", "--degradation",
+            "--queue-capacity", "32", "--overflow-policy", "reject",
+            "--watchdog-deadline", "80e-6",
+        ])
+        assert args.validator_faults == ["crash=0.25", "hang=1"]
+        assert args.degradation is True
+        assert args.queue_capacity == 32
+        assert args.overflow_policy == "reject"
+        assert args.watchdog_deadline == 80e-6
+
+    def test_degradation_flag_reports_conservation(self, capsys):
+        assert main([
+            "perf", "--app", "memcached", "--ops", "200", "--degradation",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "log conservation" in out
+        assert "(conserved)" in out
+        assert "terminal normal" in out
+
+    def test_validator_faults_redispatch_and_ft_json(self, tmp_path, capsys):
+        report = tmp_path / "ft.json"
+        assert main([
+            "latency", "--app", "memcached", "--ops", "300", "--cores", "4",
+            "--validator-faults", "crash=0.25",
+            "--validator-faults", "hang=0.25",
+            "--watchdog-deadline", "80e-6",
+            "--ft-json", str(report),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "re-dispatches" in out
+        assert "armed faults" in out
+        data = json.loads(report.read_text())
+        assert data["conserved"] is True
+        assert data["terminal_level"] == "normal"
+        assert data["watchdog"]["redispatches"] > 0
+
+    def test_bad_fault_spec_fails_before_the_run(self):
+        with pytest.raises(SystemExit, match="unknown validator fault"):
+            main(["perf", "--ops", "100", "--validator-faults", "explode=1"])
+
+    def test_respond_embeds_ft_summary_in_json(self, tmp_path, capsys):
+        out_json = tmp_path / "incident.json"
+        assert main([
+            "respond", "--app", "memcached",
+            "--validator-faults", "crash=0.25", "--cores", "4",
+            "--watchdog-deadline", "80e-6",
+            "--json", str(out_json),
+        ]) == 0
+        assert "validation-plane stress arm" in capsys.readouterr().out
+        data = json.loads(out_json.read_text())
+        # The incident payload keeps its keys and gains the chaos summary.
+        assert data["repair_complete"] is True
+        assert data["fault_tolerance"]["conserved"] is True
+        assert data["fault_tolerance"]["terminal_level"] == "normal"
+
+    def test_safe_hold_terminal_state_exits_nonzero(self, capsys):
+        from argparse import Namespace
+
+        from repro.cli import _finish_fault_tolerance
+        from repro.harness.chaos import FaultToleranceReport
+
+        ft = FaultToleranceReport(
+            ledger={"enqueued": 1, "validated": 0, "skipped": 0,
+                    "dropped": 0, "fallback": 1},
+            terminal_level="safe-hold",
+            peak_level="safe-hold",
+        )
+        rc = _finish_fault_tolerance(Namespace(ft=ft), Namespace(ft_json=None))
+        assert rc == 2
+        assert "SAFE_HOLD" in capsys.readouterr().out
 
 
 class TestBenchCompare:

@@ -1,0 +1,127 @@
+"""Determinism audit: seed derivation, digests, and the unseeded-random lint.
+
+Every stochastic component must draw from a seeded ``random.Random``; the
+lint half of this file scans the source tree and fails loudly on any call
+through the process-global ``random`` module, which would make runs
+unreplayable from their config digest.
+"""
+
+import random
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.closures import syscalls
+from repro.determinism import derive_seed, derived_rng, stable_digest
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+
+#: module-level random functions whose use is inherently unseeded
+_UNSEEDED_RANDOM = re.compile(
+    r"(?<![\w.])random\.(random|randint|randrange|choice|choices|shuffle|"
+    r"sample|uniform|gauss|normalvariate|expovariate|betavariate|"
+    r"getrandbits|seed)\s*\("
+)
+
+
+class TestDeriveSeed:
+    def test_stable(self):
+        assert derive_seed(1, "chaos") == derive_seed(1, "chaos")
+
+    def test_labels_separate_streams(self):
+        seeds = {
+            derive_seed(1),
+            derive_seed(1, "chaos"),
+            derive_seed(1, "workload"),
+            derive_seed(1, "chaos", 0),
+            derive_seed(2, "chaos"),
+        }
+        assert len(seeds) == 5
+
+    def test_label_boundaries_are_unambiguous(self):
+        # ("ab", "c") must not collide with ("a", "bc").
+        assert derive_seed(1, "ab", "c") != derive_seed(1, "a", "bc")
+
+    def test_fits_in_63_bits(self):
+        seed = derive_seed(12345, "anything")
+        assert 0 <= seed < 2**63
+
+    def test_derived_rng_reproducible(self):
+        a = derived_rng(7, "sampler")
+        b = derived_rng(7, "sampler")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+class TestStableDigest:
+    def test_dict_key_order_irrelevant(self):
+        assert stable_digest({"a": 1, "b": 2}) == stable_digest({"b": 2, "a": 1})
+
+    def test_value_changes_digest(self):
+        assert stable_digest({"seed": 1}) != stable_digest({"seed": 2})
+
+    def test_dataclasses_and_enums(self):
+        from repro.faultinject.validator_faults import (
+            ValidatorChaosConfig,
+            ValidatorFaultKind,
+        )
+
+        config = ValidatorChaosConfig(specs=(("crash", 0.25),), seed=3)
+        assert stable_digest(config) == stable_digest(config)
+        assert stable_digest(ValidatorFaultKind.CRASH) == stable_digest("crash")
+
+    def test_unhashable_payload_rejected(self):
+        with pytest.raises(TypeError):
+            stable_digest({"fn": lambda: None})
+
+
+class TestSyscallFallbackSeeded:
+    def test_default_stream_is_seeded_instance(self):
+        # The fallback must be a private seeded Random, not the global
+        # module (whose state any import can perturb).
+        assert isinstance(syscalls._DEFAULT_RNG, random.Random)
+        assert syscalls._DEFAULT_RNG is not random
+
+    def test_explicit_rng_respected(self):
+        from repro.closures.context import ExecutionContext
+        from repro.closures.log import ClosureLog
+        from repro.machine.cpu import Machine
+        from repro.memory.heap import VersionedHeap
+
+        heap = VersionedHeap()
+        core = Machine(cores_per_node=2, numa_nodes=1).core(0)
+
+        def draws():
+            log = ClosureLog(seq=1, closure_name="c", caller="t")
+            ctx = ExecutionContext(
+                ExecutionContext.APP, core=core, heap=heap, log=log
+            )
+            rng = random.Random(99)
+            with ctx:
+                return [syscalls.sys_random(rng) for _ in range(4)]
+
+        assert draws() == draws()
+
+
+class TestUnseededRandomLint:
+    def test_no_unseeded_random_in_source_tree(self):
+        offenders = []
+        for path in sorted(REPO_SRC.rglob("*.py")):
+            for lineno, line in enumerate(
+                path.read_text().splitlines(), start=1
+            ):
+                stripped = line.split("#", 1)[0]
+                if _UNSEEDED_RANDOM.search(stripped):
+                    offenders.append(f"{path.relative_to(REPO_SRC)}:{lineno}: {line.strip()}")
+        assert not offenders, (
+            "unseeded process-global random use breaks byte-replayability; "
+            "derive an rng via repro.determinism.derived_rng instead:\n"
+            + "\n".join(offenders)
+        )
+
+    def test_lint_pattern_catches_offenses(self):
+        assert _UNSEEDED_RANDOM.search("x = random.random()")
+        assert _UNSEEDED_RANDOM.search("random.shuffle(items)")
+        assert not _UNSEEDED_RANDOM.search("rng = random.Random(seed)")
+        assert not _UNSEEDED_RANDOM.search("value = rng.random()")
+        assert not _UNSEEDED_RANDOM.search("self.random.choice(x)")

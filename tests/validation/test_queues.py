@@ -1,10 +1,17 @@
-"""Validation queue and work-stealing tests."""
+"""Validation queue, bounding, and work-stealing tests."""
 
 import pytest
 
 from repro.closures.log import ClosureLog
 from repro.errors import ConfigurationError
-from repro.validation.queues import LogQueue, QueueSet
+from repro.obs import Observability
+from repro.validation.queues import (
+    OVERFLOW_BLOCK,
+    OVERFLOW_DROP_OLDEST,
+    OVERFLOW_REJECT,
+    LogQueue,
+    QueueSet,
+)
 
 
 def make_log(seq):
@@ -26,12 +33,21 @@ class TestLogQueue:
         queue.push(log, now=42.0)
         assert log.enqueue_time == 42.0
 
-    def test_steal_takes_newest(self):
+    def test_push_accepted_when_unbounded(self):
+        queue = LogQueue(0)
+        outcome = queue.push(make_log(1), 1.0)
+        assert outcome.accepted
+        assert outcome.dropped is None
+        assert outcome.queue is queue
+
+    def test_steal_takes_oldest(self):
+        # The stranded log is the *oldest* one: stealing must take the
+        # head, otherwise the victim's lag signal never improves.
         queue = LogQueue(0)
         queue.push(make_log(1), 1.0)
         queue.push(make_log(2), 2.0)
-        assert queue.steal().seq == 2
         assert queue.steal().seq == 1
+        assert queue.steal().seq == 2
         assert queue.steal() is None
 
     def test_oldest_enqueue_time(self):
@@ -40,6 +56,70 @@ class TestLogQueue:
         queue.push(make_log(1), 5.0)
         queue.push(make_log(2), 9.0)
         assert queue.oldest_enqueue_time == 5.0
+
+    def test_steal_advances_oldest_enqueue_time(self):
+        """Regression: tail-stealing left oldest_enqueue_time frozen while
+        the queue drained, so the sampler's lag signal stayed stale."""
+        queue = LogQueue(0)
+        for seq in range(4):
+            queue.push(make_log(seq), float(seq))
+        ages = [queue.oldest_enqueue_time]
+        while queue.steal() is not None:
+            ages.append(queue.oldest_enqueue_time)
+        # Each steal removes the oldest log, so the reported age advances
+        # monotonically until the queue is empty.
+        assert ages == [0.0, 1.0, 2.0, 3.0, None]
+
+    def test_invalid_capacity_and_policy(self):
+        with pytest.raises(ConfigurationError):
+            LogQueue(0, capacity=0)
+        with pytest.raises(ConfigurationError):
+            LogQueue(0, policy="explode")
+
+
+class TestBoundedLogQueue:
+    def test_reject_drops_incoming(self):
+        queue = LogQueue(0, capacity=2, policy=OVERFLOW_REJECT)
+        assert queue.push(make_log(1), 1.0).accepted
+        assert queue.push(make_log(2), 2.0).accepted
+        outcome = queue.push(make_log(3), 3.0)
+        assert not outcome.accepted
+        assert outcome.dropped.seq == 3
+        assert outcome.reason == "capacity"
+        assert queue.drops == {"capacity": 1}
+        assert [queue.pop().seq for _ in range(2)] == [1, 2]
+
+    def test_drop_oldest_evicts_head(self):
+        queue = LogQueue(0, capacity=2, policy=OVERFLOW_DROP_OLDEST)
+        queue.push(make_log(1), 1.0)
+        queue.push(make_log(2), 2.0)
+        outcome = queue.push(make_log(3), 3.0)
+        assert outcome.accepted
+        assert outcome.dropped.seq == 1
+        assert outcome.reason == "evicted-oldest"
+        assert [queue.pop().seq for _ in range(2)] == [2, 3]
+
+    def test_block_producer_signals_would_block(self):
+        queue = LogQueue(0, capacity=1, policy=OVERFLOW_BLOCK)
+        assert queue.push(make_log(1), 1.0).accepted
+        outcome = queue.push(make_log(2), 2.0)
+        assert outcome.would_block
+        assert outcome.dropped is None
+        assert queue.drops == {}
+        # Space frees up: the retry succeeds.
+        queue.pop()
+        assert queue.push(make_log(2), 3.0).accepted
+
+    def test_push_after_close_is_shutdown_drop(self):
+        queue = LogQueue(0, capacity=4)
+        queue.push(make_log(1), 1.0)
+        queue.close()
+        outcome = queue.push(make_log(2), 2.0)
+        assert not outcome.accepted
+        assert outcome.reason == "shutdown"
+        assert queue.drops == {"shutdown": 1}
+        # Pending logs stay poppable after close.
+        assert queue.pop().seq == 1
 
 
 class TestQueueSet:
@@ -94,3 +174,98 @@ class TestQueueSet:
         drained = qs.drain()
         assert [log.seq for log in drained] == [0, 1, 2, 3, 4]
         assert qs.pending == 0
+
+
+class TestQueueSetStealEdgeCases:
+    def test_steal_from_empty_set(self):
+        qs = QueueSet(3)
+        assert qs.pop(0) is None
+        assert qs.pop(2, allow_steal=True) is None
+
+    def test_single_queue_cannot_steal_from_itself(self):
+        qs = QueueSet(1)
+        assert qs.pop(0) is None
+
+    def test_round_robin_cursor_wraps_when_all_empty(self):
+        qs = QueueSet(2)
+        # Drain attempts on empty queues must not advance the push cursor:
+        # the next pushes still alternate 0, 1, 0, 1 from wherever the
+        # cursor was, and wrap cleanly past the end.
+        for _ in range(5):
+            assert qs.pop(0) is None
+            assert qs.pop(1) is None
+        for seq in range(4):
+            qs.push(make_log(seq), float(seq))
+        assert [log.seq for log in qs.queues[0]._logs] == [0, 2]
+        assert [log.seq for log in qs.queues[1]._logs] == [1, 3]
+
+    def test_steal_rescues_backlogged_peer_lag(self):
+        """Regression for the stale-lag bug: with a thief repeatedly
+        stealing, the set-wide queue_delay must shrink (the AIMD sampler
+        reads it; a frozen signal collapses the sampling rate)."""
+        qs = QueueSet(2)
+        for seq in range(6):
+            qs.push(make_log(seq), queue_id=0, now=float(seq))
+        delays = []
+        now = 10.0
+        while qs.pending:
+            assert qs.pop(1) is not None  # queue 1 empty: always a steal
+            delays.append(qs.queue_delay(now))
+        assert delays == sorted(delays, reverse=True)
+        assert delays[-1] == 0.0
+
+    def test_push_after_shutdown_accounts_drop(self):
+        qs = QueueSet(2, capacity=4)
+        qs.push(make_log(1), 1.0)
+        qs.shutdown()
+        outcome = qs.push(make_log(2), 2.0)
+        assert not outcome.accepted
+        assert outcome.reason == "shutdown"
+        assert qs.drops == {"shutdown": 1}
+        assert qs.dropped_total == 1
+        # The pending log is still drainable.
+        assert [log.seq for log in qs.drain()] == [1]
+
+
+class TestBoundedQueueSet:
+    def test_placement_skips_full_queues(self):
+        qs = QueueSet(2, capacity=1, policy=OVERFLOW_REJECT)
+        assert qs.push(make_log(1), 1.0).accepted  # queue 0
+        # Round-robin says queue 1, which has room.
+        assert qs.push(make_log(2), 2.0).accepted
+        # Cursor points at queue 0 (full) — placement must fall through to
+        # any open queue before applying the overflow policy... none has
+        # room here, so the reject fires.
+        outcome = qs.push(make_log(3), 3.0)
+        assert not outcome.accepted
+        assert outcome.reason == "capacity"
+
+    def test_policy_only_fires_under_global_overload(self):
+        qs = QueueSet(2, capacity=1, policy=OVERFLOW_DROP_OLDEST)
+        qs.push(make_log(1), 1.0)   # queue 0 now full
+        qs.pop(1, allow_steal=False)  # queue 1 stays empty
+        # Cursor targets queue 1 next; queue 0 full is irrelevant.
+        outcome = qs.push(make_log(2), 2.0)
+        assert outcome.accepted and outcome.dropped is None
+        assert qs.dropped_total == 0
+
+    def test_utilization(self):
+        qs = QueueSet(2, capacity=2)
+        assert qs.utilization == 0.0
+        qs.push(make_log(1), 1.0)
+        qs.push(make_log(2), 2.0)
+        assert qs.utilization == 0.5
+        unbounded = QueueSet(2)
+        unbounded.push(make_log(1), 1.0)
+        assert unbounded.utilization == 0.0
+
+    def test_drop_metrics_surface_through_obs(self):
+        obs = Observability()
+        qs = QueueSet(1, capacity=1, policy=OVERFLOW_REJECT, obs=obs)
+        qs.push(make_log(1), 1.0)
+        qs.push(make_log(2), 2.0)
+        drops = obs.registry.series("orthrus_queue_drops_total")
+        assert len(drops) == 1
+        labels, counter = drops[0]
+        assert labels == {"queue": "0", "reason": "capacity"}
+        assert counter.value == 1
