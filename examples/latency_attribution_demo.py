@@ -1,0 +1,111 @@
+"""Detection-latency attribution: where does the detection budget go?
+
+Runs the same Memcached-style workload twice with causal span tracing
+attached — once on a healthy validation plane, once with every
+validator slowed down 6x behind a small bounded queue — and folds the
+spans into per-stage latency waterfalls:
+
+  closure.run -> queue.wait -> dispatch -> validate -> verdict
+
+The healthy run shows validation dominating the budget; the overloaded
+run shows queue.wait swallowing it instead, with the degradation
+ladder's level labels visible in the per-level breakdown. Each run's
+per-chain stage sums are reconciled against the end-to-end detection
+latency, the same invariant ``repro-bench latency-attrib`` checks.
+
+Run:  python examples/latency_attribution_demo.py
+"""
+
+from repro.faultinject.validator_faults import ValidatorChaosConfig
+from repro.harness.chaos import run_chaos_server
+from repro.harness.pipeline import PipelineConfig, run_orthrus_server
+from repro.harness.scenarios import memcached_scenario
+from repro.obs import Observability
+from repro.obs.latency import attribute, format_seconds, render_waterfall
+from repro.runtime.degradation import FaultToleranceConfig
+
+N_OPS = 500
+
+
+def healthy_run():
+    obs = Observability()
+    config = PipelineConfig(
+        app_threads=2, validation_cores=2, seed=7, obs=obs,
+    )
+    result = run_orthrus_server(memcached_scenario(), N_OPS, config)
+    return result, obs
+
+
+def overloaded_run():
+    # Four producer threads feed one validator that is also slowed 6x,
+    # behind a queue small enough that backpressure and the degradation
+    # ladder both engage. The spans make the resulting queue-wait bulge
+    # and the ladder's response directly measurable.
+    obs = Observability()
+    config = PipelineConfig(
+        app_threads=4, validation_cores=1, seed=7, obs=obs,
+        validator_faults=ValidatorChaosConfig(
+            specs=(("slowdown", 1),), slowdown_factor=6.0,
+        ),
+        fault_tolerance=FaultToleranceConfig(queue_capacity=16),
+    )
+    result = run_chaos_server(memcached_scenario(), N_OPS, config)
+    return result, obs
+
+
+def report(title, result, obs):
+    attrib = attribute(obs.spans)
+    recon = attrib.reconciliation()
+    e2e = attrib.end_to_end()
+    print(f"== {title} ==")
+    print(f"chains: {attrib.chain_count}  "
+          f"end-to-end p50 {format_seconds(e2e.p50)}  "
+          f"p95 {format_seconds(e2e.p95)}  "
+          f"max {format_seconds(e2e.max)}")
+    print(f"reconciliation: max residual "
+          f"{format_seconds(recon['max_residual'])} "
+          f"({'reconciled' if recon['reconciled'] else 'NOT RECONCILED'})")
+    print(render_waterfall(attrib.stages()))
+    return attrib
+
+
+def main():
+    print("Orthrus latency attribution demo\n")
+
+    result, obs = healthy_run()
+    healthy = report("healthy plane (2 validators, no faults)", result, obs)
+
+    print()
+    result, obs = overloaded_run()
+    overloaded = report(
+        "overloaded plane (1 validator, 6x slowdown, queue capacity 16)",
+        result, obs,
+    )
+
+    print("per-degradation-level breakdown (overloaded run, validate stage):")
+    for level, stages in sorted(overloaded.by_level().items()):
+        validate = stages.get("validate")
+        if validate is None:
+            continue
+        print(f"  {level:<14} {validate.count:>5} validations  "
+              f"p95 {format_seconds(validate.p95)}")
+    transitions = result.ft.degradation["transitions"]
+    if transitions:
+        print("degradation transitions:")
+        for t in transitions[:6]:
+            print(f"  t={format_seconds(t['time'])}  "
+                  f"{t['from']} -> {t['to']}  ({t['reason']})")
+
+    def stage_p95(attrib, name):
+        stats = attrib.stages().get(name)
+        return stats.p95 if stats is not None else 0.0
+
+    before = stage_p95(healthy, "queue.wait")
+    after = stage_p95(overloaded, "queue.wait")
+    print(f"\nqueue.wait p95: {format_seconds(before)} healthy -> "
+          f"{format_seconds(after)} overloaded")
+    assert after > before, "overload should inflate queue wait"
+
+
+if __name__ == "__main__":
+    main()

@@ -39,6 +39,15 @@ route the Orthrus arm through the fault-tolerant chaos driver (bounded
 queues, watchdog re-dispatch, degradation ladder) and print the
 conservation ledger; ``--ft-json`` saves the report, and a run whose
 terminal degradation state is ``SAFE_HOLD`` exits nonzero (status 2).
+
+``--spans-out`` records the causal span layer (closure.run → queue.wait →
+dispatch → validate → verdict, plus chaos detours) and saves a Chrome
+trace-event file; ``latency-attrib`` folds such a trace (or a metrics
+snapshot's span histograms) into a per-stage waterfall with
+reconciliation.  ``--canary-period`` on perf/latency injects known-corrupt
+canary closures and reports validation-plane liveness; ``obs-summary`` and
+``timeline`` exit with status 3 when a loaded run recorded a missed
+canary.
 """
 
 from __future__ import annotations
@@ -83,14 +92,22 @@ from repro.harness.scenarios import (
 )
 from repro.machine.units import Unit
 from repro.obs import (
+    CanaryConfig,
+    MetricsRegistry,
     Observability,
     TimeSeriesConfig,
+    attribute,
     console_summary,
+    format_seconds,
     load_metrics_json,
+    load_spans_chrome,
     load_timeline,
     render_sparkline,
+    render_waterfall,
+    stage_stats_from_registry,
     to_prometheus,
     write_metrics_json,
+    write_spans_chrome,
     write_timeline_json,
     write_trace_jsonl,
 )
@@ -141,7 +158,7 @@ def cmd_list(_args) -> int:
         print(f"  {name:<10} (default workload size {size})")
     print(
         "\nsubcommands: perf, latency, coverage, respond, obs-summary, "
-        "timeline, bench-compare"
+        "timeline, latency-attrib, bench-compare"
     )
     print("tracked benchmarks (bench-compare): " + ", ".join(sorted(BENCHES)))
     return 0
@@ -151,11 +168,12 @@ def _make_obs(args) -> Observability | None:
     """An Observability handle when export flags ask for one, else None
     (the pipeline then runs fully uninstrumented)."""
     timeline_out = getattr(args, "timeline_out", None)
+    spans_out = getattr(args, "spans_out", None)
     wants_slo = bool(getattr(args, "slo", None))
     if args.metrics_out is None and args.trace_out is None and \
-            timeline_out is None and not wants_slo:
+            timeline_out is None and spans_out is None and not wants_slo:
         return None
-    for path in (args.metrics_out, args.trace_out, timeline_out):
+    for path in (args.metrics_out, args.trace_out, timeline_out, spans_out):
         if path is None:
             continue
         # Fail before the run, not at export time — a bad path after a
@@ -184,6 +202,11 @@ def _export_obs(obs: Observability | None, args, run_metrics=None) -> None:
     if args.trace_out is not None:
         written = write_trace_jsonl(obs.tracer, args.trace_out)
         print(f"trace events       : {written} -> {args.trace_out}")
+    spans_out = getattr(args, "spans_out", None)
+    if spans_out is not None:
+        written = write_spans_chrome(obs.spans, spans_out)
+        print(f"causal spans       : {written} -> {spans_out} "
+              "(chrome trace; open in Perfetto)")
 
 
 def _timeseries_setup(args):
@@ -262,6 +285,42 @@ def _print_response(result) -> None:
             f"repaired versions  : {incident.versions_repaired}"
             f"/{incident.versions_corrupted} corrupted"
         )
+
+
+def _canary_config(args) -> CanaryConfig | None:
+    """The --canary-period flag's CanaryConfig for the Orthrus arm."""
+    period = getattr(args, "canary_period", None)
+    deadline = getattr(args, "canary_deadline", None)
+    if period is None and deadline is None:
+        return None
+    try:
+        return CanaryConfig(
+            period=period if period is not None else 200e-6,
+            deadline=deadline if deadline is not None else 0.0,
+        )
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc))
+
+
+def _print_canary(result) -> None:
+    """Canary liveness rollup for a RunResult produced with --canary-period."""
+    summary = getattr(result, "canary", None)
+    if summary is None:
+        print("canary liveness    : (runner does not attach the canary plane)")
+        return
+    status = "ALARM" if summary["missed"] else "ok"
+    print(
+        f"canary liveness    : {status} — {summary['issued']} issued, "
+        f"{summary['detected']} detected, {summary['missed']} missed "
+        f"(deadline {format_seconds(summary['deadline'])})"
+    )
+    if summary["missed"]:
+        print(
+            "first canary miss  : "
+            f"t={format_seconds(summary['first_missed_at'])} sim"
+        )
+    organic = result.runtime.report.count_organic()
+    print(f"organic detections : {organic}")
 
 
 def _fault_tolerance_setup(args):
@@ -361,8 +420,9 @@ def cmd_perf(args) -> int:
     obs = _make_obs(args)
     timeseries, slos = _timeseries_setup(args)
     ft, chaos = _fault_tolerance_setup(args)
+    canary = _canary_config(args)
     config = lambda obs=None, response=None, timeseries=None, slos=None, \
-            ft=None, chaos=None: PipelineConfig(
+            ft=None, chaos=None, canary=None: PipelineConfig(
         app_threads=args.threads,
         validation_cores=args.cores,
         seed=args.seed,
@@ -372,11 +432,12 @@ def cmd_perf(args) -> int:
         slos=slos,
         fault_tolerance=ft,
         validator_faults=chaos,
+        canary=canary,
     )
     v = vanilla(scenario, size, config())
     o = orthrus(
         scenario, size,
-        config(obs, _response_config(args), timeseries, slos, ft, chaos),
+        config(obs, _response_config(args), timeseries, slos, ft, chaos, canary),
     )
     r = rbv(scenario, size, config())
     if args.app == "phoenix":
@@ -392,6 +453,8 @@ def cmd_perf(args) -> int:
     print(f"validated/skipped  : {o.metrics.validated}/{o.metrics.skipped}")
     if args.quarantine:
         _print_response(o)
+    if canary is not None:
+        _print_canary(o)
     rc = 0
     if ft is not None or chaos is not None:
         rc = _finish_fault_tolerance(o, args)
@@ -406,8 +469,9 @@ def cmd_latency(args) -> int:
     obs = _make_obs(args)
     timeseries, slos = _timeseries_setup(args)
     ft, chaos = _fault_tolerance_setup(args)
+    canary = _canary_config(args)
     config = lambda obs=None, response=None, timeseries=None, slos=None, \
-            ft=None, chaos=None: PipelineConfig(
+            ft=None, chaos=None, canary=None: PipelineConfig(
         app_threads=args.threads,
         validation_cores=args.cores,
         seed=args.seed,
@@ -417,10 +481,11 @@ def cmd_latency(args) -> int:
         slos=slos,
         fault_tolerance=ft,
         validator_faults=chaos,
+        canary=canary,
     )
     o = orthrus(
         scenario, size,
-        config(obs, _response_config(args), timeseries, slos, ft, chaos),
+        config(obs, _response_config(args), timeseries, slos, ft, chaos, canary),
     )
     r = rbv(scenario, size, config())
     ol, rl = o.metrics.validation_latency, r.metrics.validation_latency
@@ -430,6 +495,8 @@ def cmd_latency(args) -> int:
         print(f"ratio                      : {rl.mean / ol.mean:.0f}x")
     if args.quarantine:
         _print_response(o)
+    if canary is not None:
+        _print_canary(o)
     rc = 0
     if ft is not None or chaos is not None:
         rc = _finish_fault_tolerance(o, args)
@@ -608,7 +675,34 @@ def _summarize_trace_jsonl(path: str) -> int:
         print(f"#{seq:>6} t={ts:.9f} {event.get('kind', '?'):<24} {rest}")
     print(f"-- {len(events)} events, " +
           ", ".join(f"{k}={v}" for k, v in sorted(by_kind.items())))
+    missed = by_kind.get("canary.missed", 0)
+    if missed:
+        print(f"canary liveness    : ALARM — {missed} canary.missed event(s)")
+        return 3
     return 0
+
+
+def _canary_status_from_registry(registry) -> int:
+    """Print canary liveness from a reloaded registry; the exit-status
+    contribution is 3 when the run recorded a missed canary."""
+    issued = sum(
+        child.value for _, child in registry.series("orthrus_canary_issued_total")
+    )
+    if not issued:
+        return 0
+    detected = sum(
+        child.value
+        for _, child in registry.series("orthrus_canary_detected_total")
+    )
+    missed = sum(
+        child.value for _, child in registry.series("orthrus_canary_missed_total")
+    )
+    status = "ALARM" if missed else "ok"
+    print(
+        f"canary liveness: {status} — {issued:.0f} issued, "
+        f"{detected:.0f} detected, {missed:.0f} missed"
+    )
+    return 3 if missed else 0
 
 
 def cmd_obs_summary(args) -> int:
@@ -627,9 +721,14 @@ def cmd_obs_summary(args) -> int:
         )
     if args.format == "prom":
         print(to_prometheus(snapshot), end="")
-    else:
-        print(console_summary(snapshot), end="")
-    return 0
+        return 0
+    print(console_summary(snapshot), end="")
+    registry = MetricsRegistry.from_snapshot(snapshot)
+    stages = stage_stats_from_registry(registry)
+    if stages:
+        print("\nper-stage latency waterfall (orthrus_span_stage_seconds):")
+        print(render_waterfall(stages), end="")
+    return _canary_status_from_registry(registry)
 
 
 _TIMELINE_STATS = ("count", "mean", "min", "max", "p50", "p95", "last")
@@ -642,6 +741,7 @@ def cmd_timeline(args) -> int:
         raise SystemExit(f"cannot read {args.path}: {exc}")
     except ValueError as exc:
         raise SystemExit(f"{args.path}: {exc}")
+    canary_missed = series_map.get("canary_missed")
     if args.series:
         missing = [name for name in args.series if name not in series_map]
         if missing:
@@ -657,6 +757,8 @@ def cmd_timeline(args) -> int:
                     {"series": series.name, "t": t,
                      "stat": args.stat, "value": value}
                 ))
+        if canary_missed is not None and canary_missed.summary()["max"]:
+            return 3
         return 0
     width = max(len(name) for name in series_map) if series_map else 0
     for series in series_map.values():
@@ -675,7 +777,76 @@ def cmd_timeline(args) -> int:
             f"{series.name.ljust(width)}  {spark}  "
             f"[{low}, {high}]{unit} ({series.total_samples} samples)"
         )
+    if canary_missed is not None:
+        missed = canary_missed.summary()["max"]
+        status = "ALARM" if missed else "ok"
+        print(f"canary liveness: {status} — {missed:.0f} missed")
+        if missed:
+            return 3
     return 0
+
+
+def cmd_latency_attrib(args) -> int:
+    """Decompose a saved run's detection latency into causal stages.
+
+    Accepts either a Chrome trace from ``--spans-out`` (full per-chain
+    attribution with reconciliation) or an ``orthrus-metrics/1`` snapshot
+    from ``--metrics-out`` (per-stage waterfall only — the histogram
+    family survives even after the span buffer is gone).
+    """
+    try:
+        with open(args.path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except OSError as exc:
+        raise SystemExit(f"cannot read {args.path}: {exc}")
+    except ValueError as exc:
+        raise SystemExit(f"{args.path} is not valid JSON: {exc}")
+    if isinstance(payload, dict) and payload.get("format") == "orthrus-metrics/1":
+        registry = MetricsRegistry.from_snapshot(payload)
+        stages = stage_stats_from_registry(registry)
+        if not stages:
+            raise SystemExit(
+                f"{args.path} has no orthrus_span_stage_seconds family "
+                "(was the run made with spans enabled?)"
+            )
+        print(f"per-stage latency waterfall ({args.path}):")
+        print(render_waterfall(stages), end="")
+        print("(snapshot input: no per-chain reconciliation; use a "
+              "--spans-out trace for that)")
+        return 0
+    try:
+        spans = load_spans_chrome(args.path)
+    except ValueError as exc:
+        raise SystemExit(f"{args.path}: {exc}")
+    attr = attribute(spans)
+    e2e = attr.end_to_end()
+    print(
+        f"causal chains      : {attr.chain_count} "
+        f"({e2e.count} verdict-terminated)"
+    )
+    print(
+        f"end-to-end latency : p50 {format_seconds(e2e.p50)}, "
+        f"p95 {format_seconds(e2e.p95)}, p99 {format_seconds(e2e.p99)}, "
+        f"max {format_seconds(e2e.max)}"
+    )
+    recon = attr.reconciliation()
+    print(
+        "reconciliation     : stage sums vs end-to-end, max residual "
+        f"{format_seconds(recon['max_residual'])} across "
+        f"{recon['chains']} chains "
+        + ("(reconciled)" if recon["reconciled"] else "(NOT RECONCILED)")
+    )
+    print()
+    print(render_waterfall(attr.stages()), end="")
+    if args.by_level:
+        for level, stages in attr.by_level().items():
+            print(f"\ndegradation level: {level}")
+            print(render_waterfall(stages), end="")
+    if args.by_closure:
+        for closure, stages in attr.by_closure().items():
+            print(f"\nclosure: {closure or '(unnamed)'}")
+            print(render_waterfall(stages), end="")
+    return 0 if recon["reconciled"] else 1
 
 
 def cmd_bench_compare(args) -> int:
@@ -733,6 +904,25 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--trace-out", default=None, metavar="PATH",
             help="enable tracing and save a JSON-lines event trace",
+        )
+        p.add_argument(
+            "--spans-out", default=None, metavar="PATH",
+            help="enable causal span tracing and save a Chrome trace-event "
+            "file (loadable in Perfetto / chrome://tracing, and by the "
+            "latency-attrib subcommand)",
+        )
+
+    def canary_flags(p):
+        p.add_argument(
+            "--canary-period", type=float, default=None, metavar="SIM_S",
+            help="inject a known-corrupt canary closure every SIM_S "
+            "virtual seconds and track validation-plane liveness",
+        )
+        p.add_argument(
+            "--canary-deadline", type=float, default=None, metavar="SIM_S",
+            help="detection deadline per canary before a canary.missed "
+            "incident is raised (default: 3x the period); implies "
+            "--canary-period",
         )
 
     def quarantine_flag(p):
@@ -802,12 +992,14 @@ def build_parser() -> argparse.ArgumentParser:
     quarantine_flag(perf)
     timeline_flags(perf)
     fault_tolerance_flags(perf)
+    canary_flags(perf)
 
     latency = sub.add_parser("latency", help="Fig 8-style validation latency")
     common(latency)
     quarantine_flag(latency)
     timeline_flags(latency)
     fault_tolerance_flags(latency)
+    canary_flags(latency)
 
     coverage = sub.add_parser("coverage", help="Table 2-style fault campaign")
     common(coverage)
@@ -885,6 +1077,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--width", type=int, default=60, help="sparkline width (columns)"
     )
 
+    latency_attrib = sub.add_parser(
+        "latency-attrib",
+        help="decompose a saved run's latency into causal stages "
+        "(queue wait, dispatch, validate, ...)",
+    )
+    latency_attrib.add_argument(
+        "path",
+        help="Chrome trace from --spans-out, or an orthrus-metrics/1 "
+        "snapshot from --metrics-out",
+    )
+    latency_attrib.add_argument(
+        "--by-level", action="store_true",
+        help="also break the waterfall down per degradation level",
+    )
+    latency_attrib.add_argument(
+        "--by-closure", action="store_true",
+        help="also break the waterfall down per closure kind",
+    )
+
     bench_compare = sub.add_parser(
         "bench-compare",
         help="run tracked benchmarks, write BENCH_*.json, diff vs baselines",
@@ -928,6 +1139,7 @@ def main(argv=None) -> int:
         "respond": cmd_respond,
         "obs-summary": cmd_obs_summary,
         "timeline": cmd_timeline,
+        "latency-attrib": cmd_latency_attrib,
         "bench-compare": cmd_bench_compare,
     }[args.command]
     return handler(args)

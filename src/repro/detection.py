@@ -16,6 +16,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+#: closures injected by the liveness canary layer (:mod:`repro.obs.canary`)
+#: are namespaced so detection accounting can keep canary hits out of the
+#: organic coverage numbers.
+CANARY_PREFIX = "canary."
+
+
+def is_canary_closure(name: str) -> bool:
+    """True for closures injected by the canary scheduler (never organic
+    application work)."""
+    return name.startswith(CANARY_PREFIX)
+
 
 @dataclass(frozen=True, slots=True)
 class DetectionEvent:
@@ -89,6 +100,14 @@ class DetectionReport:
             return len(self.events)
         return sum(1 for event in self.events if event.kind == kind)
 
+    def organic_events(self) -> list[DetectionEvent]:
+        """Detections of real application work — canary probe hits and
+        ``canary.missed`` liveness alarms excluded."""
+        return [e for e in self.events if not is_canary_closure(e.closure)]
+
+    def count_organic(self) -> int:
+        return len(self.organic_events())
+
     def by_kind(self) -> dict[str, int]:
         """Event counts keyed by detection mechanism."""
         counts: dict[str, int] = {}
@@ -127,6 +146,9 @@ class DetectionReport:
             "by_app_core": {str(core): n for core, n in self.by_app_core().items()},
             "first_time": first.time if first is not None else None,
         }
+        organic = self.count_organic()
+        if organic != len(self.events):
+            summary["organic"] = organic
         if self.anomalies:
             summary["anomalies"] = {
                 "total": len(self.anomalies),

@@ -42,8 +42,14 @@ from repro.harness.pipeline import (
     _orthrus_overhead_cycles,
 )
 from repro.memory.checksum import checksum_of
+from repro.obs.canary import CanaryScheduler, LivenessMonitor, is_canary_log
 from repro.obs.slo import SloMonitor, default_objectives
-from repro.obs.timeseries import TimeSeriesRecorder, install_default_probes
+from repro.obs.timeseries import (
+    TimeSeriesRecorder,
+    install_canary_probes,
+    install_default_probes,
+    install_span_probes,
+)
 from repro.response.coordinator import ResponseCoordinator
 from repro.response.quarantine import QuarantineManager
 from repro.runtime.degradation import (
@@ -230,6 +236,10 @@ def run_chaos_server(scenario, n_ops: int, config: PipelineConfig) -> RunResult:
     if config.timeseries is not None and obs.enabled:
         recorder = TimeSeriesRecorder(obs.registry, config.timeseries)
         install_default_probes(recorder)
+        if obs.spans.enabled:
+            install_span_probes(recorder)
+        if config.canary is not None:
+            install_canary_probes(recorder)
         slo_monitor = SloMonitor(
             recorder,
             objectives=(
@@ -298,6 +308,9 @@ def run_chaos_server(scenario, n_ops: int, config: PipelineConfig) -> RunResult:
                 "orthrus_checksum_fallbacks_total",
                 help="logs settled by CRC fallback instead of re-execution",
             ).inc()
+            obs.spans.record(
+                "fallback", log.seq, now, now, closure=log.closure_name
+            )
         release(log)
 
     def enqueue(log, now: float):
@@ -354,6 +367,18 @@ def run_chaos_server(scenario, n_ops: int, config: PipelineConfig) -> RunResult:
                 if safe_policy.must_hold(log.closure_name):
                     hold.append(event)
                 yield from submit(log)
+                if obs.enabled:
+                    # Execution plus control path plus any producer
+                    # backpressure stall; queue.wait starts exactly where
+                    # this ends (queues.push stamps enqueue_time at accept).
+                    obs.spans.record(
+                        "closure.run",
+                        log.seq,
+                        log.start_time,
+                        env.now,
+                        closure=log.closure_name,
+                        core=thread_id,
+                    )
             if hold:
                 # Safe mode (static or SAFE_HOLD-engaged): withhold
                 # externalizing results until their logs settle.
@@ -376,6 +401,7 @@ def run_chaos_server(scenario, n_ops: int, config: PipelineConfig) -> RunResult:
     def validator_process(core):
         core_id = core.core_id
         queue_index = queue_index_by_core[core_id]
+        dispatch_s = config.costs.seconds(config.costs.validation_dispatch_cycles)
         while True:
             token = yield wake.get()
             if not runtime.scheduler.in_service(core_id):
@@ -400,6 +426,14 @@ def run_chaos_server(scenario, n_ops: int, config: PipelineConfig) -> RunResult:
                 # stolen); nothing to do.
                 continue
             pending_bytes[0] -= log.approx_bytes()
+            if obs.enabled:
+                obs.spans.record(
+                    "queue.wait",
+                    log.seq,
+                    log.enqueue_time,
+                    now,
+                    closure=log.closure_name,
+                )
             if now > deadline[0]:
                 # Past the timely-detection window (drain grace).
                 if obs.enabled:
@@ -407,6 +441,10 @@ def run_chaos_server(scenario, n_ops: int, config: PipelineConfig) -> RunResult:
                         "orthrus_deadline_drops_total",
                         help="logs dropped past the timely-detection window",
                     ).inc()
+                    obs.spans.record(
+                        "drop", log.seq, now, now,
+                        closure=log.closure_name, reason="deadline",
+                    )
                 metrics.skipped += 1
                 settle_drop(log, "deadline", now)
                 continue
@@ -416,24 +454,37 @@ def run_chaos_server(scenario, n_ops: int, config: PipelineConfig) -> RunResult:
                 watchdog.dispatched(log, core_id, now)
                 yield env.event()
                 return  # pragma: no cover — the event never fires
-            if config.memory_budget_bytes is not None:
-                sampler.observe_memory(memory_in_use(), config.memory_budget_bytes)
+            is_canary = is_canary_log(log)
+            if is_canary:
+                # Canary probes bypass the sampler and its coverage
+                # accounting: a skipped canary would prove nothing about
+                # plane liveness.  They still ride the watchdog dispatch
+                # path so a hung or crashed validator strands them — that
+                # stranding is precisely the signal the LivenessMonitor
+                # turns into ``canary.missed``.
+                decision = None
             else:
-                sampler.observe_delay(now - log.enqueue_time)
-            decision = sampler_decision(sampler, log, now)
+                if config.memory_budget_bytes is not None:
+                    sampler.observe_memory(
+                        memory_in_use(), config.memory_budget_bytes
+                    )
+                else:
+                    sampler.observe_delay(now - log.enqueue_time)
+                decision = sampler_decision(sampler, log, now)
             if obs.enabled:
                 obs.registry.histogram(
                     "orthrus_queue_delay_seconds",
                     help="log age (enqueue to dequeue) at each validator dispatch",
                 ).record(now - log.enqueue_time)
-                obs.registry.counter(
-                    "orthrus_sampler_decisions_total",
-                    {
-                        "decision": "validate" if decision.validate else "skip",
-                        "reason": decision.reason,
-                    },
-                    help="sampler verdicts by outcome and reason",
-                ).inc()
+                if decision is not None:
+                    obs.registry.counter(
+                        "orthrus_sampler_decisions_total",
+                        {
+                            "decision": "validate" if decision.validate else "skip",
+                            "reason": decision.reason,
+                        },
+                        help="sampler verdicts by outcome and reason",
+                    ).inc()
             if controller is not None and controller.checksum_only:
                 # CHECKSUM_ONLY rung: CRC boundary checks, no re-execution.
                 busy = sum(
@@ -445,14 +496,22 @@ def run_chaos_server(scenario, n_ops: int, config: PipelineConfig) -> RunResult:
                 on_step()
                 continue
             shed_for_coverage = (
-                controller is not None
+                decision is not None
+                and controller is not None
                 and controller.coverage_only
                 and decision.reason not in COVERAGE_REASONS
             )
-            if not decision.validate or shed_for_coverage:
+            if decision is not None and (not decision.validate or shed_for_coverage):
                 runtime.validator.skip(log)
                 ledger.skipped(log.seq)
                 metrics.skipped += 1
+                if obs.enabled:
+                    obs.spans.record(
+                        "skip", log.seq, now, now,
+                        closure=log.closure_name,
+                        reason="coverage-shed" if shed_for_coverage
+                        else decision.reason,
+                    )
                 yield env.timeout(config.costs.seconds(config.costs.skip_cycles))
                 release(log)
                 on_step()
@@ -469,9 +528,12 @@ def run_chaos_server(scenario, n_ops: int, config: PipelineConfig) -> RunResult:
             # functional replay happens at completion time below.
             busy = config.costs.validation_dispatch_cycles + log.app_cycles
             busy += config.costs.compare_cycles_per_byte * output_bytes
-            app_core = machine.core(log.core_id)
-            if app_core.numa_node != core.numa_node:
-                busy += config.costs.cross_numa_penalty_cycles
+            if log.core_id >= 0:
+                # Canary probes carry a synthetic app core (-1): no NUMA
+                # placement applies to them.
+                app_core = machine.core(log.core_id)
+                if app_core.numa_node != core.numa_node:
+                    busy += config.costs.cross_numa_penalty_cycles
             if kind is ValidatorFaultKind.SLOWDOWN:
                 busy *= fault.slowdown_factor
             yield env.timeout(config.costs.seconds(busy))
@@ -488,12 +550,31 @@ def run_chaos_server(scenario, n_ops: int, config: PipelineConfig) -> RunResult:
             outcome = runtime.validator.validate(log, core)
             if responder is not None:
                 responder.on_outcome(outcome)
-            sampler.on_validated(log, env.now)
-            latency = env.now - log.enqueue_time
-            metrics.validation_latency.add(latency)
-            runtime.latency.record(log.closure_name, latency)
-            metrics.validated += 1
+            if not is_canary:
+                # Canaries stay out of the sampler's feedback loop, the
+                # latency-driven scaling stats, and the coverage metrics.
+                sampler.on_validated(log, env.now)
+                latency = env.now - log.enqueue_time
+                metrics.validation_latency.add(latency)
+                runtime.latency.record(log.closure_name, latency)
+                metrics.validated += 1
             ledger.validated(log.seq)
+            if obs.enabled:
+                level = (
+                    controller.level.label if controller is not None else "normal"
+                )
+                obs.spans.record(
+                    "dispatch", log.seq, now, now + dispatch_s,
+                    closure=log.closure_name, core=core_id,
+                )
+                obs.spans.record(
+                    "validate", log.seq, now + dispatch_s, env.now,
+                    closure=log.closure_name, core=core_id, level=level,
+                )
+                obs.spans.record(
+                    "verdict", log.seq, env.now, env.now,
+                    closure=log.closure_name, passed=outcome.passed,
+                )
             release(log)
             on_step()
 
@@ -515,12 +596,34 @@ def run_chaos_server(scenario, n_ops: int, config: PipelineConfig) -> RunResult:
             yield env.timeout(ft.check_interval)
             now = env.now
             for dispatch in watchdog.expired(now):
+                if obs.enabled:
+                    # The dead time on the faulted core, from dispatch to
+                    # the watchdog noticing.
+                    obs.spans.record(
+                        "stalled",
+                        dispatch.log.seq,
+                        dispatch.dispatched_at,
+                        now,
+                        closure=dispatch.log.closure_name,
+                        core=dispatch.core_id,
+                        attempt=dispatch.attempt,
+                    )
                 delay = watchdog.plan_redispatch(dispatch, now)
                 if delay is None:
                     # Retry budget exhausted: degrade, don't strand.
                     checksum_fallback(dispatch.log, now)
                 else:
                     redispatch_pending[0] += 1
+                    if obs.enabled:
+                        # Backoff before the re-enqueue; the next queue.wait
+                        # starts where this ends.
+                        obs.spans.record(
+                            "redispatch",
+                            dispatch.log.seq,
+                            now,
+                            now + delay,
+                            closure=dispatch.log.closure_name,
+                        )
                     env.process(redispatch_later(dispatch.log, delay))
             if not alive and (queues.pending or watchdog.in_flight):
                 # Total validation-plane death: settle everything via the
@@ -566,6 +669,42 @@ def run_chaos_server(scenario, n_ops: int, config: PipelineConfig) -> RunResult:
 
         env.process(telemetry_process())
 
+    canary_monitor = None
+    if config.canary is not None:
+        canary_sched = CanaryScheduler(config.canary, seed=config.seed)
+        canary_monitor = LivenessMonitor(config.canary, runtime.report, obs=obs)
+
+        def canary_issuer():
+            # Probes ride the same bounded queues and watchdog dispatch as
+            # organic traffic: whatever strands real logs strands them too.
+            while True:
+                yield env.timeout(config.canary.period)
+                if apps_done[0] or stop[0]:
+                    return
+                runtime._seq += 1
+                log = canary_sched.next_log(runtime._seq, env.now)
+                canary_monitor.issue(log, env.now)
+                ledger.enqueue(log.seq)
+                done_events[log.seq] = env.event()
+                yield from submit(log)
+                if obs.enabled:
+                    obs.spans.record(
+                        "closure.run",
+                        log.seq,
+                        log.start_time,
+                        env.now,
+                        closure=log.closure_name,
+                    )
+
+        def canary_poller():
+            step = config.canary.deadline / 4
+            while not stop[0]:
+                yield env.timeout(step)
+                canary_monitor.poll(env.now)
+
+        env.process(canary_issuer())
+        env.process(canary_poller())
+
     def coordinator():
         yield env.all_of(threads)
         apps_done[0] = True
@@ -595,6 +734,11 @@ def run_chaos_server(scenario, n_ops: int, config: PipelineConfig) -> RunResult:
     env.run(until=env.process(coordinator()))
     metrics.detections = runtime.detections
     result.responses = [responses_by_index.get(i) for i in range(len(ops))]
+    if canary_monitor is not None:
+        # Settle overdue canaries before the final telemetry flush so the
+        # last timeline sample sees every miss.
+        canary_monitor.finalize(env.now)
+        result.canary = canary_monitor.summary()
     if recorder is not None:
         recorder.sample(env.now, force=True)
         result.timeline = recorder

@@ -29,8 +29,14 @@ from repro.closures.log import ClosureLog
 from repro.errors import ConfigurationError
 from repro.machine.cpu import Machine
 from repro.memory.version import approx_size
+from repro.obs.canary import CanaryScheduler, LivenessMonitor, is_canary_log
 from repro.obs.slo import SloMonitor, default_objectives
-from repro.obs.timeseries import TimeSeriesRecorder, install_default_probes
+from repro.obs.timeseries import (
+    TimeSeriesRecorder,
+    install_canary_probes,
+    install_default_probes,
+    install_span_probes,
+)
 from repro.response.coordinator import ResponseCoordinator
 from repro.runtime.orthrus import OrthrusRuntime
 from repro.runtime.sampling import AdaptiveSampler, SamplerConfig, sampler_decision
@@ -101,6 +107,11 @@ class PipelineConfig:
     #: a ``repro.faultinject.ValidatorChaosConfig``; arms chaos faults on
     #: validation cores (implies the fault-tolerant driver)
     validator_faults: Any = None
+    #: a ``repro.obs.CanaryConfig``; when set the Orthrus drivers inject
+    #: known-corrupt canary closures on its period and hold them to its
+    #: detection deadline — the liveness summary lands on
+    #: ``RunResult.canary`` and misses on the DetectionReport
+    canary: Any = None
     seed: int = 1
     rbv_batch_size: int | None = None
     rbv_state_check_every: int = 64
@@ -142,6 +153,9 @@ class RunResult:
     #: ``repro.harness.chaos.FaultToleranceReport`` when the run used the
     #: fault-tolerant validation plane; None otherwise
     ft: Any = None
+    #: canary liveness summary dict (``LivenessMonitor.summary()``) when
+    #: the run was configured with ``PipelineConfig.canary``
+    canary: Any = None
 
     @property
     def detections(self) -> int:
@@ -185,6 +199,7 @@ def validator_process(
     """
     obs = runtime.obs
     decide = getattr(sampler, "decide", None)
+    dispatch_s = config.costs.seconds(config.costs.validation_dispatch_cycles)
     while True:
         log = yield log_store.get()
         if log is _SENTINEL:
@@ -197,11 +212,50 @@ def validator_process(
                     "orthrus_deadline_drops_total",
                     help="logs dropped past the timely-detection window",
                 ).inc()
+                obs.spans.record(
+                    "queue.wait", log.seq, log.enqueue_time, now,
+                    closure=log.closure_name,
+                )
+                obs.spans.record(
+                    "drop", log.seq, now, now,
+                    closure=log.closure_name, reason="deadline",
+                )
             runtime.validator.skip(log)
             metrics.skipped += 1
             event = done_events.pop(log.seq, None)
             if event is not None:
                 event.succeed()
+            continue
+        if is_canary_log(log):
+            # Canary probes bypass the sampler — a skipped canary proves
+            # nothing — and stay out of the run's coverage metrics.  Their
+            # app core is synthetic (-1), so no NUMA placement applies.
+            outcome = runtime.validator.validate(log, core)
+            busy = config.costs.validation_dispatch_cycles + outcome.val_cycles
+            busy += config.costs.compare_cycles_per_byte * log.approx_bytes()
+            yield env.timeout(config.costs.seconds(busy))
+            log.validated_time = env.now
+            if obs.enabled:
+                obs.spans.record(
+                    "queue.wait", log.seq, log.enqueue_time, now,
+                    closure=log.closure_name,
+                )
+                obs.spans.record(
+                    "dispatch", log.seq, now, now + dispatch_s,
+                    closure=log.closure_name, core=core.core_id,
+                )
+                obs.spans.record(
+                    "validate", log.seq, now + dispatch_s, env.now,
+                    closure=log.closure_name, core=core.core_id,
+                )
+                obs.spans.record(
+                    "verdict", log.seq, env.now, env.now,
+                    closure=log.closure_name, passed=outcome.passed,
+                )
+            event = done_events.pop(log.seq, None)
+            if event is not None:
+                event.succeed()
+            on_step()
             continue
         if config.memory_budget_bytes is not None:
             sampler.observe_memory(memory_in_use(), config.memory_budget_bytes)
@@ -235,6 +289,10 @@ def validator_process(
                 reason=decision.reason,
                 rate=getattr(sampler, "rate", 1.0),
             )
+            obs.spans.record(
+                "queue.wait", log.seq, log.enqueue_time, now,
+                closure=log.closure_name,
+            )
         if decision.validate:
             # Comparison cost covers the actual output payloads (bitwise
             # memcmp over the created versions) — significant for Phoenix's
@@ -262,8 +320,29 @@ def validator_process(
             metrics.validation_latency.add(latency)
             runtime.latency.record(log.closure_name, latency)
             metrics.validated += 1
+            if obs.enabled:
+                # The causal chain tiles: dispatch covers the fixed
+                # dispatch cost, validate the re-execution + comparison
+                # (+ any cross-NUMA penalty) up to the verdict instant.
+                obs.spans.record(
+                    "dispatch", log.seq, now, now + dispatch_s,
+                    closure=log.closure_name, core=core.core_id,
+                )
+                obs.spans.record(
+                    "validate", log.seq, now + dispatch_s, env.now,
+                    closure=log.closure_name, core=core.core_id,
+                )
+                obs.spans.record(
+                    "verdict", log.seq, env.now, env.now,
+                    closure=log.closure_name, passed=outcome.passed,
+                )
         else:
             runtime.validator.skip(log)
+            if obs.enabled:
+                obs.spans.record(
+                    "skip", log.seq, now, now,
+                    closure=log.closure_name, reason=decision.reason,
+                )
             yield env.timeout(config.costs.seconds(config.costs.skip_cycles))
             metrics.skipped += 1
         event = done_events.pop(log.seq, None)
@@ -411,6 +490,10 @@ def run_orthrus_server(scenario, n_ops: int, config: PipelineConfig) -> RunResul
     if config.timeseries is not None and obs.enabled:
         recorder = TimeSeriesRecorder(obs.registry, config.timeseries)
         install_default_probes(recorder)
+        if obs.spans.enabled:
+            install_span_probes(recorder)
+        if config.canary is not None:
+            install_canary_probes(recorder)
         slo_monitor = SloMonitor(
             recorder,
             objectives=(
@@ -464,6 +547,17 @@ def run_orthrus_server(scenario, n_ops: int, config: PipelineConfig) -> RunResul
                     hold.append(event)
                 log_store.put(log)
                 if obs.enabled:
+                    # Driver-side span: closure execution plus the control
+                    # path up to the simulated enqueue, so queue.wait tiles
+                    # against it exactly.
+                    obs.spans.record(
+                        "closure.run",
+                        log.seq,
+                        log.start_time,
+                        env.now,
+                        closure=log.closure_name,
+                        core=thread_id,
+                    )
                     obs.registry.counter(
                         "orthrus_queue_pushes_total", {"queue": "store"},
                         help="closure logs enqueued for validation",
@@ -549,6 +643,46 @@ def run_orthrus_server(scenario, n_ops: int, config: PipelineConfig) -> RunResul
 
         env.process(telemetry_process())
 
+    canary_monitor = None
+    if config.canary is not None:
+        canary_sched = CanaryScheduler(config.canary, seed=config.seed)
+        canary_monitor = LivenessMonitor(config.canary, runtime.report, obs=obs)
+
+        def canary_issuer():
+            # Mint known-corrupt probes through the same store the organic
+            # traffic uses; liveness of the whole validation plane — not
+            # just of one component — is what the canary measures.
+            while True:
+                yield env.timeout(config.canary.period)
+                if apps_done[0]:
+                    return
+                runtime._seq += 1
+                log = canary_sched.next_log(runtime._seq, env.now)
+                canary_monitor.issue(log, env.now)
+                log.enqueue_time = env.now
+                pending_bytes[0] += log.approx_bytes()
+                done_events[log.seq] = env.event()
+                if obs.enabled:
+                    obs.spans.record(
+                        "closure.run",
+                        log.seq,
+                        log.start_time,
+                        env.now,
+                        closure=log.closure_name,
+                    )
+                log_store.put(log)
+
+        def canary_poller():
+            step = config.canary.deadline / 4
+            while True:
+                yield env.timeout(step)
+                canary_monitor.poll(env.now)
+                if apps_done[0] and canary_monitor.outstanding == 0:
+                    return
+
+        env.process(canary_issuer())
+        env.process(canary_poller())
+
     def coordinator():
         yield env.all_of(threads)
         apps_done[0] = True
@@ -561,6 +695,11 @@ def run_orthrus_server(scenario, n_ops: int, config: PipelineConfig) -> RunResul
     env.run(until=env.process(coordinator()))
     metrics.detections = runtime.detections
     result.responses = [responses_by_index.get(i) for i in range(len(ops))]
+    if canary_monitor is not None:
+        # Settle overdue canaries before the final telemetry flush so the
+        # last timeline sample sees every miss.
+        canary_monitor.finalize(env.now)
+        result.canary = canary_monitor.summary()
     if recorder is not None:
         # Final flush: one forced sample so the tail of the run (the drain
         # phase) is in the series, then freeze the SLO verdicts.

@@ -6,6 +6,12 @@ the shared :data:`NULL_OBS` no-op.  See DESIGN.md §"Observability" for the
 full metric/trace taxonomy.
 """
 
+from repro.obs.canary import (
+    CanaryConfig,
+    CanaryScheduler,
+    LivenessMonitor,
+    is_canary_log,
+)
 from repro.obs.exporters import (
     console_summary,
     load_metrics_json,
@@ -13,6 +19,14 @@ from repro.obs.exporters import (
     to_prometheus,
     write_metrics_json,
     write_trace_jsonl,
+)
+from repro.obs.latency import (
+    LatencyAttribution,
+    StageStats,
+    attribute,
+    format_seconds,
+    render_waterfall,
+    stage_stats_from_registry,
 )
 from repro.obs.metrics import (
     Counter,
@@ -30,11 +44,21 @@ from repro.obs.slo import (
     SloReport,
     default_objectives,
 )
+from repro.obs.spans import (
+    NULL_SPANS,
+    NullSpanTracer,
+    Span,
+    SpanTracer,
+    load_spans_chrome,
+    write_spans_chrome,
+)
 from repro.obs.timeseries import (
     TimeSeries,
     TimeSeriesConfig,
     TimeSeriesRecorder,
+    install_canary_probes,
     install_default_probes,
+    install_span_probes,
     load_timeline,
     render_sparkline,
     write_timeline_json,
@@ -42,34 +66,52 @@ from repro.obs.timeseries import (
 from repro.obs.trace import NULL_TRACER, NullTracer, TraceEvent, Tracer
 
 __all__ = [
+    "CanaryConfig",
+    "CanaryScheduler",
     "Counter",
     "EwmaAnomalyDetector",
     "Gauge",
+    "LatencyAttribution",
+    "LivenessMonitor",
     "MetricFamily",
     "MetricsRegistry",
     "NULL_OBS",
+    "NULL_SPANS",
     "NULL_TRACER",
+    "NullSpanTracer",
     "NullTracer",
     "Observability",
     "SloMonitor",
     "SloObjective",
     "SloReport",
+    "Span",
+    "SpanTracer",
+    "StageStats",
     "StreamingHistogram",
     "TimeSeries",
     "TimeSeriesConfig",
     "TimeSeriesRecorder",
     "TraceEvent",
     "Tracer",
+    "attribute",
     "console_summary",
     "default_latency_buckets",
     "default_objectives",
+    "format_seconds",
+    "install_canary_probes",
     "install_default_probes",
+    "install_span_probes",
+    "is_canary_log",
     "load_metrics_json",
+    "load_spans_chrome",
     "load_timeline",
     "read_trace_jsonl",
     "render_sparkline",
+    "render_waterfall",
+    "stage_stats_from_registry",
     "to_prometheus",
     "write_metrics_json",
+    "write_spans_chrome",
     "write_timeline_json",
     "write_trace_jsonl",
 ]

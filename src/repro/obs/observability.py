@@ -1,17 +1,18 @@
 """The per-run observability handle threaded through the pipeline.
 
-One :class:`Observability` object bundles a :class:`MetricsRegistry` and a
-:class:`Tracer`; the runtime, validator, queues, samplers and reclamation
-manager all hold a reference and guard every instrumentation site with a
-single ``if obs.enabled:`` check.  :data:`NULL_OBS` is the shared disabled
-instance — the default everywhere — so an uninstrumented run pays one
-attribute read per site and allocates nothing.
+One :class:`Observability` object bundles a :class:`MetricsRegistry`, a
+:class:`Tracer` and a :class:`~repro.obs.spans.SpanTracer`; the runtime,
+validator, queues, samplers and reclamation manager all hold a reference
+and guard every instrumentation site with a single ``if obs.enabled:``
+check.  :data:`NULL_OBS` is the shared disabled instance — the default
+everywhere — so an uninstrumented run pays one attribute read per site
+and allocates nothing.
 
 Usage::
 
     from repro.obs import Observability
 
-    obs = Observability()                # metrics + trace
+    obs = Observability()                # metrics + trace + spans
     runtime = OrthrusRuntime(obs=obs, ...)
     ... run the workload ...
     print(console_summary(obs.registry.snapshot()))
@@ -20,18 +21,28 @@ Usage::
 from __future__ import annotations
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import NULL_SPANS, SpanTracer
 from repro.obs.trace import NULL_TRACER, Tracer
 
 __all__ = ["Observability", "NULL_OBS"]
 
 
 class Observability:
-    """Metrics registry + tracer for one run."""
+    """Metrics registry + tracer + span tracer for one run."""
 
-    def __init__(self, trace: bool = True, max_trace_events: int = 1_000_000):
+    def __init__(
+        self,
+        trace: bool = True,
+        max_trace_events: int = 1_000_000,
+        spans: bool = True,
+        max_spans: int = 1_000_000,
+    ):
         self.enabled = True
         self.registry = MetricsRegistry()
         self.tracer = Tracer(max_trace_events) if trace else NULL_TRACER
+        self.spans = (
+            SpanTracer(max_spans, registry=self.registry) if spans else NULL_SPANS
+        )
 
     def snapshot(self) -> dict:
         return self.registry.snapshot()
@@ -50,6 +61,7 @@ class _NullObservability:
     def __init__(self):
         self.registry = MetricsRegistry()
         self.tracer = NULL_TRACER
+        self.spans = NULL_SPANS
 
     def snapshot(self) -> dict:
         return self.registry.snapshot()

@@ -48,6 +48,8 @@ __all__ = [
     "DeltaRatioProbe",
     "HistogramWindowProbe",
     "install_default_probes",
+    "install_span_probes",
+    "install_canary_probes",
     "write_timeline_json",
     "load_timeline",
     "render_sparkline",
@@ -362,15 +364,22 @@ class HistogramWindowProbe:
     """A percentile/mean of only the observations since the previous tick.
 
     Diffs the cumulative bucket counts (summed across the family's label
-    sets) and interpolates inside the owning bucket — the streaming
+    sets, optionally restricted to children whose labels are a superset of
+    ``match``) and interpolates inside the owning bucket — the streaming
     histogram's estimator applied to the interval's delta.
     """
 
-    def __init__(self, name: str, stat: str = "p95"):
+    def __init__(
+        self,
+        name: str,
+        stat: str = "p95",
+        match: dict[str, str] | None = None,
+    ):
         if stat not in ("mean", "p50", "p95", "p99", "max"):
             raise ValueError(f"unsupported histogram window stat {stat!r}")
         self.name = name
         self.stat = stat
+        self.match = match
         self._prev_counts: list[int] | None = None
         self._prev_sum = 0.0
 
@@ -381,7 +390,11 @@ class HistogramWindowProbe:
         counts: list[int] | None = None
         total_sum = 0.0
         bounds: list[float] = []
-        for _labels, child in registry.series(self.name):
+        for labels, child in registry.series(self.name):
+            if self.match and any(
+                labels.get(k) != v for k, v in self.match.items()
+            ):
+                continue
             bounds = child.bounds
             if counts is None:
                 counts = [0] * len(child.counts)
@@ -580,6 +593,39 @@ def install_default_probes(recorder: TimeSeriesRecorder) -> None:
     )
 
 
+def install_span_probes(recorder: TimeSeriesRecorder) -> None:
+    """Per-stage latency series from the causal span layer (DESIGN.md §11).
+
+    Reads the ``orthrus_span_stage_seconds`` histogram family the
+    :class:`~repro.obs.spans.SpanTracer` feeds, filtered per stage — the
+    timeline view of where detection latency goes over the run.
+    """
+    for stage in ("queue.wait", "dispatch", "validate"):
+        recorder.add_series(
+            f"span_{stage.replace('.', '_')}_p95",
+            HistogramWindowProbe(
+                "orthrus_span_stage_seconds", "p95", match={"stage": stage}
+            ),
+            unit="s",
+        )
+
+
+def install_canary_probes(recorder: TimeSeriesRecorder) -> None:
+    """Canary liveness series: cumulative missed canaries (any non-zero
+    point is an SLO incident — wire ``canary_missed last <= 0`` into the
+    burn windows) and the issue rate for context."""
+    recorder.add_series(
+        "canary_missed",
+        GaugeProbe("orthrus_canary_missed_total"),
+        unit="canaries",
+    )
+    recorder.add_series(
+        "canary_issue_rate",
+        CounterRateProbe("orthrus_canary_issued_total"),
+        unit="1/s",
+    )
+
+
 # ----------------------------------------------------------------------
 # artifact I/O + terminal rendering
 # ----------------------------------------------------------------------
@@ -619,9 +665,11 @@ def render_sparkline(values: list[float], width: int = 60) -> str:
     high = max(values)
     span = high - low
     if span <= 0:
-        return _SPARK_BLOCKS[0] * len(values)
+        # Constant series: still honor the fixed width — glyphs for the
+        # samples that exist, space-padded to the promised column count.
+        return (_SPARK_BLOCKS[0] * len(values)).ljust(width)
     out = []
     for value in values:
         index = int((value - low) / span * (len(_SPARK_BLOCKS) - 1))
         out.append(_SPARK_BLOCKS[index])
-    return "".join(out)
+    return "".join(out).ljust(width)

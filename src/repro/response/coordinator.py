@@ -22,7 +22,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.closures.log import ClosureLog
-from repro.detection import DetectionEvent
+from repro.detection import DetectionEvent, is_canary_closure
 from repro.errors import ConfigurationError
 from repro.response.arbiter import Arbiter
 from repro.response.quarantine import QuarantineConfig, QuarantineManager
@@ -103,6 +103,11 @@ class ResponseCoordinator:
 
     def on_detection(self, event: DetectionEvent) -> None:
         """Every detection event, before the runtime's abort policy runs."""
+        if is_canary_closure(event.closure):
+            # Canary mismatches are manufactured: the probe *proving* the
+            # validation plane is alive.  No evidence hold, no arbitration,
+            # no core gets blamed for doing its job.
+            return
         self.events.append(event)
         now = self.runtime.heap.now()
         self.report.add(event.time, "detection", f"{event.kind} {event.detail}")
@@ -113,6 +118,12 @@ class ResponseCoordinator:
             self.runtime.reclaimer.pause()
             self._paused_reclaim = True
             self.report.add(now, "reclamation-paused", "evidence hold begins")
+        obs = self.runtime.obs
+        if obs.enabled:
+            obs.spans.record(
+                "arbitrate", event.seq, event.time, event.time,
+                closure=event.closure, kind=event.kind,
+            )
         if event.kind == "mismatch" and self.config.arbitrate:
             self._arbitrate(event, now)
         elif event.kind == "checksum" and event.app_core >= 0:
@@ -152,6 +163,11 @@ class ResponseCoordinator:
         newly = self.quarantine.record_fault(core_id, when, seq=seq)
         health = self.quarantine.health(core_id)
         if newly:
+            obs = self.runtime.obs
+            if obs.enabled:
+                obs.spans.record(
+                    "quarantine", seq, when, when, core=core_id,
+                )
             self.report.add(
                 when,
                 "quarantine",
@@ -305,6 +321,17 @@ class ResponseCoordinator:
                 f"{len(result.blast.affected)} affected closures, "
                 f"{len(result.blast.tainted_versions)} tainted versions "
                 f"since seq={since_seq}",
+            )
+        obs = self.runtime.obs
+        if obs.enabled:
+            now = self.runtime.heap.now()
+            obs.spans.record(
+                "repair",
+                since_seq,
+                now,
+                now,
+                repaired=len(result.versions_repaired),
+                unrecoverable=len(result.versions_unrecoverable),
             )
         report.versions_corrupted = len(result.versions_corrupted)
         report.versions_repaired = len(result.versions_repaired)

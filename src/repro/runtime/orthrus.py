@@ -33,7 +33,7 @@ from repro.clock import Clock, LogicalClock
 from repro.closures.annotation import ClosureMeta
 from repro.closures.context import ExecutionContext
 from repro.closures.log import ClosureLog
-from repro.detection import DetectionEvent, DetectionReport
+from repro.detection import DetectionEvent, DetectionReport, is_canary_closure
 from repro.errors import ChecksumMismatch, ConfigurationError, ValidationMismatch
 from repro.machine.core import Core
 from repro.machine.cpu import Machine
@@ -286,6 +286,18 @@ class OrthrusRuntime:
                 end_time=log.end_time,
                 cycles=log.app_cycles,
             )
+            if self.mode != "external":
+                # External drivers (the DES harness) record the span
+                # themselves — their closure.run extends to the simulated
+                # enqueue point, which this runtime cannot see.
+                obs.spans.record(
+                    "closure.run",
+                    log.seq,
+                    start,
+                    log.end_time,
+                    closure=meta.name,
+                    core=core.core_id,
+                )
         if not self._hold_versions:
             self.reclaimer.closure_finished(log.seq)
         if self._on_log is not None:
@@ -298,6 +310,7 @@ class OrthrusRuntime:
             self.sampler.on_validated(log, self.clock.now())
             self.latency.record(log.closure_name, outcome.latency)
             self.outcomes.append(outcome)
+            self._record_verdict_spans(log, outcome, validate_from=log.end_time)
             if self.responder is not None:
                 self.responder.on_outcome(outcome)
         elif self.mode == "queued":
@@ -311,6 +324,9 @@ class OrthrusRuntime:
                 self.sampler.on_validated(log, self.clock.now())
                 self.latency.record(log.closure_name, outcome.latency)
                 self.outcomes.append(outcome)
+                self._record_verdict_spans(
+                    log, outcome, validate_from=log.end_time
+                )
                 if self.responder is not None:
                     self.responder.on_outcome(outcome)
             elif pushed.dropped is not None:
@@ -323,6 +339,31 @@ class OrthrusRuntime:
         # harness, or an RBV baseline that validates whole requests) owns
         # the log via the _on_log hook; nothing is queued here.
         return retval
+
+    def _record_verdict_spans(
+        self, log: ClosureLog, outcome: ValidationOutcome, validate_from: float
+    ) -> None:
+        """Close a log's causal chain: a ``validate`` interval ending at
+        the verdict plus the zero-length ``verdict`` marker."""
+        obs = self.obs
+        if not obs.enabled:
+            return
+        now = self.clock.now()
+        obs.spans.record(
+            "validate",
+            log.seq,
+            validate_from,
+            now,
+            closure=log.closure_name,
+        )
+        obs.spans.record(
+            "verdict",
+            log.seq,
+            now,
+            now,
+            closure=log.closure_name,
+            passed=outcome.passed,
+        )
 
     # ------------------------------------------------------------------
     # validation pumping (queued mode)
@@ -367,8 +408,20 @@ class OrthrusRuntime:
                     reason=decision.reason,
                     rate=getattr(self.sampler, "rate", 1.0),
                 )
+                obs.spans.record(
+                    "queue.wait",
+                    log.seq,
+                    log.enqueue_time,
+                    now,
+                    closure=log.closure_name,
+                )
             if not decision.validate:
                 self.validator.skip(log)
+                if obs.enabled:
+                    obs.spans.record(
+                        "skip", log.seq, now, now,
+                        closure=log.closure_name, reason=decision.reason,
+                    )
                 continue
             app_core_id = log.core_id
             val_core = self.scheduler.validation_core_for(app_core_id)
@@ -376,6 +429,7 @@ class OrthrusRuntime:
             self.sampler.on_validated(log, self.clock.now())
             self.latency.record(log.closure_name, outcome.latency)
             self.outcomes.append(outcome)
+            self._record_verdict_spans(log, outcome, validate_from=now)
             if self.responder is not None:
                 self.responder.on_outcome(outcome)
             if self.timeseries is not None:
@@ -429,7 +483,9 @@ class OrthrusRuntime:
         # complete even when the strict deployment stops the application.
         if self.responder is not None:
             self.responder.on_detection(event)
-        if self.detection_policy == "abort":
+        # Canary probes are *supposed* to mismatch; they prove liveness,
+        # they do not stop the application.
+        if self.detection_policy == "abort" and not is_canary_closure(event.closure):
             if event.kind == "checksum":
                 raise ChecksumMismatch(event.detail, closure=event.closure)
             raise ValidationMismatch(event.detail, closure=event.closure)

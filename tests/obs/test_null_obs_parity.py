@@ -55,3 +55,26 @@ class TestParity:
         # must not half-attach one.
         result = run(timeseries=TimeSeriesConfig())
         assert result.timeline is None and result.slo is None
+
+
+class TestSpanParity:
+    def test_spans_on_and_off_digest_identical(self):
+        # The span layer is pure recording: turning it off inside an
+        # otherwise-instrumented run must not move a single verdict.
+        spans_on = run(obs=Observability(spans=True))
+        spans_off = run(obs=Observability(spans=False))
+        assert spans_on.digest == spans_off.digest
+        assert spans_on.metrics.validated == spans_off.metrics.validated
+        assert spans_on.detections == spans_off.detections
+
+    def test_spans_off_records_nothing(self):
+        obs = Observability(spans=False)
+        run(obs=obs)
+        assert not obs.spans.enabled
+        assert list(obs.spans) == []
+
+    def test_null_obs_span_tracer_is_shared_null(self):
+        from repro.obs.spans import NULL_SPANS
+
+        assert NULL_OBS.spans is NULL_SPANS
+        assert list(NULL_SPANS) == []

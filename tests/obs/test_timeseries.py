@@ -203,3 +203,13 @@ class TestSparkline:
         values = [0.0] * 100
         values[37] = 9.0
         assert "█" in render_sparkline(values, width=10)
+
+    def test_constant_short_series_still_fixed_width(self):
+        # Regression: a constant series shorter than the width used to
+        # return len(values) glyphs instead of padding to the fixed width,
+        # breaking column alignment in the timeline renderer.
+        assert len(render_sparkline([5.0] * 3, width=20)) == 20
+        assert len(render_sparkline([0.0], width=12)) == 12
+
+    def test_variable_short_series_still_fixed_width(self):
+        assert len(render_sparkline([1.0, 2.0, 3.0], width=20)) == 20

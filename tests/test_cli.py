@@ -323,3 +323,95 @@ class TestBenchCompare:
         with pytest.raises(SystemExit, match="unknown benchmark"):
             main(["bench-compare", "--bench", "fig99",
                   "--out-dir", str(tmp_path)])
+
+
+class TestSpanAndCanaryFlags:
+    def test_spans_out_writes_chrome_trace(self, tmp_path, capsys):
+        spans = tmp_path / "spans.json"
+        assert main([
+            "latency", "--app", "memcached", "--ops", "200",
+            "--spans-out", str(spans),
+        ]) == 0
+        assert "causal spans" in capsys.readouterr().out
+        payload = json.loads(spans.read_text())
+        assert "traceEvents" in payload
+
+    def test_latency_attrib_decomposes_and_reconciles(self, tmp_path, capsys):
+        spans = tmp_path / "spans.json"
+        main([
+            "latency", "--app", "memcached", "--ops", "200",
+            "--spans-out", str(spans),
+        ])
+        capsys.readouterr()
+        assert main(["latency-attrib", str(spans)]) == 0
+        out = capsys.readouterr().out
+        # at least four causal stages in the waterfall
+        for stage in ("closure.run", "queue.wait", "dispatch", "validate"):
+            assert stage in out
+        assert "(reconciled)" in out
+
+    def test_latency_attrib_accepts_metrics_snapshot(self, tmp_path, capsys):
+        snap = tmp_path / "m.json"
+        main([
+            "latency", "--app", "memcached", "--ops", "200",
+            "--metrics-out", str(snap),
+        ])
+        capsys.readouterr()
+        assert main(["latency-attrib", str(snap)]) == 0
+        out = capsys.readouterr().out
+        assert "queue.wait" in out
+
+    def test_latency_attrib_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            main(["latency-attrib", str(bad)])
+        other = tmp_path / "other.json"
+        other.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(SystemExit, match="traceEvents"):
+            main(["latency-attrib", str(other)])
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["latency-attrib", str(tmp_path / "missing.json")])
+
+    def test_canary_flags_healthy_run(self, capsys):
+        assert main([
+            "latency", "--app", "memcached", "--ops", "200",
+            "--canary-period", "50e-6",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "canary liveness    : ok" in out
+        assert "organic detections : 0" in out
+
+    def test_obs_summary_exits_3_on_canary_miss(self, tmp_path, capsys):
+        snap = tmp_path / "m.json"
+        assert main([
+            "latency", "--app", "memcached", "--ops", "400",
+            "--canary-period", "50e-6", "--validator-faults", "hang=2",
+            "--queue-capacity", "256", "--metrics-out", str(snap),
+        ]) == 0
+        assert "ALARM" in capsys.readouterr().out
+        assert main(["obs-summary", str(snap)]) == 3
+        out = capsys.readouterr().out
+        assert "canary liveness: ALARM" in out
+        assert "per-stage latency waterfall" in out
+
+    def test_timeline_exits_3_on_canary_miss(self, tmp_path, capsys):
+        artifact = tmp_path / "t.json"
+        main([
+            "latency", "--app", "memcached", "--ops", "400",
+            "--canary-period", "50e-6", "--validator-faults", "hang=2",
+            "--queue-capacity", "256", "--timeline-out", str(artifact),
+        ])
+        capsys.readouterr()
+        assert main(["timeline", str(artifact)]) == 3
+        assert "canary liveness: ALARM" in capsys.readouterr().out
+
+    def test_obs_summary_healthy_snapshot_exits_zero(self, tmp_path, capsys):
+        snap = tmp_path / "m.json"
+        main([
+            "latency", "--app", "memcached", "--ops", "200",
+            "--canary-period", "50e-6", "--metrics-out", str(snap),
+        ])
+        capsys.readouterr()
+        assert main(["obs-summary", str(snap)]) == 0
+        assert "canary liveness: ok" in capsys.readouterr().out
