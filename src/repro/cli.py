@@ -48,6 +48,14 @@ reconciliation.  ``--canary-period`` on perf/latency injects known-corrupt
 canary closures and reports validation-plane liveness; ``obs-summary`` and
 ``timeline`` exit with status 3 when a loaded run recorded a missed
 canary.
+
+``fleet`` simulates a sharded fleet (hundreds of hosts, millions of
+users) with per-shard validator pools and degradation ladders, fanned out
+across OS processes; the merged run digest is byte-identical regardless
+of ``--workers``.  ``--json`` saves the orthrus-fleet/1 rollup,
+``--metrics-out`` / ``--timeline-out`` save the merged registry/timeline
+in the standard formats, and a fleet with any shard ending in SAFE_HOLD
+exits with status 2.
 """
 
 from __future__ import annotations
@@ -60,6 +68,7 @@ import sys
 
 from repro.errors import ConfigurationError
 from repro.faultinject.campaign import FaultInjectionCampaign
+from repro.fleet import FleetConfig, FleetConfigError, run_fleet
 from repro.faultinject.config import InjectionConfig
 from repro.faultinject.validator_faults import ValidatorChaosConfig
 from repro.harness.benchtrack import (
@@ -157,8 +166,8 @@ def cmd_list(_args) -> int:
     for name, (_, _, _, _, size) in _APPS.items():
         print(f"  {name:<10} (default workload size {size})")
     print(
-        "\nsubcommands: perf, latency, coverage, respond, obs-summary, "
-        "timeline, latency-attrib, bench-compare"
+        "\nsubcommands: perf, latency, coverage, respond, fleet, "
+        "obs-summary, timeline, latency-attrib, bench-compare"
     )
     print("tracked benchmarks (bench-compare): " + ", ".join(sorted(BENCHES)))
     return 0
@@ -705,6 +714,75 @@ def _canary_status_from_registry(registry) -> int:
     return 3 if missed else 0
 
 
+def cmd_fleet(args) -> int:
+    quarantined = []
+    for spec in args.quarantine or ():
+        try:
+            host, core = spec.split(":", 1)
+            quarantined.append((int(host), int(core)))
+        except ValueError:
+            raise SystemExit(
+                f"bad --quarantine {spec!r}; expected HOST:CORE (two ints)"
+            )
+    config = FleetConfig(
+        hosts=args.hosts,
+        shards=args.shards,
+        cores_per_host=args.cores_per_host,
+        validators_per_shard=args.validators,
+        app_cores_per_shard=args.app_cores,
+        vnodes=args.vnodes,
+        keys=args.keys,
+        users=args.users,
+        ops_per_user=args.ops_per_user,
+        scale=args.scale,
+        epochs=args.epochs,
+        load_factor=args.load_factor,
+        mercurial_rate=args.mercurial_rate,
+        corruption_rate=args.corruption_rate,
+        quarantined=tuple(quarantined),
+        watchdog_deadline=args.watchdog_deadline,
+        slo_window=args.slo_window,
+        ground_shards=args.ground_shards,
+        seed=args.seed,
+    )
+    try:
+        report = run_fleet(config, workers=args.workers)
+    except FleetConfigError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(report.render())
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"fleet rollup       : {args.json}")
+    if args.events_out is not None:
+        with open(args.events_out, "w", encoding="utf-8") as fh:
+            for event in report.events:
+                fh.write(json.dumps(event, sort_keys=True))
+                fh.write("\n")
+        print(f"fleet events       : {len(report.events)} -> {args.events_out}")
+    if args.metrics_out is not None:
+        if args.metrics_out.endswith(".prom"):
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(to_prometheus(report.registry))
+        else:
+            write_metrics_json(report.registry, args.metrics_out)
+        print(f"metrics snapshot   : {args.metrics_out}")
+    if args.timeline_out is not None:
+        write_timeline_json(report.timeline, args.timeline_out)
+        print(f"timeline artifact  : {args.timeline_out}")
+    if report.safe_hold:
+        held = report.rollup["degradation"]["safe_hold_shards"]
+        print(
+            f"fleet SAFE_HOLD    : {len(held)} shard(s) cannot vouch for "
+            f"results ({', '.join(held[:8])}{'…' if len(held) > 8 else ''})",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
 def cmd_obs_summary(args) -> int:
     if args.path.endswith(".jsonl"):
         return _summarize_trace_jsonl(args.path)
@@ -1041,6 +1119,93 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fault_tolerance_flags(respond)
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="fleet-scale sharded simulation with deterministic "
+        "cross-shard merge",
+    )
+    fleet.add_argument("--hosts", type=int, default=8)
+    fleet.add_argument("--shards", type=int, default=16)
+    fleet.add_argument(
+        "--cores-per-host", type=int, default=32, metavar="N",
+        help="cores per host (default: %(default)s)",
+    )
+    fleet.add_argument(
+        "--validators", type=int, default=4, metavar="N",
+        help="validator cores per shard (default: %(default)s)",
+    )
+    fleet.add_argument(
+        "--app-cores", type=int, default=4, metavar="N",
+        help="application cores per shard (default: %(default)s)",
+    )
+    fleet.add_argument(
+        "--vnodes", type=int, default=256, metavar="N",
+        help="ring partitions per shard (default: %(default)s)",
+    )
+    fleet.add_argument("--keys", type=int, default=200_000,
+                       help="versioned keys placed on the ring")
+    fleet.add_argument("--users", type=int, default=20_000,
+                       help="simulated users")
+    fleet.add_argument("--ops-per-user", type=float, default=10.0)
+    fleet.add_argument(
+        "--scale", type=float, default=1.0,
+        help="multiplier on keys/users (CI smoke passes 0.1)",
+    )
+    fleet.add_argument("--epochs", type=int, default=96,
+                       help="validation epochs to simulate")
+    fleet.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="OS processes to fan host groups across (digest is "
+        "byte-identical for any value)",
+    )
+    fleet.add_argument(
+        "--load-factor", type=float, default=1.0,
+        help="demand multiplier vs provisioned validator capacity "
+        "(overload knob; high values walk shards to SAFE_HOLD)",
+    )
+    fleet.add_argument(
+        "--mercurial-rate", type=float, default=1e-3, metavar="P",
+        help="probability any core is silently defective",
+    )
+    fleet.add_argument(
+        "--corruption-rate", type=float, default=1e-3, metavar="P",
+        help="per-op corruption probability on a defective core",
+    )
+    fleet.add_argument(
+        "--quarantine", action="append", default=None, metavar="HOST:CORE",
+        help="pre-quarantine a core (repeatable; topology checks reject "
+        "a shard whose whole validator pool is quarantined)",
+    )
+    fleet.add_argument(
+        "--watchdog-deadline", type=float, default=500e-6, metavar="SIM_S",
+    )
+    fleet.add_argument(
+        "--slo-window", type=float, default=2e-3, metavar="SIM_S",
+        help="SLO window the watchdog deadline must fit inside",
+    )
+    fleet.add_argument(
+        "--ground-shards", type=int, default=4, metavar="N",
+        help="shards that also run the real DES memcached/lsmtree server",
+    )
+    fleet.add_argument("--seed", type=int, default=1)
+    fleet.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="save the orthrus-fleet/1 rollup (digest, coverage, census)",
+    )
+    fleet.add_argument(
+        "--events-out", default=None, metavar="PATH",
+        help="save the merged, totally-ordered event stream as JSON lines",
+    )
+    fleet.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="save the merged fleet registry (orthrus-metrics/1; "
+        "Prometheus text when PATH ends in .prom)",
+    )
+    fleet.add_argument(
+        "--timeline-out", default=None, metavar="PATH",
+        help="save the merged fleet timeline (orthrus-timeseries/1)",
+    )
+
     obs_summary = sub.add_parser(
         "obs-summary",
         help="render a saved metrics snapshot (or a .jsonl trace in "
@@ -1137,6 +1302,7 @@ def main(argv=None) -> int:
         "latency": cmd_latency,
         "coverage": cmd_coverage,
         "respond": cmd_respond,
+        "fleet": cmd_fleet,
         "obs-summary": cmd_obs_summary,
         "timeline": cmd_timeline,
         "latency-attrib": cmd_latency_attrib,

@@ -1,0 +1,58 @@
+"""Fleet-scale sharded simulation (DESIGN.md §12).
+
+Orthrus is a fleet-wide defense: mercurial cores are a population
+phenomenon (Dixit et al.), findable only with fleet-level coverage
+accounting.  This package simulates hundreds of hosts / thousands of
+cores: a :class:`FleetTopology` places per-host memcached/lsmtree shards,
+a capacity-bounded consistent-hash ring shards the versioned keyspace,
+each shard runs a validation-plane model (validator pool, degradation
+ladder, cross-host RBV spill, canaries), execution fans out across OS
+processes, and a deterministic cross-shard merge guarantees the run
+digest is byte-identical regardless of worker count.
+"""
+
+from repro.fleet.merge import (
+    FleetTimeline,
+    fleet_digest,
+    merge_events,
+    merge_registries,
+    merge_timelines,
+)
+from repro.fleet.report import FleetReport
+from repro.fleet.ring import DEFAULT_VNODES, ConsistentHashRing, mix64, name_token
+from repro.fleet.runner import plan_fleet, run_fleet
+from repro.fleet.shardsim import ShardPlan, ShardResult, simulate_shard
+from repro.fleet.streams import fleet_seed, host_rng, shard_rng
+from repro.fleet.topology import (
+    FleetConfig,
+    FleetConfigError,
+    FleetTopology,
+    HostView,
+    ShardView,
+)
+
+__all__ = [
+    "ConsistentHashRing",
+    "DEFAULT_VNODES",
+    "FleetConfig",
+    "FleetConfigError",
+    "FleetReport",
+    "FleetTimeline",
+    "FleetTopology",
+    "HostView",
+    "ShardPlan",
+    "ShardResult",
+    "ShardView",
+    "fleet_digest",
+    "fleet_seed",
+    "host_rng",
+    "merge_events",
+    "merge_registries",
+    "merge_timelines",
+    "mix64",
+    "name_token",
+    "plan_fleet",
+    "run_fleet",
+    "shard_rng",
+    "simulate_shard",
+]

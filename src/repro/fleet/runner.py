@@ -1,0 +1,178 @@
+"""Fleet planner and process-parallel runner.
+
+``plan_fleet`` does all cross-shard work *up front* in the parent: bulk
+key/user placement over the consistent-hash ring (vectorized — 10M keys
+is one modulo and one fancy-index), the per-host mercurial-core draw, and
+the grounded-shard selection.  Each resulting :class:`ShardPlan` is
+self-contained, so workers need no shared state and no communication —
+the precondition for the merge-determinism argument in DESIGN.md §12.
+
+``run_fleet`` fans host groups out across OS processes (``fork`` where
+the platform has it, ``spawn`` otherwise; ``workers=1`` runs inline with
+no pool at all, which is what the CI digest-equality check compares
+against) and folds the shard results through :mod:`repro.fleet.merge`
+into a :class:`~repro.fleet.report.FleetReport`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+import numpy as np
+
+from repro.determinism import derive_seed
+from repro.fleet.merge import (
+    fleet_digest,
+    merge_events,
+    merge_registries,
+    merge_timelines,
+)
+from repro.fleet.report import FleetReport
+from repro.fleet.ring import mix64
+from repro.fleet.shardsim import ShardPlan, simulate_shard
+from repro.fleet.streams import host_rng
+from repro.fleet.topology import FleetConfig, FleetTopology
+
+__all__ = ["plan_fleet", "run_fleet"]
+
+
+def plan_fleet(topology: FleetTopology) -> list[ShardPlan]:
+    """Place the keyspace/user population and draw the fault population;
+    returns one self-contained plan per shard, in shard order."""
+    config = topology.config
+    ring = topology.ring()
+    shard_count = len(topology.shards)
+    # ring.nodes is sorted; shard names are zero-padded, so node index i
+    # is exactly shard_id i — assert rather than assume.
+    assert list(ring.nodes) == [s.name for s in topology.shards]
+
+    key_offset = np.uint64(derive_seed(config.seed, "fleet", "keys"))
+    user_offset = np.uint64(derive_seed(config.seed, "fleet", "users"))
+    with np.errstate(over="ignore"):
+        key_hashes = mix64(
+            np.arange(config.effective_keys, dtype=np.uint64) + key_offset
+        )
+        user_hashes = mix64(
+            np.arange(config.effective_users, dtype=np.uint64) + user_offset
+        )
+    keys_per_shard = np.bincount(ring.assign(key_hashes), minlength=shard_count)
+    user_owner = ring.assign(user_hashes)
+    users_per_shard = np.bincount(user_owner, minlength=shard_count)
+    # A zipf-flavored demand skew: ~1% of users are heavy hitters with
+    # 20x the op volume (hash-selected, so placement-independent).
+    weights = np.where(user_hashes % np.uint64(100) == 0, 20.0, 1.0)
+    weight_per_shard = np.bincount(
+        user_owner, weights=weights, minlength=shard_count
+    )
+    total_weight = float(weight_per_shard.sum()) or 1.0
+    ops_exact = config.total_ops * weight_per_shard / total_weight
+    ops_per_shard = np.floor(ops_exact).astype(np.int64)
+    # Deterministic largest-remainder top-up so shard ops sum exactly.
+    shortfall = config.total_ops - int(ops_per_shard.sum())
+    if shortfall > 0:
+        order = np.argsort(-(ops_exact - ops_per_shard), kind="stable")
+        ops_per_shard[order[:shortfall]] += 1
+
+    defective_by_host: dict[int, list[int]] = {}
+    for host in topology.hosts:
+        rng = host_rng(config.seed, host.host_id, "defects")
+        defective_by_host[host.host_id] = [
+            core for core in range(host.cores)
+            if rng.random() < config.mercurial_rate
+        ]
+
+    ground_count = max(0, min(config.ground_shards, shard_count))
+    stride = max(1, shard_count // ground_count) if ground_count else 1
+    ground_ids = {i * stride for i in range(ground_count)}
+
+    plans = []
+    for shard in topology.shards:
+        host = topology.hosts[shard.host_id]
+        cores = set(shard.app_cores) | set(shard.validator_cores)
+        plans.append(
+            ShardPlan(
+                shard_id=shard.shard_id,
+                host_id=shard.host_id,
+                shard_name=shard.name,
+                host_name=host.name,
+                app_name=shard.app_name,
+                keys=int(keys_per_shard[shard.shard_id]),
+                users=int(users_per_shard[shard.shard_id]),
+                ops=int(ops_per_shard[shard.shard_id]),
+                app_cores=shard.app_cores,
+                validator_cores=shard.validator_cores,
+                quarantined_at_start=tuple(
+                    c for c in host.quarantined if c in cores
+                ),
+                defective_cores=tuple(
+                    c for c in sorted(cores)
+                    if c in defective_by_host[shard.host_id]
+                ),
+                peer_host=topology.peer_host(shard.host_id),
+                ground=shard.shard_id in ground_ids,
+            )
+        )
+    return plans
+
+
+def _simulate_group(payload):
+    """Worker entry point: simulate one host group's shard plans.
+
+    Module-level (picklable under ``spawn``); receives everything it
+    needs in the payload, returns plain shard results.
+    """
+    config, plans = payload
+    return [simulate_shard(plan, config) for plan in plans]
+
+
+def run_fleet(config: FleetConfig, workers: int = 1) -> FleetReport:
+    """Simulate the fleet and merge the shards into one report."""
+    started = time.perf_counter()
+    topology = FleetTopology(config)
+    plans = plan_fleet(topology)
+    workers = max(1, min(workers, config.hosts))
+    if workers == 1:
+        results = [simulate_shard(plan, config) for plan in plans]
+    else:
+        # One worker per host group: hosts are dealt round-robin so every
+        # group gets a grounded shard's heavier DES work with the same
+        # likelihood.  Which worker runs which group cannot matter — the
+        # merge re-establishes the total order.
+        groups: list[list[ShardPlan]] = [[] for _ in range(workers)]
+        for plan in plans:
+            groups[plan.host_id % workers].append(plan)
+        method = (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        ctx = multiprocessing.get_context(method)
+        with ctx.Pool(processes=workers) as pool:
+            grouped = pool.map(
+                _simulate_group, [(config, group) for group in groups]
+            )
+        results = [result for group in grouped for result in group]
+
+    events = merge_events(results)
+    digest = fleet_digest(config, events)
+    registry = merge_registries(results)
+    timeline = merge_timelines(results, cadence=config.epoch_s)
+    report = FleetReport(
+        config=config,
+        topology=topology.describe(),
+        digest=digest,
+        events=events,
+        registry=registry,
+        timeline=timeline,
+        shards=[r.summary for r in sorted(results, key=lambda r: r.shard_id)],
+        grounds=[r.ground for r in results if r.ground is not None],
+        ground_metrics=[
+            r.ground_metrics for r in sorted(results, key=lambda r: r.shard_id)
+            if r.ground_metrics is not None
+        ],
+        workers=workers,
+        wall_s=time.perf_counter() - started,
+    )
+    report.finalize()
+    return report

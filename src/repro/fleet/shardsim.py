@@ -1,0 +1,439 @@
+"""Per-shard validation-plane simulator (the worker-side unit of work).
+
+Each shard runs an *epoch-driven aggregate model* of one Orthrus
+deployment slice: a bounded validation queue fed by that shard's slice of
+the fleet workload, a validator pool whose capacity shrinks as mercurial
+cores are quarantined, the §6 degradation ladder
+(:class:`~repro.runtime.degradation.DegradationController` reused
+verbatim as the per-shard state machine), cross-host remote validation
+("spill") priced by the :class:`~repro.sim.costs.CostModel` link model,
+and canary liveness probes.  A deterministic subset of shards is
+additionally *grounded*: it runs the real DES memcached/lsmtree server
+through :func:`repro.harness.pipeline.run_orthrus_server`, tying the
+aggregate statistics to the byte-level runtime the rest of the repo
+tests.
+
+Determinism contract (what the cross-shard merge relies on): a shard's
+result is a pure function of ``(ShardPlan, FleetConfig)``.  Every random
+draw comes from :func:`repro.fleet.streams.shard_rng` streams namespaced
+by (host, shard, purpose), so neither worker count, nor worker identity,
+nor the existence of other shards can perturb it.
+
+The queue model follows §3.5's coverage split: ``min_coverage`` of each
+epoch's logs is *coverage-critical* (never-validated sites — must queue
+and eventually validate), the rest is steady-state resampling served
+opportunistically from spare capacity and shed first.  A healthy shard
+therefore keeps its queue near empty even when demand exceeds capacity —
+sampling is the design point, not overload — and the ladder only walks
+when even the critical slice cannot be served.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.fleet.streams import shard_rng
+from repro.fleet.topology import FleetConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TimeSeries
+from repro.runtime.degradation import DegradationController, DegradationLevel
+
+__all__ = ["ShardPlan", "ShardResult", "simulate_shard", "AVG_CLOSURE_CYCLES"]
+
+#: mean re-execution cycles per closure in the aggregate model (the DES
+#: apps measure ~1.5-3k cycles/closure; the exact value only scales
+#: capacity, the *relative* structure is what matters)
+AVG_CLOSURE_CYCLES = 2000
+
+#: per-epoch series kept per shard (merged fleet-wide by the runner);
+#: names deliberately match the single-host timeline vocabulary so the
+#: ``timeline`` CLI renders fleet artifacts unchanged
+SHARD_SERIES = (
+    ("validation_lag_p95", "s"),
+    ("queue_depth", "logs"),
+    ("coverage_fraction", "fraction"),
+    ("quarantined_cores", "cores"),
+    ("degradation_level", "level"),
+    ("rbv_remote_rate", "fraction"),
+)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Everything one shard needs to simulate itself (picklable)."""
+
+    shard_id: int
+    host_id: int
+    shard_name: str
+    host_name: str
+    app_name: str
+    #: keyspace slice and user population placed on this shard by the ring
+    keys: int
+    users: int
+    #: total data operations over the whole run (pre-``load_factor``)
+    ops: int
+    app_cores: tuple[int, ...]
+    validator_cores: tuple[int, ...]
+    #: local cores quarantined before the run (operator input)
+    quarantined_at_start: tuple[int, ...]
+    #: local cores that are silently defective (fleet fault population,
+    #: drawn once by the planner from the host-namespaced stream)
+    defective_cores: tuple[int, ...]
+    peer_host: int
+    #: whether this shard also runs the real DES server (grounding)
+    ground: bool
+
+
+@dataclass
+class ShardResult:
+    """A shard's contribution to the fleet merge (picklable)."""
+
+    shard_id: int
+    host_id: int
+    #: (t, host_id, shard_id, local_seq, kind, payload) tuples, t-ordered
+    events: list = field(default_factory=list)
+    #: orthrus-metrics/1 snapshot of the shard-local registry
+    snapshot: dict = field(default_factory=dict)
+    #: series name -> TimeSeries.to_dict()
+    series: dict = field(default_factory=dict)
+    summary: dict = field(default_factory=dict)
+    ground: dict | None = None
+    ground_metrics: object | None = None
+
+
+def _jittered_count(rng, expected: float) -> int:
+    """Round an expected event count to an integer, with the fractional
+    part resolved by one namespaced coin flip — unbiased and cheap, and
+    (unlike a true binomial sampler) a single draw regardless of n."""
+    whole = int(expected)
+    if rng.random() < expected - whole:
+        whole += 1
+    return whole
+
+
+def _arrivals(plan: ShardPlan, config: FleetConfig) -> list[int]:
+    """Per-epoch demand: a diurnal profile (phase-shifted per shard so
+    the fleet's peaks don't align) with multiplicative jitter, integer-
+    normalized to ``plan.ops * load_factor`` total."""
+    rng = shard_rng(config.seed, plan.host_id, plan.shard_id, "load")
+    phase = 2.0 * math.pi * plan.shard_id / max(1, config.shards)
+    weights = []
+    for epoch in range(config.epochs):
+        diurnal = 1.0 + 0.35 * math.sin(
+            2.0 * math.pi * epoch / config.epochs + phase
+        )
+        weights.append(diurnal * (0.9 + 0.2 * rng.random()))
+    total = max(0, int(round(plan.ops * config.load_factor)))
+    scale = total / sum(weights)
+    arrivals = [int(w * scale) for w in weights]
+    for i in range(total - sum(arrivals)):
+        arrivals[i % config.epochs] += 1
+    return arrivals
+
+
+def simulate_shard(plan: ShardPlan, config: FleetConfig) -> ShardResult:
+    """Run one shard's epoch model; pure in (plan, config)."""
+    rng = shard_rng(config.seed, plan.host_id, plan.shard_id, "sim")
+    registry = MetricsRegistry()
+    labels = {"host": plan.host_name}
+    series = {
+        name: TimeSeries(name, capacity=128, reservoir=8, unit=unit)
+        for name, unit in SHARD_SERIES
+    }
+    result = ShardResult(shard_id=plan.shard_id, host_id=plan.host_id)
+    seq = 0
+
+    def emit(t: float, kind: str, **payload) -> None:
+        nonlocal seq
+        result.events.append((t, plan.host_id, plan.shard_id, seq, kind, payload))
+        seq += 1
+
+    costs = config.costs
+    per_validation_s = costs.seconds(
+        costs.validation_dispatch_cycles + AVG_CLOSURE_CYCLES
+    )
+    rate_per_core = max(1, int(config.epoch_s / per_validation_s))
+    remote_penalty_s = 2.0 * costs.network_transfer_s(config.spill_bytes)
+
+    pool = list(plan.validator_cores)
+    quarantined: set[int] = set(plan.quarantined_at_start)
+    defective = set(plan.defective_cores)
+    detections_by_core: dict[int, int] = {}
+    ladder = DegradationController()
+    seen_transitions = 0
+    queue = 0
+    spilling = False
+
+    totals = {
+        "ops": 0, "validated": 0, "skipped": 0, "dropped": 0,
+        "checksum_only": 0, "detections": 0, "escaped": 0,
+        "timeouts": 0, "canary_issued": 0, "canary_missed": 0,
+        "remote_logs": 0, "remote_bytes": 0, "quarantines": 0,
+    }
+    lag_hist = registry.histogram(
+        "fleet_validation_lag_seconds",
+        help="validation lag across fleet shards (log enqueue to verdict)",
+    )
+    arrivals = _arrivals(plan, config)
+
+    def quarantine(t: float, core: int, role: str) -> None:
+        quarantined.add(core)
+        totals["quarantines"] += 1
+        emit(
+            t, "quarantine",
+            core=plan.host_id * config.cores_per_host + core,
+            local_core=core, role=role,
+            detections=detections_by_core.get(core, 0),
+        )
+
+    for epoch in range(config.epochs):
+        t = (epoch + 1) * config.epoch_s
+        demand = arrivals[epoch]
+        totals["ops"] += demand
+        must = int(demand * config.min_coverage)
+
+        active = [c for c in pool if c not in quarantined]
+        cap_local = 0 if ladder.checksum_only else len(active) * rate_per_core
+        # Cross-host spill: quarantine-induced deficit is served by the
+        # ring-successor host's spare validators at half throughput (the
+        # closure log and versions cross the link both ways).
+        deficit = len(pool) - len(active)
+        cap_remote = 0
+        if (
+            deficit > 0
+            and plan.peer_host != plan.host_id
+            and not ladder.checksum_only
+        ):
+            cap_remote = max(1, deficit * rate_per_core // 2)
+        if (cap_remote > 0) != spilling:
+            spilling = cap_remote > 0
+            emit(t, "spill.open" if spilling else "spill.close",
+                 peer=plan.peer_host, deficit=deficit)
+        capacity = cap_local + cap_remote
+
+        queue += must
+        validated_critical = min(queue, capacity)
+        queue -= validated_critical
+        spare = capacity - validated_critical
+        opportunistic_pool = demand - must
+        opportunistic = (
+            0 if ladder.coverage_only else min(opportunistic_pool, spare)
+        )
+        validated = validated_critical + opportunistic
+        skipped = opportunistic_pool - opportunistic
+        checksum_only = demand - validated if ladder.checksum_only else 0
+        remote = max(0, validated - cap_local)
+        dropped = max(0, queue - config.queue_capacity)
+        queue = min(queue, config.queue_capacity)
+
+        expected_wait = (
+            (queue / capacity) * config.epoch_s if capacity else math.inf
+        )
+        timed_out = queue if (
+            queue and expected_wait > config.watchdog_deadline
+        ) else 0
+
+        lag = per_validation_s + (
+            (queue / capacity) * config.epoch_s if capacity else config.epoch_s
+        )
+        if remote:
+            lag += remote_penalty_s * (remote / max(1, validated))
+        if validated:
+            lag_hist.record(lag * (0.7 + 0.3 * rng.random()))
+            lag_hist.record(lag)
+            lag_hist.record(lag * (1.4 + 0.4 * rng.random()))
+
+        # -- fault population: corruptions, detections, quarantine -------
+        coverage = validated / demand if demand else 0.0
+        epoch_detections = 0
+        epoch_escaped = 0
+        for core in plan.app_cores:
+            if core not in defective or core in quarantined:
+                continue
+            ops_on_core = demand / max(1, len(plan.app_cores))
+            corrupted = _jittered_count(
+                rng, ops_on_core * config.corruption_rate
+            )
+            caught = _jittered_count(rng, corrupted * coverage)
+            caught = min(caught, corrupted)
+            epoch_detections += caught
+            epoch_escaped += corrupted - caught
+            if caught:
+                count = detections_by_core.get(core, 0) + caught
+                detections_by_core[core] = count
+                if count >= config.detection_threshold and core not in quarantined:
+                    quarantine(t, core, "app")
+        for core in active:
+            if core not in defective:
+                continue
+            validated_on_core = validated / max(1, len(active))
+            caught = _jittered_count(
+                rng, validated_on_core * config.corruption_rate
+            )
+            if caught:
+                # Arbitration (majority-of-three on a remote third core)
+                # confirms the *validator* is the liar; the round trip is
+                # paid on the link model.
+                epoch_detections += caught
+                totals["remote_logs"] += caught
+                totals["remote_bytes"] += caught * 2 * config.spill_bytes
+                count = detections_by_core.get(core, 0) + caught
+                detections_by_core[core] = count
+                if count >= config.detection_threshold:
+                    quarantine(t, core, "validator")
+        if epoch_detections or epoch_escaped:
+            emit(t, "detections", count=epoch_detections,
+                 escaped=epoch_escaped, coverage=round(coverage, 4))
+
+        # -- canary liveness --------------------------------------------
+        if config.canary_every and epoch % config.canary_every == 0:
+            totals["canary_issued"] += 1
+            if ladder.checksum_only or capacity == 0:
+                totals["canary_missed"] += 1
+                emit(t, "canary.missed", level=ladder.level.label)
+
+        # -- degradation ladder -----------------------------------------
+        ladder.observe(
+            t,
+            utilization=queue / config.queue_capacity,
+            drop_rate=dropped / max(1, must),
+            timeout_rate=min(1.0, timed_out / max(1, must)),
+        )
+        for transition in ladder.history[seen_transitions:]:
+            emit(t, "degradation", frm=transition.frm.label,
+                 to=transition.to.label, reason=transition.reason)
+        seen_transitions = len(ladder.history)
+
+        totals["validated"] += validated
+        totals["skipped"] += skipped
+        totals["dropped"] += dropped
+        totals["checksum_only"] += checksum_only
+        totals["detections"] += epoch_detections
+        totals["escaped"] += epoch_escaped
+        totals["timeouts"] += timed_out
+        totals["remote_logs"] += remote
+        totals["remote_bytes"] += remote * 2 * config.spill_bytes
+
+        run_coverage = totals["validated"] / max(1, totals["ops"])
+        series["validation_lag_p95"].append(t, lag * 1.6)
+        series["queue_depth"].append(t, float(queue))
+        series["coverage_fraction"].append(t, run_coverage)
+        series["quarantined_cores"].append(t, float(len(quarantined)))
+        series["degradation_level"].append(t, float(ladder.level))
+        series["rbv_remote_rate"].append(t, remote / max(1, validated))
+
+    horizon = config.horizon_s
+
+    # -- grounding: run the real DES server for this shard ---------------
+    if plan.ground:
+        result.ground, result.ground_metrics = _ground_run(plan, config)
+        result.ground["shard"] = plan.shard_name
+        emit(horizon, "ground.digest", **{
+            k: result.ground[k]
+            for k in ("app", "digest", "operations", "validated", "detections")
+        })
+
+    # -- shard summary (always the shard's last event: the merge digest
+    # covers every counter, so any divergence anywhere is caught) --------
+    summary = {
+        "shard": plan.shard_name,
+        "host": plan.host_name,
+        "app": plan.app_name,
+        "keys": plan.keys,
+        "users": plan.users,
+        **totals,
+        "coverage": round(totals["validated"] / max(1, totals["ops"]), 6),
+        "quarantined_cores": sorted(
+            plan.host_id * config.cores_per_host + c for c in quarantined
+        ),
+        "pre_quarantined": len(plan.quarantined_at_start),
+        "terminal_level": ladder.level.label,
+        "peak_level": ladder.peak.label,
+        "safe_hold": ladder.level >= DegradationLevel.SAFE_HOLD,
+    }
+    emit(horizon, "shard.summary", **{
+        k: summary[k] for k in (
+            "shard", "host", "ops", "validated", "skipped", "dropped",
+            "checksum_only", "detections", "escaped", "quarantines",
+            "canary_missed", "remote_logs", "terminal_level", "peak_level",
+        )
+    })
+    result.summary = summary
+
+    # -- registry export --------------------------------------------------
+    counter_pairs = (
+        ("fleet_ops_total", "ops", "data operations offered fleet-wide"),
+        ("fleet_validated_total", "validated", "logs validated (local + remote)"),
+        ("fleet_skipped_total", "skipped", "steady-state logs shed by the sampler"),
+        ("fleet_dropped_total", "dropped", "coverage-critical logs dropped (overflow)"),
+        ("fleet_checksum_validated_total", "checksum_only",
+         "logs covered only by CRC under CHECKSUM_ONLY"),
+        ("fleet_escaped_total", "escaped", "corruptions missed by sampling"),
+        ("fleet_timeouts_total", "timeouts", "watchdog deadline overruns"),
+        ("fleet_canary_issued_total", "canary_issued", "canary probes issued"),
+        ("fleet_canary_missed_total", "canary_missed", "canary probes missed"),
+        ("fleet_rbv_remote_logs_total", "remote_logs",
+         "closure logs validated on a remote host"),
+        ("fleet_rbv_remote_bytes_total", "remote_bytes",
+         "bytes shipped for cross-host validation"),
+    )
+    for name, key, help_text in counter_pairs:
+        registry.counter(name, labels, help=help_text).inc(totals[key])
+    registry.counter(
+        "fleet_detections_total", {**labels, "kind": "sdc"},
+        help="confirmed SDC detections",
+    ).inc(totals["detections"])
+    for kind, amount in (
+        ("detection", totals["detections"]),
+        ("quarantine", totals["quarantines"]),
+        ("canary-miss", totals["canary_missed"]),
+        ("degradation", seen_transitions),
+        ("safe-hold", 1 if summary["safe_hold"] else 0),
+    ):
+        if amount:
+            registry.counter(
+                "fleet_incidents_total", {"kind": kind},
+                help="fleet incidents by kind",
+            ).inc(amount)
+    registry.gauge(
+        "fleet_quarantined_cores", labels,
+        help="cores quarantined at end of run",
+    ).set(len(quarantined))
+    registry.gauge(
+        "fleet_safe_hold_shards",
+        help="shards whose ladder ended in SAFE_HOLD",
+    ).set(1 if summary["safe_hold"] else 0)
+    registry.gauge(
+        "fleet_versioned_bytes", labels,
+        help="approx. versioned-heap footprint (64B/key + log headroom)",
+    ).set(plan.keys * 96)
+
+    result.snapshot = registry.snapshot()
+    result.series = {name: s.to_dict() for name, s in series.items()}
+    return result
+
+
+def _ground_run(plan: ShardPlan, config: FleetConfig):
+    """One real DES server run for a grounded shard (imported lazily so
+    plain aggregate simulations never pay the harness import)."""
+    from repro.determinism import derive_seed
+    from repro.harness.pipeline import PipelineConfig, run_orthrus_server
+    from repro.harness.scenarios import lsmtree_scenario, memcached_scenario
+
+    scenario = (
+        memcached_scenario() if plan.app_name == "memcached" else lsmtree_scenario()
+    )
+    seed = derive_seed(config.seed, "fleet", "ground", plan.shard_id)
+    run = run_orthrus_server(
+        scenario, config.ground_ops, PipelineConfig(seed=seed, costs=config.costs)
+    )
+    ground = {
+        "app": plan.app_name,
+        "digest": run.digest,
+        "operations": run.metrics.operations,
+        "validated": run.metrics.validated,
+        "detections": run.metrics.detections,
+        "lag": run.metrics.validation_latency.summary(),
+    }
+    return ground, run.metrics

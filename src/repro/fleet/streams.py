@@ -1,0 +1,36 @@
+"""Per-host / per-shard namespacing of the determinism RNG streams.
+
+Fleet runs fan out across OS processes, so every stochastic draw must be
+a pure function of (root seed, host, shard, purpose) — never of worker
+count, worker identity, or iteration order.  These helpers pin the label
+path: ``shard_rng(seed, 3, 17, "load")`` is the same stream no matter
+which worker simulates shard 17, how many workers exist, or how many
+*other* shards the fleet has — adding shard 18 never perturbs shard 17's
+draws (the off-by-one-seed bug :func:`repro.determinism.derive_seed`
+exists to prevent, extended to the fleet dimension).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.determinism import derive_seed, derived_rng
+
+__all__ = ["fleet_seed", "host_rng", "shard_rng"]
+
+
+def fleet_seed(root: int | str, host_id: int, shard_id: int, *labels) -> int:
+    """The derived seed behind :func:`shard_rng` (for audit tooling)."""
+    return derive_seed(
+        root, "fleet", f"h{host_id:03d}", f"s{shard_id:04d}", *labels
+    )
+
+
+def host_rng(root: int | str, host_id: int, *labels) -> random.Random:
+    """A stream namespaced to one host (fault-population draws)."""
+    return derived_rng(root, "fleet", f"h{host_id:03d}", *labels)
+
+
+def shard_rng(root: int | str, host_id: int, shard_id: int, *labels) -> random.Random:
+    """A stream namespaced to one shard on one host."""
+    return random.Random(fleet_seed(root, host_id, shard_id, *labels))

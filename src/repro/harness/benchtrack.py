@@ -33,6 +33,7 @@ from typing import Any, Callable
 
 from repro.faultinject.campaign import FaultInjectionCampaign
 from repro.faultinject.config import InjectionConfig
+from repro.fleet import FleetConfig, run_fleet
 from repro.harness.pipeline import (
     PipelineConfig,
     run_orthrus_server,
@@ -191,6 +192,60 @@ _TABLE2_DIRECTIONS = {
 }
 
 
+def _run_fleet_scale(scale: float, seed: int):
+    """Fleet rollup (scaled): coverage, lag, and incident census across a
+    small sharded fleet.  Everything here is virtual-time deterministic
+    for a fixed (scale, seed) — including the incident counts — so STABLE
+    metrics gate exactly."""
+    config = FleetConfig(
+        hosts=4,
+        shards=8,
+        cores_per_host=32,
+        keys=40_000,
+        users=4_000,
+        scale=scale,
+        epochs=48,
+        # demand beyond validator capacity, so the adaptive sampler (not
+        # idle headroom) sets the coverage number this bench gates on
+        load_factor=8.0,
+        # a fleet this small needs a hot-running fault population for the
+        # detection/quarantine path to register at all
+        mercurial_rate=0.02,
+        ground_shards=2,
+        ground_ops=80,
+        seed=seed,
+    )
+    report = run_fleet(config, workers=1)
+    rollup = report.rollup
+    sim = {
+        "coverage_fraction": rollup["coverage"],
+        "validation_lag_p95_us": rollup["validation_lag"].get("p95", 0.0) * 1e6,
+        "escaped_sdc": float(rollup["escaped"]),
+        "detections": float(
+            rollup["incidents"]["by_kind"].get("detection", 0)
+        ),
+        "quarantined_cores": float(rollup["quarantine"]["cores"]),
+        "safe_hold_shards": float(
+            len(rollup["degradation"]["safe_hold_shards"])
+        ),
+        "remote_rbv_logs": float(rollup["rbv"]["remote_logs"]),
+        "event_count": float(len(report.events)),
+    }
+    return sim, report.timeline.summary()
+
+
+_FLEET_DIRECTIONS = {
+    "coverage_fraction": HIGHER_BETTER,
+    "validation_lag_p95_us": LOWER_BETTER,
+    "escaped_sdc": LOWER_BETTER,
+    "detections": STABLE,
+    "quarantined_cores": STABLE,
+    "safe_hold_shards": LOWER_BETTER,
+    "remote_rbv_logs": STABLE,
+    "event_count": STABLE,
+}
+
+
 @dataclass(frozen=True)
 class BenchSpec:
     """One tracked benchmark: its runner and per-metric directions."""
@@ -221,6 +276,12 @@ BENCHES: dict[str, BenchSpec] = {
             _run_table2,
             _TABLE2_DIRECTIONS,
             "fault-injection detection coverage",
+        ),
+        BenchSpec(
+            "fleet_scale",
+            _run_fleet_scale,
+            _FLEET_DIRECTIONS,
+            "fleet-wide coverage, lag, and incident census",
         ),
     )
 }

@@ -35,6 +35,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     StreamingHistogram,
     default_latency_buckets,
+    merge_snapshots,
 )
 from repro.obs.observability import NULL_OBS, Observability
 from repro.obs.slo import (
@@ -105,6 +106,7 @@ __all__ = [
     "load_metrics_json",
     "load_spans_chrome",
     "load_timeline",
+    "merge_snapshots",
     "read_trace_jsonl",
     "render_sparkline",
     "render_waterfall",

@@ -33,6 +33,7 @@ __all__ = [
     "MetricFamily",
     "MetricsRegistry",
     "default_latency_buckets",
+    "merge_snapshots",
 ]
 
 
@@ -349,6 +350,12 @@ class MetricsRegistry:
                 else:
                     mine.merge(child)
 
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a serialized ``orthrus-metrics/1`` snapshot into this
+        registry — the cross-process form of :meth:`merge` (fleet workers
+        ship snapshots, not live registries)."""
+        self.merge(MetricsRegistry.from_snapshot(snapshot))
+
     # -- snapshot / restore -----------------------------------------------
     def snapshot(self) -> dict:
         """A JSON-able dict of every family (callback gauges sampled now)."""
@@ -391,3 +398,14 @@ class MetricsRegistry:
                         hist._min = series["min"]
                         hist._max = series["max"]
         return registry
+
+
+def merge_snapshots(snapshots) -> MetricsRegistry:
+    """Fold an iterable of ``orthrus-metrics/1`` snapshots into one
+    registry.  The merge is associative and (for identical bucket layouts)
+    order-independent in every exported value, so fleet rollups do not
+    depend on which worker reported first."""
+    merged = MetricsRegistry()
+    for snapshot in snapshots:
+        merged.merge_snapshot(snapshot)
+    return merged

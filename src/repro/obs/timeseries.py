@@ -210,6 +210,29 @@ class TimeSeries:
             self.buckets.append(tail)
         tail.add(t, value, self.reservoir)
 
+    def merge(self, other: "TimeSeries") -> None:
+        """Fold another series into this one (cross-shard fleet rollup).
+
+        Buckets from both series interleave by start time (ties keep
+        self-before-other order, so merging shards in a fixed order is
+        deterministic); the result then re-compacts down to ``capacity``.
+        Count/sum/min/max are preserved exactly — only percentile
+        reservoirs thin — so ``summary()`` on the merged series equals
+        ``summary()`` on a single series fed both sample streams for the
+        exact stats.
+        """
+        if other.empty:
+            return
+        merged = sorted(
+            self.buckets + [SeriesBucket.from_dict(b.as_dict()) for b in other.buckets],
+            key=lambda b: (b.t_start, b.t_end),
+        )
+        self.buckets = merged
+        self.total_samples += other.total_samples
+        self._per_bucket = max(self._per_bucket, other._per_bucket)
+        while len(self.buckets) > self.capacity:
+            self._compact()
+
     def _compact(self) -> None:
         """Merge adjacent bucket pairs; doubles the per-bucket span."""
         merged: list[SeriesBucket] = []

@@ -40,6 +40,16 @@ class Histogram:
         self._values.extend(values)
         self._sorted = None
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's samples into this one.
+
+        Exact and associative: queries over the merged histogram equal
+        queries over a single histogram fed both sample streams, which is
+        what fleet-scale cross-shard rollups rely on.
+        """
+        self._values.extend(other._values)
+        self._sorted = None
+
     def _array(self) -> np.ndarray:
         if self._sorted is None:
             self._sorted = np.sort(np.asarray(self._values, dtype=float))
@@ -126,6 +136,23 @@ class RunMetrics:
     skipped: int = 0
     #: SDC detections flagged during the run
     detections: int = 0
+
+    def merge(self, other: "RunMetrics") -> None:
+        """Fold another run's record into this one (cross-shard rollups).
+
+        Counts add; latency histograms pool their samples; durations take
+        the max (shards run concurrently in virtual time, not serially);
+        peak footprints add (each shard's heap exists simultaneously).
+        """
+        self.operations += other.operations
+        self.duration = max(self.duration, other.duration)
+        self.request_latency.merge(other.request_latency)
+        self.validation_latency.merge(other.validation_latency)
+        self.peak_versioned_bytes += other.peak_versioned_bytes
+        self.peak_live_bytes += other.peak_live_bytes
+        self.validated += other.validated
+        self.skipped += other.skipped
+        self.detections += other.detections
 
     @property
     def throughput(self) -> float:

@@ -1,0 +1,103 @@
+"""The ``fleet`` CLI subcommand: parsing, artifacts, and exit codes."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SMALL = [
+    "fleet",
+    "--hosts", "2",
+    "--shards", "2",
+    "--keys", "4000",
+    "--users", "600",
+    "--epochs", "24",
+    "--ground-shards", "0",
+    "--seed", "11",
+]
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.hosts == 8
+        assert args.shards == 16
+        assert args.workers == 1
+        assert args.scale == 1.0
+        assert args.ground_shards == 4
+
+    def test_quarantine_specs(self):
+        args = build_parser().parse_args(
+            ["fleet", "--quarantine", "0:4", "--quarantine", "1:7"]
+        )
+        assert args.quarantine == ["0:4", "1:7"]
+
+
+class TestCommand:
+    def test_smoke_run_renders_summary(self, capsys):
+        assert main(SMALL) == 0
+        out = capsys.readouterr().out
+        assert "fleet summary" in out
+        assert "coverage" in out
+        assert "determinism" in out
+
+    def test_json_artifact(self, tmp_path, capsys):
+        path = tmp_path / "fleet.json"
+        assert main(SMALL + ["--json", str(path)]) == 0
+        capsys.readouterr()
+        artifact = json.loads(path.read_text())
+        assert artifact["format"] == "orthrus-fleet/1"
+        assert len(artifact["digest"]) == 64
+        assert artifact["topology"]["hosts"] == 2
+
+    def test_worker_count_does_not_change_the_artifact_digest(
+        self, tmp_path, capsys
+    ):
+        solo, fanned = tmp_path / "w1.json", tmp_path / "w2.json"
+        assert main(SMALL + ["--workers", "1", "--json", str(solo)]) == 0
+        assert main(SMALL + ["--workers", "2", "--json", str(fanned)]) == 0
+        capsys.readouterr()
+        a = json.loads(solo.read_text())
+        b = json.loads(fanned.read_text())
+        assert a["digest"] == b["digest"]
+        assert a["workers"] == 1 and b["workers"] == 2
+
+    def test_events_and_metrics_and_timeline_artifacts(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        metrics = tmp_path / "metrics.json"
+        timeline = tmp_path / "timeline.json"
+        assert main(
+            SMALL
+            + ["--events-out", str(events), "--metrics-out", str(metrics),
+               "--timeline-out", str(timeline)]
+        ) == 0
+        capsys.readouterr()
+        lines = [json.loads(line) for line in events.read_text().splitlines()]
+        assert lines and lines[-1]["kind"] == "shard.summary"
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["format"] == "orthrus-metrics/1"
+        assert any(
+            family["name"] == "fleet_ops_total" for family in snapshot["metrics"]
+        )
+        payload = json.loads(timeline.read_text())
+        assert payload["format"] == "orthrus-timeseries/1"
+        assert any(
+            series["name"] == "validation_lag_p95" for series in payload["series"]
+        )
+
+    def test_fleet_safe_hold_exits_2(self, capsys):
+        code = main(SMALL + ["--load-factor", "50"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "SAFE_HOLD" in captured.err
+
+    def test_rejected_config_exits_1(self, capsys):
+        code = main(SMALL + ["--watchdog-deadline", "1.0"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "watchdog-exceeds-slo" in captured.err
+
+    def test_bad_quarantine_spec_rejected(self):
+        with pytest.raises(SystemExit, match="HOST:CORE"):
+            main(SMALL + ["--quarantine", "nonsense"])

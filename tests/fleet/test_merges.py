@@ -1,0 +1,189 @@
+"""Merge == single-stream equivalence for every mergeable telemetry type.
+
+The fleet merge is only sound if each rollup primitive is associative
+and agrees with the single-stream result: sim histograms and RunMetrics,
+obs registry snapshots, time-series buckets, and the fleet timeline that
+rides on all of them.
+"""
+
+import random
+
+from repro.fleet.merge import FleetTimeline
+from repro.obs.metrics import MetricsRegistry, merge_snapshots
+from repro.obs.timeseries import TimeSeries, load_timeline
+from repro.sim.metrics import Histogram, RunMetrics
+
+
+def _rng(label: str) -> random.Random:
+    return random.Random(f"fleet-merge-tests/{label}")
+
+
+class TestSimHistogramMerge:
+    def test_merge_equals_single_stream(self):
+        rng = _rng("hist")
+        left = [rng.random() for _ in range(200)]
+        right = [rng.random() for _ in range(130)]
+        merged = Histogram()
+        merged.extend(left)
+        other = Histogram()
+        other.extend(right)
+        merged.merge(other)
+        single = Histogram()
+        single.extend(left + right)
+        assert merged.summary() == single.summary()
+
+    def test_merge_empty_is_identity(self):
+        hist = Histogram()
+        hist.extend([1.0, 2.0])
+        before = hist.summary()
+        hist.merge(Histogram())
+        assert hist.summary() == before
+
+
+class TestRunMetricsMerge:
+    def test_merge_pools_counts_and_latencies(self):
+        rng = _rng("runmetrics")
+        a = RunMetrics()
+        b = RunMetrics()
+        single = RunMetrics()
+        for metrics, ops in ((a, 40), (b, 25)):
+            metrics.operations = ops
+            metrics.validated = ops - 5
+            metrics.skipped = 5
+            metrics.detections = 2
+            metrics.duration = 0.5 if metrics is a else 0.8
+            metrics.peak_versioned_bytes = 1000
+            metrics.peak_live_bytes = 400
+            for _ in range(ops):
+                value = rng.random() * 1e-4
+                metrics.validation_latency.add(value)
+                single.validation_latency.add(value)
+        single.operations = 65
+        single.validated = 55
+        single.skipped = 10
+        single.detections = 4
+        a.merge(b)
+        assert a.operations == single.operations
+        assert a.validated == single.validated
+        assert a.skipped == single.skipped
+        assert a.detections == single.detections
+        # shards run concurrently: duration is the max, memory coexists
+        assert a.duration == 0.8
+        assert a.peak_versioned_bytes == 2000
+        assert a.validation_latency.summary() == single.validation_latency.summary()
+
+
+class TestRegistrySnapshotMerge:
+    @staticmethod
+    def _shard_registry(shard: int, values: list[float]) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("fleet_ops_total", labels={"host": f"h{shard}"}).inc(
+            100 * (shard + 1)
+        )
+        registry.counter("fleet_ops_total", labels={"host": "h-shared"}).inc(7)
+        registry.gauge("fleet_quarantined_cores").set(shard)
+        hist = registry.histogram("fleet_validation_lag_seconds")
+        for value in values:
+            hist.record(value)
+        return registry
+
+    def test_merge_snapshots_equals_single_registry(self):
+        rng = _rng("registry")
+        streams = [[rng.random() * 1e-3 for _ in range(50)] for _ in range(3)]
+        snapshots = [
+            self._shard_registry(shard, streams[shard]).snapshot()
+            for shard in range(3)
+        ]
+        merged = merge_snapshots(snapshots)
+        # counters: labeled children fold independently, shared label sums
+        assert merged.value("fleet_ops_total", {"host": "h0"}) == 100
+        assert merged.value("fleet_ops_total", {"host": "h2"}) == 300
+        assert merged.value("fleet_ops_total", {"host": "h-shared"}) == 21
+        assert merged.value("fleet_ops_total") == 600 + 21
+        # gauges sum (each shard reports its own census)
+        assert merged.value("fleet_quarantined_cores") == 0 + 1 + 2
+        # histograms: merged summary equals one histogram fed all streams
+        single = MetricsRegistry()
+        hist = single.histogram("fleet_validation_lag_seconds")
+        for stream in streams:
+            for value in stream:
+                hist.record(value)
+        merged_hist = merged.series("fleet_validation_lag_seconds")[0][1]
+        assert merged_hist.summary() == hist.summary()
+
+    def test_merge_is_order_associative_on_counters(self):
+        snaps = [
+            self._shard_registry(shard, [0.1 * shard]).snapshot()
+            for shard in range(3)
+        ]
+        forward = merge_snapshots(snaps)
+        backward = merge_snapshots(reversed(snaps))
+        assert forward.value("fleet_ops_total") == backward.value("fleet_ops_total")
+
+
+class TestTimeSeriesMerge:
+    def test_exact_stats_equal_single_stream(self):
+        rng = _rng("timeseries")
+        a = TimeSeries("lag", capacity=64, reservoir=8)
+        b = TimeSeries("lag", capacity=64, reservoir=8)
+        single = TimeSeries("lag", capacity=4096, reservoir=8)
+        samples = [(i * 1e-5, rng.random()) for i in range(300)]
+        for i, (t, value) in enumerate(samples):
+            (a if i % 2 else b).append(t, value)
+            single.append(t, value)
+        a.merge(b)
+        merged, whole = a.summary(), single.summary()
+        # count/min/max are preserved exactly through bucket merges
+        for stat in ("count", "min", "max"):
+            assert merged[stat] == whole[stat]
+        assert a.total_samples == 300
+        assert len(a.buckets) <= a.capacity
+
+    def test_merge_empty_series_is_identity(self):
+        a = TimeSeries("s", capacity=8)
+        a.append(0.0, 1.0)
+        before = a.to_dict()
+        a.merge(TimeSeries("s", capacity=8))
+        assert a.to_dict() == before
+
+    def test_buckets_interleave_by_time(self):
+        a = TimeSeries("s", capacity=32)
+        b = TimeSeries("s", capacity=32)
+        for i in range(4):
+            a.append(2 * i, float(i))          # even times
+            b.append(2 * i + 1, float(10 + i))  # odd times
+        a.merge(b)
+        starts = [bucket.t_start for bucket in a.buckets]
+        assert starts == sorted(starts)
+        assert starts == [0, 1, 2, 3, 4, 5, 6, 7]
+
+
+class TestFleetTimeline:
+    @staticmethod
+    def _shard_series(shard: int) -> dict[str, dict]:
+        series = TimeSeries("queue_depth", capacity=32, unit="logs")
+        for i in range(8):
+            series.append(i * 1e-4, float(shard * 10 + i))
+        return {"queue_depth": series.to_dict()}
+
+    def test_fold_merges_by_name_and_counts_samples(self):
+        timeline = FleetTimeline(cadence=1e-4)
+        timeline.fold(self._shard_series(0))
+        timeline.fold(self._shard_series(1))
+        assert timeline.names() == ["queue_depth"]
+        assert timeline.samples_taken == 16
+        assert timeline.summary()["queue_depth"]["count"] == 16
+
+    def test_round_trips_through_timeline_artifact(self, tmp_path):
+        from repro.obs.timeseries import write_timeline_json
+
+        timeline = FleetTimeline(cadence=5e-5)
+        timeline.fold(self._shard_series(0))
+        timeline.fold(self._shard_series(3))
+        path = tmp_path / "fleet-timeline.json"
+        # FleetTimeline is duck-compatible with TimeSeriesRecorder here
+        write_timeline_json(timeline, str(path))
+        loaded = load_timeline(str(path))
+        assert set(loaded) == {"queue_depth"}
+        assert loaded["queue_depth"].total_samples == 16
+        assert loaded["queue_depth"].summary() == timeline.summary()["queue_depth"]

@@ -1,0 +1,122 @@
+"""Property tests for the capacity-bounded consistent-hash ring.
+
+The fleet issue mandates two properties: load balance within ±15% at
+256 vnodes, and minimal key remap (< 2/N of the keyspace) when a node
+is added or quarantined out.  Both are checked on the real assignment,
+not a model of it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fleet.ring import DEFAULT_VNODES, ConsistentHashRing, mix64, name_token
+
+
+def _names(n: int) -> list[str]:
+    return [f"s{i:04d}" for i in range(n)]
+
+
+class TestBalance:
+    @pytest.mark.parametrize("shards", [4, 16, 64])
+    def test_load_within_15_percent_at_256_vnodes(self, shards):
+        ring = ConsistentHashRing(_names(shards), vnodes=DEFAULT_VNODES)
+        low, high = ring.load_spread()
+        assert low >= -0.15, f"most-underloaded shard at {low:+.1%}"
+        assert high <= 0.15, f"most-overloaded shard at {high:+.1%}"
+
+    def test_capacity_cap_gives_pigeonhole_balance(self):
+        # With cap_factor=1.0 total capacity equals demand, so every
+        # shard holds either floor or ceil of the mean partition count.
+        ring = ConsistentHashRing(_names(16), vnodes=DEFAULT_VNODES)
+        counts = ring.partition_counts()
+        mean = ring.partitions / len(ring.nodes)
+        assert counts.min() >= int(np.floor(mean))
+        assert counts.max() <= int(np.ceil(mean))
+
+    def test_every_partition_owned(self):
+        ring = ConsistentHashRing(_names(8), vnodes=32)
+        assert int(ring.partition_counts().sum()) == ring.partitions
+
+
+class TestRemap:
+    @pytest.mark.parametrize("shards", [16, 32])
+    def test_quarantine_one_node_remaps_under_2_over_n(self, shards):
+        ring = ConsistentHashRing(_names(shards), vnodes=DEFAULT_VNODES)
+        shrunk = ring.without(ring.nodes[shards // 2])
+        fraction = ring.remap_fraction(shrunk)
+        bound = 2.0 / shards
+        # removing a node must move at least its own ~1/N share...
+        assert fraction >= 0.5 / shards
+        # ...but never more than the issue's 2/N minimal-remap bound.
+        assert fraction < bound, f"remap {fraction:.4f} >= 2/N {bound:.4f}"
+
+    @pytest.mark.parametrize("shards", [16, 32])
+    def test_add_one_node_remaps_under_2_over_n(self, shards):
+        ring = ConsistentHashRing(_names(shards), vnodes=DEFAULT_VNODES)
+        grown = ring.with_nodes(f"s{9000 + shards:04d}")
+        fraction = ring.remap_fraction(grown)
+        assert 0.0 < fraction < 2.0 / shards
+
+    def test_surviving_nodes_keep_untouched_partitions(self):
+        # Quarantining s0005 must never move a key between two survivors'
+        # *first-choice* partitions: survivors only ever gain partitions.
+        ring = ConsistentHashRing(_names(8), vnodes=64)
+        shrunk = ring.without("s0005")
+        removed_idx = ring.nodes.index("s0005")
+        mine = np.asarray(ring.nodes, dtype=object)[ring.owner_of_partition]
+        theirs = np.asarray(shrunk.nodes, dtype=object)[shrunk.owner_of_partition]
+        moved = mine != theirs
+        # every partition the removed node owned must move somewhere
+        assert np.all(moved[ring.owner_of_partition == removed_idx])
+
+    def test_remap_requires_shared_partition_grid(self):
+        a = ConsistentHashRing(_names(4), vnodes=16)
+        b = ConsistentHashRing(_names(4), vnodes=64)
+        with pytest.raises(ValueError):
+            a.remap_fraction(b)
+
+
+class TestDeterminism:
+    def test_assignment_is_a_pure_function_of_inputs(self):
+        a = ConsistentHashRing(_names(12), vnodes=64, salt=7)
+        b = ConsistentHashRing(list(reversed(_names(12))), vnodes=64, salt=7)
+        assert a.nodes == b.nodes
+        assert np.array_equal(a.owner_of_partition, b.owner_of_partition)
+
+    def test_salt_changes_assignment(self):
+        a = ConsistentHashRing(_names(12), vnodes=64, salt=1)
+        b = ConsistentHashRing(_names(12), vnodes=64, salt=2)
+        assert not np.array_equal(a.owner_of_partition, b.owner_of_partition)
+
+    def test_lookup_matches_bulk_assign(self):
+        ring = ConsistentHashRing(_names(6), vnodes=32)
+        hashes = mix64(np.arange(512, dtype=np.uint64))
+        owners = ring.assign(hashes)
+        for i in range(0, 512, 37):
+            assert ring.lookup(int(hashes[i])) == ring.nodes[int(owners[i])]
+
+    def test_name_token_is_not_builtin_hash(self):
+        # sha256-derived: stable across processes, sensitive to the salt.
+        assert name_token("s0001", 0) == name_token("s0001", 0)
+        assert name_token("s0001", 0) != name_token("s0001", 1)
+        assert name_token("s0001", 0) != hash("s0001")
+
+    def test_mix64_scalar_matches_vector(self):
+        xs = np.array([0, 1, 2**63, 2**64 - 1], dtype=np.uint64)
+        vec = mix64(xs)
+        for i, x in enumerate([0, 1, 2**63, 2**64 - 1]):
+            assert mix64(x) == int(vec[i])
+
+
+class TestValidation:
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing([])
+
+    def test_non_power_of_two_partitions_rejected(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(_names(4), partitions=100)
+
+    def test_cap_factor_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(_names(4), cap_factor=0.5)

@@ -1,0 +1,173 @@
+"""Fleet planner/runner: placement invariants, purity, worker-count
+independence of the merged digest, and the SAFE_HOLD rollup."""
+
+import pytest
+
+from repro.fleet import (
+    FleetConfig,
+    FleetTopology,
+    fleet_seed,
+    plan_fleet,
+    run_fleet,
+    shard_rng,
+    simulate_shard,
+)
+
+
+def _small_config(**overrides) -> FleetConfig:
+    defaults = dict(
+        hosts=2,
+        shards=4,
+        cores_per_host=32,
+        keys=4000,
+        users=600,
+        epochs=24,
+        vnodes=32,
+        ground_shards=0,
+        seed=11,
+    )
+    defaults.update(overrides)
+    return FleetConfig(**defaults)
+
+
+class TestPlanFleet:
+    def test_workload_apportioned_exactly(self):
+        config = _small_config()
+        plans = plan_fleet(FleetTopology(config))
+        assert len(plans) == config.shards
+        assert sum(p.keys for p in plans) == config.effective_keys
+        assert sum(p.users for p in plans) == config.effective_users
+        assert sum(p.ops for p in plans) == config.total_ops
+
+    def test_plans_are_deterministic(self):
+        config = _small_config()
+        a = plan_fleet(FleetTopology(config))
+        b = plan_fleet(FleetTopology(config))
+        assert a == b
+
+    def test_ground_shards_spread_with_stride(self):
+        config = _small_config(shards=8, ground_shards=2)
+        plans = plan_fleet(FleetTopology(config))
+        grounded = [p.shard_id for p in plans if p.ground]
+        assert grounded == [0, 4]
+
+    def test_pre_quarantined_cores_reach_their_shard_plan(self):
+        # host 0, shard 0: app cores 0-3, validators 4-7
+        config = _small_config(quarantined=((0, 4), (0, 5)))
+        plans = plan_fleet(FleetTopology(config))
+        assert plans[0].quarantined_at_start == (4, 5)
+        assert all(p.quarantined_at_start == () for p in plans[1:])
+
+
+class TestStreams:
+    def test_shard_stream_independent_of_fleet_shape(self):
+        # the same (seed, host, shard, label) stream no matter how many
+        # other shards/hosts/workers the fleet has
+        draws = [shard_rng(11, 1, 3, "load").random() for _ in range(4)]
+        assert [shard_rng(11, 1, 3, "load").random() for _ in range(4)] == draws
+
+    def test_labels_separate_streams(self):
+        seeds = {
+            fleet_seed(11, 0, 0),
+            fleet_seed(11, 0, 1),
+            fleet_seed(11, 1, 0),
+            fleet_seed(11, 0, 0, "load"),
+            fleet_seed(12, 0, 0),
+        }
+        assert len(seeds) == 5
+
+
+class TestShardPurity:
+    def test_simulate_shard_is_a_pure_function_of_plan_and_config(self):
+        config = _small_config()
+        plan = plan_fleet(FleetTopology(config))[1]
+        a = simulate_shard(plan, config)
+        b = simulate_shard(plan, config)
+        assert a.events == b.events
+        assert a.snapshot == b.snapshot
+        assert a.series == b.series
+        assert a.summary == b.summary
+
+    def test_every_shard_emits_a_terminal_summary_event(self):
+        config = _small_config()
+        plans = plan_fleet(FleetTopology(config))
+        for plan in plans:
+            result = simulate_shard(plan, config)
+            assert result.events[-1][4] == "shard.summary"
+
+
+class TestRunFleet:
+    def test_digest_independent_of_worker_count(self):
+        config = _small_config()
+        solo = run_fleet(config, workers=1)
+        fanned = run_fleet(config, workers=2)
+        assert solo.digest == fanned.digest
+        assert solo.events == fanned.events
+        assert solo.rollup == fanned.rollup
+        assert solo.registry.snapshot() == fanned.registry.snapshot()
+        assert solo.timeline.to_dict() == fanned.timeline.to_dict()
+
+    def test_digest_sensitive_to_config(self):
+        a = run_fleet(_small_config(), workers=1)
+        b = run_fleet(_small_config(seed=12), workers=1)
+        assert a.digest != b.digest
+
+    def test_rollup_accounts_for_every_offered_log(self):
+        report = run_fleet(_small_config(), workers=1)
+        rollup = report.rollup
+        assert rollup["ops"] == report.config.total_ops
+        accounted = (
+            rollup["validated"]
+            + rollup["skipped"]
+            + rollup["dropped"]
+            + rollup["checksum_only"]
+        )
+        assert accounted == rollup["ops"]
+        assert 0.0 < rollup["coverage"] <= 1.0
+
+    def test_grounded_shards_contribute_digests_and_metrics(self):
+        config = _small_config(ground_shards=1, ground_ops=60)
+        report = run_fleet(config, workers=1)
+        ground = report.rollup["ground"]
+        assert ground is not None
+        assert ground["shards"] == 1
+        assert ground["operations"] > 0
+        assert list(ground["digests"]) == ["s0000"]
+        assert any(e["kind"] == "ground.digest" for e in report.events)
+
+    def test_overload_walks_ladder_to_safe_hold(self):
+        config = _small_config(load_factor=50.0, min_coverage=0.9)
+        report = run_fleet(config, workers=1)
+        assert report.safe_hold
+        assert report.rollup["incidents"]["by_kind"].get("safe-hold", 0) >= 1
+        assert report.rollup["degradation"]["peak"] == "safe-hold"
+
+    def test_healthy_fleet_stays_normal(self):
+        report = run_fleet(_small_config(), workers=1)
+        assert not report.safe_hold
+        assert report.rollup["degradation"]["peak"] == "normal"
+
+    def test_artifact_shape(self):
+        report = run_fleet(_small_config(), workers=1)
+        artifact = report.to_json()
+        assert artifact["format"] == "orthrus-fleet/1"
+        assert artifact["digest"] == report.digest
+        assert artifact["workload"]["ops"] == report.config.total_ops
+        assert len(artifact["shards"]) == report.config.shards
+        assert artifact["event_count"] == len(report.events)
+
+    def test_merged_events_are_totally_ordered(self):
+        report = run_fleet(_small_config(), workers=1)
+        keys = [(e["t"], e["host"], e["shard"]) for e in report.events]
+        assert keys == sorted(keys)
+        assert [e["seq"] for e in report.events] == list(range(len(keys)))
+
+    def test_workers_clamped_to_host_count(self):
+        report = run_fleet(_small_config(), workers=16)
+        assert report.workers == 2
+
+    def test_bad_config_raises_before_any_simulation(self):
+        from repro.fleet import FleetConfigError
+
+        with pytest.raises(FleetConfigError):
+            run_fleet(_small_config(watchdog_deadline=1.0), workers=1)

@@ -1,0 +1,131 @@
+"""Fleet topology construction and the structured config sanity checks."""
+
+import pytest
+
+from repro.fleet import FleetConfig, FleetConfigError, FleetTopology
+
+
+def _codes(err: FleetConfigError) -> set[str]:
+    return {v["code"] for v in err.violations}
+
+
+class TestLayout:
+    def test_shards_round_robin_across_hosts(self):
+        topo = FleetTopology(FleetConfig(hosts=4, shards=10))
+        for shard in topo.shards:
+            assert shard.host_id == shard.shard_id % 4
+        assert [s.shard_id for s in topo.shards] == list(range(10))
+
+    def test_core_sets_disjoint_within_host(self):
+        topo = FleetTopology(FleetConfig(hosts=2, shards=6, cores_per_host=32))
+        for host in topo.hosts:
+            used: set[int] = set()
+            for shard in topo.shards:
+                if shard.host_id != host.host_id:
+                    continue
+                cores = set(shard.app_cores) | set(shard.validator_cores)
+                assert not (cores & used)
+                used |= cores
+            assert max(used) < host.cores
+
+    def test_app_names_alternate(self):
+        topo = FleetTopology(FleetConfig(hosts=2, shards=4))
+        assert [s.app_name for s in topo.shards] == [
+            "memcached", "lsmtree", "memcached", "lsmtree",
+        ]
+
+    def test_ring_is_cached_and_covers_all_shards(self):
+        topo = FleetTopology(FleetConfig(hosts=2, shards=4, vnodes=32))
+        ring = topo.ring()
+        assert topo.ring() is ring
+        assert list(ring.nodes) == [s.name for s in topo.shards]
+
+    def test_peer_host_wraps_and_single_host_has_no_peer(self):
+        topo = FleetTopology(FleetConfig(hosts=3, shards=3))
+        assert [topo.peer_host(h) for h in range(3)] == [1, 2, 0]
+        solo = FleetTopology(FleetConfig(hosts=1, shards=2))
+        assert solo.peer_host(0) == 0
+
+    def test_describe_is_json_shaped(self):
+        topo = FleetTopology(FleetConfig(hosts=2, shards=4, vnodes=32))
+        desc = topo.describe()
+        assert desc["hosts"] == 2
+        assert desc["shards"] == 4
+        assert desc["cores"] == 2 * 32
+        assert desc["ring_partitions"] >= 4 * 32
+        assert len(desc["ring_spread"]) == 2
+
+
+class TestSanityChecks:
+    def test_validator_pool_fully_quarantined_rejected(self):
+        # shard 0 on host 0 gets app cores 0-3 and validators 4-7;
+        # quarantining exactly those four kills its whole pool while the
+        # host still has plenty of usable cores.
+        config = FleetConfig(
+            hosts=2, shards=2, cores_per_host=32,
+            quarantined=((0, 4), (0, 5), (0, 6), (0, 7)),
+        )
+        with pytest.raises(FleetConfigError) as excinfo:
+            FleetTopology(config)
+        assert _codes(excinfo.value) == {"validator-pool-quarantined"}
+        assert excinfo.value.violations[0]["subject"] == "s0000"
+
+    def test_partially_quarantined_pool_is_fine(self):
+        config = FleetConfig(
+            hosts=2, shards=2, cores_per_host=32,
+            quarantined=((0, 4), (0, 5), (0, 6)),
+        )
+        topo = FleetTopology(config)
+        assert topo.hosts[0].quarantined == (4, 5, 6)
+
+    def test_shard_demand_exceeding_usable_cores_rejected(self):
+        config = FleetConfig(
+            hosts=1, shards=4, cores_per_host=16,
+            app_cores_per_shard=4, validators_per_shard=4,
+        )
+        with pytest.raises(FleetConfigError) as excinfo:
+            FleetTopology(config)
+        assert _codes(excinfo.value) == {"shards-exceed-cores"}
+        assert "32" in str(excinfo.value)
+
+    def test_quarantine_shrinks_usable_cores(self):
+        # 2 shards * 8 cores fits 16 cores exactly — until one core is
+        # quarantined out.
+        config = FleetConfig(
+            hosts=1, shards=2, cores_per_host=16, quarantined=((0, 15),),
+        )
+        with pytest.raises(FleetConfigError) as excinfo:
+            FleetTopology(config)
+        assert "shards-exceed-cores" in _codes(excinfo.value)
+
+    def test_watchdog_deadline_beyond_slo_window_rejected(self):
+        config = FleetConfig(watchdog_deadline=5e-3, slo_window=2e-3)
+        with pytest.raises(FleetConfigError) as excinfo:
+            FleetTopology(config)
+        assert _codes(excinfo.value) == {"watchdog-exceeds-slo"}
+
+    def test_quarantine_outside_topology_rejected(self):
+        config = FleetConfig(hosts=2, shards=2, quarantined=((5, 0), (0, 99)))
+        with pytest.raises(FleetConfigError) as excinfo:
+            FleetTopology(config)
+        assert _codes(excinfo.value) == {"quarantine-out-of-range"}
+        assert len(excinfo.value.violations) == 2
+
+    def test_scalar_violations_collected_not_serial(self):
+        config = FleetConfig(hosts=0, shards=0, epochs=1, epoch_s=0.0)
+        with pytest.raises(FleetConfigError) as excinfo:
+            FleetTopology(config)
+        assert {"no-hosts", "no-shards", "too-few-epochs", "bad-epoch"} <= _codes(
+            excinfo.value
+        )
+
+    def test_error_is_a_configuration_error_with_structured_violations(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError) as excinfo:
+            FleetTopology(FleetConfig(min_coverage=1.5))
+        err = excinfo.value
+        assert isinstance(err, FleetConfigError)
+        for violation in err.violations:
+            assert set(violation) == {"code", "subject", "message"}
+        assert "fleet config rejected" in str(err)

@@ -119,6 +119,22 @@ class TestUnseededRandomLint:
             + "\n".join(offenders)
         )
 
+    def test_scan_covers_the_fleet_package(self):
+        # the fleet fan-out is the easiest place to sneak in an unseeded
+        # draw (worker processes hide it); make sure the lint walks it
+        fleet = {p.name for p in (REPO_SRC / "repro" / "fleet").glob("*.py")}
+        assert {"ring.py", "runner.py", "shardsim.py", "streams.py"} <= fleet
+
+    def test_fleet_streams_are_derived(self):
+        # every fleet RNG must be namespaced per (host, shard); the only
+        # Random construction allowed in the package goes through
+        # fleet_seed/derived_rng
+        from repro.determinism import derive_seed
+        from repro.fleet import fleet_seed
+
+        assert fleet_seed(1, 2, 3) == derive_seed(1, "fleet", "h002", "s0003")
+        assert fleet_seed(1, 2, 3, "load") != fleet_seed(1, 2, 3)
+
     def test_lint_pattern_catches_offenses(self):
         assert _UNSEEDED_RANDOM.search("x = random.random()")
         assert _UNSEEDED_RANDOM.search("random.shuffle(items)")
