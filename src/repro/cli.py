@@ -12,6 +12,8 @@ Usage (also exposed as the ``repro-bench`` console script)::
     python -m repro.cli timeline timeline.json --stat p95
     python -m repro.cli bench-compare --out-dir bench/ --tolerance 0.25
     python -m repro.cli obs-summary run.json
+    python -m repro.cli profile --app memcached --flame-out flame.txt
+    python -m repro.cli perf --profile-out profile.json
 
 Each subcommand drives the same harness the benchmark suite uses and
 prints a compact report; seeds make every invocation reproducible.
@@ -56,6 +58,16 @@ of ``--workers``.  ``--json`` saves the orthrus-fleet/1 rollup,
 ``--metrics-out`` / ``--timeline-out`` save the merged registry/timeline
 in the standard formats, and a fleet with any shard ending in SAFE_HOLD
 exits with status 2.
+
+``profile`` runs the Orthrus arm under the wall-clock self-profiler and
+prints the subsystem share table (machine execute, queue ops, validator
+compare, memory versioning, …) plus the events/s / instructions/s
+throughput meter; ``--flame-out`` saves collapsed flamegraph stacks and
+``--sample`` attaches the budgeted Python sampling profiler.
+``--profile-out`` on perf/latency/coverage/fleet saves the same
+``orthrus-profile/1`` payload from a regular run; ``obs-summary``
+renders those artifacts too.  Profiling only *observes* wall time — run
+digests are byte-identical with it on or off.
 """
 
 from __future__ import annotations
@@ -101,21 +113,30 @@ from repro.harness.scenarios import (
 )
 from repro.machine.units import Unit
 from repro.obs import (
+    PROFILE_FORMAT,
     CanaryConfig,
     MetricsRegistry,
     Observability,
+    ProfileConfig,
     TimeSeriesConfig,
     attribute,
     console_summary,
+    export_profile,
+    format_rate,
     format_seconds,
+    format_wall,
     load_metrics_json,
     load_spans_chrome,
     load_timeline,
+    make_profiler,
+    render_profile,
     render_sparkline,
     render_waterfall,
     stage_stats_from_registry,
     to_prometheus,
+    write_collapsed,
     write_metrics_json,
+    write_profile_json,
     write_spans_chrome,
     write_timeline_json,
     write_trace_jsonl,
@@ -166,7 +187,7 @@ def cmd_list(_args) -> int:
     for name, (_, _, _, _, size) in _APPS.items():
         print(f"  {name:<10} (default workload size {size})")
     print(
-        "\nsubcommands: perf, latency, coverage, respond, fleet, "
+        "\nsubcommands: perf, latency, coverage, respond, fleet, profile, "
         "obs-summary, timeline, latency-attrib, bench-compare"
     )
     print("tracked benchmarks (bench-compare): " + ", ".join(sorted(BENCHES)))
@@ -332,6 +353,46 @@ def _print_canary(result) -> None:
     print(f"organic detections : {organic}")
 
 
+def _profile_config(args) -> ProfileConfig | None:
+    """The --profile-out flag's ProfileConfig for the Orthrus arm.
+
+    None keeps the profiler entirely off (the NULL_PROFILER fast path);
+    the run digest is identical either way.
+    """
+    if getattr(args, "profile_out", None) is None and \
+            getattr(args, "flame_out", None) is None:
+        return None
+    return ProfileConfig(
+        sample=getattr(args, "sample", False),
+        sample_budget=getattr(args, "sample_budget", 0.02),
+    )
+
+
+def _export_profile(profile, args) -> None:
+    """Save the ``orthrus-profile/1`` payload (and flamegraph stacks)
+    the profile flags requested, and report the paths."""
+    out = getattr(args, "profile_out", None)
+    flame_out = getattr(args, "flame_out", None)
+    if out is None and flame_out is None:
+        return
+    if profile is None:
+        print("self-profile       : (runner does not attach the profiler)")
+        return
+    if out is not None:
+        try:
+            write_profile_json(profile, out)
+        except OSError as exc:
+            raise SystemExit(f"cannot write {out}: {exc}")
+        print(f"self-profile       : {out}")
+    if flame_out is not None:
+        try:
+            written = write_collapsed(profile, flame_out)
+        except OSError as exc:
+            raise SystemExit(f"cannot write {flame_out}: {exc}")
+        print(f"flamegraph stacks  : {written} -> {flame_out} "
+              "(collapsed; feed to flamegraph.pl or speedscope)")
+
+
 def _fault_tolerance_setup(args):
     """(FaultToleranceConfig, ValidatorChaosConfig | None) when the
     fault-tolerance flags ask for the chaos driver, else (None, None).
@@ -430,8 +491,9 @@ def cmd_perf(args) -> int:
     timeseries, slos = _timeseries_setup(args)
     ft, chaos = _fault_tolerance_setup(args)
     canary = _canary_config(args)
+    profile = _profile_config(args)
     config = lambda obs=None, response=None, timeseries=None, slos=None, \
-            ft=None, chaos=None, canary=None: PipelineConfig(
+            ft=None, chaos=None, canary=None, profile=None: PipelineConfig(
         app_threads=args.threads,
         validation_cores=args.cores,
         seed=args.seed,
@@ -442,11 +504,13 @@ def cmd_perf(args) -> int:
         fault_tolerance=ft,
         validator_faults=chaos,
         canary=canary,
+        profile=profile,
     )
     v = vanilla(scenario, size, config())
     o = orthrus(
         scenario, size,
-        config(obs, _response_config(args), timeseries, slos, ft, chaos, canary),
+        config(obs, _response_config(args), timeseries, slos, ft, chaos,
+               canary, profile),
     )
     r = rbv(scenario, size, config())
     if args.app == "phoenix":
@@ -455,7 +519,7 @@ def cmd_perf(args) -> int:
         print(f"orthrus overhead : {100 * (o.metrics.duration / base - 1):.1f}%")
         print(f"rbv overhead     : {100 * (r.metrics.duration / base - 1):.1f}%")
     else:
-        print(f"vanilla throughput : {v.metrics.throughput / 1e3:.0f} kop/s")
+        print(f"vanilla throughput : {format_rate(v.metrics.throughput)}")
         print(f"orthrus overhead   : {100 * slowdown(v.metrics.throughput, o.metrics.throughput):.1f}%")
         print(f"rbv overhead       : {100 * slowdown(v.metrics.throughput, r.metrics.throughput):.1f}%")
     print(f"orthrus memory ovh : {100 * o.metrics.memory_overhead:.1f}%")
@@ -469,6 +533,7 @@ def cmd_perf(args) -> int:
         rc = _finish_fault_tolerance(o, args)
     _report_timeline(o, args)
     _export_obs(obs, args, o.metrics)
+    _export_profile(getattr(o, "profile", None), args)
     return rc
 
 
@@ -479,8 +544,9 @@ def cmd_latency(args) -> int:
     timeseries, slos = _timeseries_setup(args)
     ft, chaos = _fault_tolerance_setup(args)
     canary = _canary_config(args)
+    profile = _profile_config(args)
     config = lambda obs=None, response=None, timeseries=None, slos=None, \
-            ft=None, chaos=None, canary=None: PipelineConfig(
+            ft=None, chaos=None, canary=None, profile=None: PipelineConfig(
         app_threads=args.threads,
         validation_cores=args.cores,
         seed=args.seed,
@@ -491,10 +557,12 @@ def cmd_latency(args) -> int:
         fault_tolerance=ft,
         validator_faults=chaos,
         canary=canary,
+        profile=profile,
     )
     o = orthrus(
         scenario, size,
-        config(obs, _response_config(args), timeseries, slos, ft, chaos, canary),
+        config(obs, _response_config(args), timeseries, slos, ft, chaos,
+               canary, profile),
     )
     r = rbv(scenario, size, config())
     ol, rl = o.metrics.validation_latency, r.metrics.validation_latency
@@ -511,6 +579,7 @@ def cmd_latency(args) -> int:
         rc = _finish_fault_tolerance(o, args)
     _report_timeline(o, args)
     _export_obs(obs, args, o.metrics)
+    _export_profile(getattr(o, "profile", None), args)
     return rc
 
 
@@ -518,6 +587,12 @@ def cmd_coverage(args) -> int:
     scenario, orthrus, _vanilla, rbv, default_size = _resolve(args.app)
     size = args.ops or default_size
     obs = _make_obs(args)
+    # A *shared* profiler instance: every trial activates it, so the
+    # payload aggregates the whole campaign (like the shared obs handle).
+    prof_config = _profile_config(args)
+    prof = make_profiler(prof_config) if prof_config is not None else None
+    if prof is not None and prof.sampler is not None:
+        prof.sampler.install()
     campaign = FaultInjectionCampaign(
         scenario,
         workload_size=size,
@@ -535,6 +610,7 @@ def cmd_coverage(args) -> int:
             drain_grace_fraction=args.grace,
             obs=obs,
             response=_response_config(args, auto_repair=False),
+            profile=prof,
         ),
         runner=orthrus,
         rbv_runner=rbv if args.rbv else None,
@@ -567,6 +643,9 @@ def cmd_coverage(args) -> int:
             "implicated the armed core"
         )
     _export_obs(obs, args)
+    if prof is not None:
+        prof.stop()
+        _export_profile(prof.to_payload(), args)
     return 0
 
 
@@ -746,7 +825,11 @@ def cmd_fleet(args) -> int:
         seed=args.seed,
     )
     try:
-        report = run_fleet(config, workers=args.workers)
+        report = run_fleet(
+            config,
+            workers=args.workers,
+            profile=True if _profile_config(args) is not None else None,
+        )
     except FleetConfigError as exc:
         print(str(exc), file=sys.stderr)
         return 1
@@ -772,6 +855,7 @@ def cmd_fleet(args) -> int:
     if args.timeline_out is not None:
         write_timeline_json(report.timeline, args.timeline_out)
         print(f"timeline artifact  : {args.timeline_out}")
+    _export_profile(report.profile, args)
     if report.safe_hold:
         held = report.rollup["degradation"]["safe_hold_shards"]
         print(
@@ -780,6 +864,44 @@ def cmd_fleet(args) -> int:
             file=sys.stderr,
         )
         return 2
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """One Orthrus run under the self-profiler: subsystem share table,
+    throughput meter, and optional JSON / flamegraph artifacts."""
+    scenario, orthrus, _vanilla, _rbv, default_size = _resolve(args.app)
+    size = args.ops or default_size
+    result = orthrus(
+        scenario, size,
+        PipelineConfig(
+            app_threads=args.threads,
+            validation_cores=args.cores,
+            seed=args.seed,
+            profile=ProfileConfig(
+                sample=args.sample, sample_budget=args.sample_budget
+            ),
+        ),
+    )
+    payload = getattr(result, "profile", None)
+    if payload is None:
+        print(f"(the {type(result).__name__} runner does not attach the "
+              "profiler; no profile recorded)")
+        return 1
+    print(render_profile(payload))
+    if args.out is not None:
+        try:
+            write_profile_json(payload, args.out)
+        except OSError as exc:
+            raise SystemExit(f"cannot write {args.out}: {exc}")
+        print(f"profile artifact   : {args.out}")
+    if args.flame_out is not None:
+        try:
+            written = write_collapsed(payload, args.flame_out)
+        except OSError as exc:
+            raise SystemExit(f"cannot write {args.flame_out}: {exc}")
+        print(f"flamegraph stacks  : {written} -> {args.flame_out} "
+              "(collapsed; feed to flamegraph.pl or speedscope)")
     return 0
 
 
@@ -792,10 +914,19 @@ def cmd_obs_summary(args) -> int:
         raise SystemExit(f"cannot read {args.path}: {exc}")
     except ValueError as exc:
         raise SystemExit(f"{args.path} is not valid JSON: {exc}")
+    if isinstance(snapshot, dict) and snapshot.get("format") == PROFILE_FORMAT:
+        if args.format == "prom":
+            registry = MetricsRegistry()
+            export_profile(snapshot, registry)
+            print(to_prometheus(registry), end="")
+            return 0
+        print(render_profile(snapshot))
+        return 0
     if not isinstance(snapshot, dict) or snapshot.get("format") != "orthrus-metrics/1":
         raise SystemExit(
-            f"{args.path} is not an orthrus-metrics/1 snapshot "
-            "(expected the JSON written by --metrics-out)"
+            f"{args.path} is not an orthrus-metrics/1 snapshot or an "
+            "orthrus-profile/1 payload (expected the JSON written by "
+            "--metrics-out or --profile-out)"
         )
     if args.format == "prom":
         print(to_prometheus(snapshot), end="")
@@ -938,7 +1069,7 @@ def cmd_bench_compare(args) -> int:
     for name in names:
         artifact = run_bench(name, scale=args.scale, seed=args.seed)
         path = write_artifact(artifact, args.out_dir)
-        print(f"wrote {path} (wall {artifact['wall_time_s']:.2f}s)")
+        print(f"wrote {path} (wall {format_wall(artifact['wall_time_s'])})")
         baseline_path = os.path.join(args.baseline_dir, artifact_filename(name))
         if args.update:
             write_artifact(artifact, args.baseline_dir)
@@ -1027,6 +1158,30 @@ def build_parser() -> argparse.ArgumentParser:
             "replaces the stock objectives",
         )
 
+    def profile_flags(p):
+        p.add_argument(
+            "--profile-out", default=None, metavar="PATH",
+            help="self-profile the Orthrus arm (subsystem wall-time "
+            "shares, events/s meter) and save the orthrus-profile/1 "
+            "payload; never affects the run digest",
+        )
+        p.add_argument(
+            "--flame-out", default=None, metavar="PATH",
+            help="also save collapsed flamegraph stacks "
+            "(flamegraph.pl / speedscope input); implies profiling",
+        )
+        p.add_argument(
+            "--sample", action="store_true",
+            help="also attach the budgeted sys.setprofile sampling "
+            "profiler (adds Python-frame stacks to --flame-out)",
+        )
+        p.add_argument(
+            "--sample-budget", type=float, default=0.02, metavar="FRAC",
+            help="sampling-overhead budget as a fraction of wall time "
+            "(default: %(default)s); the sampler uninstalls itself once "
+            "the budget is exhausted",
+        )
+
     def fault_tolerance_flags(p):
         p.add_argument(
             "--validator-faults", action="append", default=None,
@@ -1071,6 +1226,7 @@ def build_parser() -> argparse.ArgumentParser:
     timeline_flags(perf)
     fault_tolerance_flags(perf)
     canary_flags(perf)
+    profile_flags(perf)
 
     latency = sub.add_parser("latency", help="Fig 8-style validation latency")
     common(latency)
@@ -1078,10 +1234,12 @@ def build_parser() -> argparse.ArgumentParser:
     timeline_flags(latency)
     fault_tolerance_flags(latency)
     canary_flags(latency)
+    profile_flags(latency)
 
     coverage = sub.add_parser("coverage", help="Table 2-style fault campaign")
     common(coverage)
     quarantine_flag(coverage)
+    profile_flags(coverage)
     coverage.add_argument("--faults", type=int, default=24)
     coverage.add_argument("--trigger-rate", type=float, default=1.0)
     coverage.add_argument("--grace", type=float, default=4.0,
@@ -1205,6 +1363,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeline-out", default=None, metavar="PATH",
         help="save the merged fleet timeline (orthrus-timeseries/1)",
     )
+    fleet.add_argument(
+        "--profile-out", default=None, metavar="PATH",
+        help="self-profile planning/simulation/merge across workers and "
+        "save the merged orthrus-profile/1 payload (per-worker "
+        "utilization + straggler attribution; digest-neutral)",
+    )
+    fleet.add_argument(
+        "--flame-out", default=None, metavar="PATH",
+        help="also save the merged collapsed flamegraph stacks",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="self-profile one Orthrus run: subsystem timer table, "
+        "throughput meter, optional flamegraph stacks",
+    )
+    profile.add_argument("--app", default="memcached", help="application to drive")
+    profile.add_argument("--ops", type=int, default=None, help="workload size")
+    profile.add_argument("--threads", type=int, default=2,
+                         help="application threads")
+    profile.add_argument("--cores", type=int, default=2,
+                         help="validation cores")
+    profile.add_argument("--seed", type=int, default=1)
+    profile.add_argument(
+        "--sample", action="store_true",
+        help="attach the budgeted sys.setprofile sampling profiler "
+        "(adds Python-frame stacks to --flame-out)",
+    )
+    profile.add_argument(
+        "--sample-budget", type=float, default=0.02, metavar="FRAC",
+        help="sampling-overhead budget as a fraction of wall time "
+        "(default: %(default)s)",
+    )
+    profile.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="save the orthrus-profile/1 payload (obs-summary renders it)",
+    )
+    profile.add_argument(
+        "--flame-out", default=None, metavar="PATH",
+        help="save collapsed flamegraph stacks "
+        "(flamegraph.pl / speedscope input)",
+    )
 
     obs_summary = sub.add_parser(
         "obs-summary",
@@ -1303,6 +1503,7 @@ def main(argv=None) -> int:
         "coverage": cmd_coverage,
         "respond": cmd_respond,
         "fleet": cmd_fleet,
+        "profile": cmd_profile,
         "obs-summary": cmd_obs_summary,
         "timeline": cmd_timeline,
         "latency-attrib": cmd_latency_attrib,

@@ -29,6 +29,7 @@ import json
 
 from repro.determinism import stable_digest
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiling import active as profiling_active
 from repro.obs.timeseries import TimeSeries
 
 __all__ = [
@@ -43,6 +44,11 @@ __all__ = [
 def merge_events(results) -> list[dict]:
     """Merge per-shard event streams into one totally-ordered fleet
     stream with a post-merge global ``seq``."""
+    with profiling_active().scope("fleet.merge.events"):
+        return _merge_events(results)
+
+
+def _merge_events(results) -> list[dict]:
     events = []
     for result in results:
         events.extend(result.events)
@@ -76,10 +82,11 @@ def fleet_digest(config, merged_events: list[dict]) -> str:
 
 def merge_registries(results) -> MetricsRegistry:
     """Fold shard registry snapshots in ascending shard order."""
-    merged = MetricsRegistry()
-    for result in sorted(results, key=lambda r: r.shard_id):
-        merged.merge_snapshot(result.snapshot)
-    return merged
+    with profiling_active().scope("fleet.merge.registries"):
+        merged = MetricsRegistry()
+        for result in sorted(results, key=lambda r: r.shard_id):
+            merged.merge_snapshot(result.snapshot)
+        return merged
 
 
 class FleetTimeline:
@@ -131,7 +138,8 @@ class FleetTimeline:
 
 def merge_timelines(results, cadence: float) -> FleetTimeline:
     """Merge every shard's series rings in ascending shard order."""
-    timeline = FleetTimeline(cadence)
-    for result in sorted(results, key=lambda r: r.shard_id):
-        timeline.fold(result.series)
-    return timeline
+    with profiling_active().scope("fleet.merge.timelines"):
+        timeline = FleetTimeline(cadence)
+        for result in sorted(results, key=lambda r: r.shard_id):
+            timeline.fold(result.series)
+        return timeline

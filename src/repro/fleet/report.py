@@ -15,17 +15,13 @@ from dataclasses import dataclass, field
 from repro.fleet.merge import FleetTimeline
 from repro.fleet.topology import FleetConfig
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiling import format_rate, format_wall, worker_lines
 from repro.sim.metrics import RunMetrics
 
 __all__ = ["FleetReport"]
 
-
-def _fmt_seconds(value: float) -> str:
-    if value >= 1.0:
-        return f"{value:.2f}s"
-    if value >= 1e-3:
-        return f"{value * 1e3:.2f}ms"
-    return f"{value * 1e6:.1f}us"
+# one formatting helper across the repo (repro.obs.profiling)
+_fmt_seconds = format_wall
 
 
 @dataclass
@@ -44,6 +40,9 @@ class FleetReport:
     workers: int
     wall_s: float
     rollup: dict = field(default_factory=dict)
+    #: merged ``orthrus-profile/1`` payload (with per-worker utilization)
+    #: when the run was launched with ``run_fleet(..., profile=...)``
+    profile: dict | None = None
 
     # ------------------------------------------------------------------
     def finalize(self) -> None:
@@ -148,7 +147,7 @@ class FleetReport:
         return bool(self.rollup["degradation"]["safe_hold_shards"])
 
     def to_json(self) -> dict:
-        return {
+        payload = {
             "format": "orthrus-fleet/1",
             "digest": self.digest,
             "topology": self.topology,
@@ -165,6 +164,9 @@ class FleetReport:
             "workers": self.workers,
             "wall_s": round(self.wall_s, 3),
         }
+        if self.profile is not None:
+            payload["profile"] = self.profile
+        return payload
 
     def render(self) -> str:
         rollup = self.rollup
@@ -228,6 +230,16 @@ class FleetReport:
                 f" {ground['detections']} detections,"
                 f" lag p95={_fmt_seconds(ground['lag']['p95'])}"
             )
+        if self.profile is not None:
+            top = self.profile["subsystems"][0] if self.profile["subsystems"] else None
+            line = (
+                f"  self-profile    :"
+                f" {format_rate(self.profile['events_per_s'], 'event/s')}"
+            )
+            if top is not None:
+                line += f", top subsystem {top['name']} ({top['share']:.0%})"
+            lines.append(line)
+            lines.extend("  " + entry.strip() for entry in worker_lines(self.profile))
         lines.append(
             f"  determinism     : digest {self.digest[:16]}…"
             f" over {len(self.events)} events"

@@ -12,12 +12,19 @@ the platform has it, ``spawn`` otherwise; ``workers=1`` runs inline with
 no pool at all, which is what the CI digest-equality check compares
 against) and folds the shard results through :mod:`repro.fleet.merge`
 into a :class:`~repro.fleet.report.FleetReport`.
+
+With ``profile=...`` set, each worker runs its host group under its own
+:class:`~repro.obs.profiling.Profiler` and ships the ``orthrus-profile/1``
+payload home with the shard results; the parent folds worker payloads
+with its own (planning + merge scopes) via the same associative merge
+discipline the shard results use, and annotates per-worker utilization
+plus the straggler.  Profiling never touches the fleet digest — the
+parity test runs w1 vs w4 with and without it.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-import time
 
 import numpy as np
 
@@ -33,6 +40,13 @@ from repro.fleet.ring import mix64
 from repro.fleet.shardsim import ShardPlan, simulate_shard
 from repro.fleet.streams import host_rng
 from repro.fleet.topology import FleetConfig, FleetTopology
+from repro.obs.profiling import (
+    WallTimer,
+    activation,
+    make_profiler,
+    merge_profiles,
+    worker_summary,
+)
 
 __all__ = ["plan_fleet", "run_fleet"]
 
@@ -120,44 +134,84 @@ def _simulate_group(payload):
     """Worker entry point: simulate one host group's shard plans.
 
     Module-level (picklable under ``spawn``); receives everything it
-    needs in the payload, returns plain shard results.
+    needs in the payload, returns ``(results, profile_payload | None)``
+    as plain picklable values.
     """
-    config, plans = payload
-    return [simulate_shard(plan, config) for plan in plans]
+    config, plans, want_profile = payload
+    if not want_profile:
+        return [simulate_shard(plan, config) for plan in plans], None
+    prof = make_profiler(True)
+    with activation(prof):
+        with prof.scope("fleet.worker"):
+            results = [simulate_shard(plan, config) for plan in plans]
+    prof.stop()
+    return results, prof.to_payload()
 
 
-def run_fleet(config: FleetConfig, workers: int = 1) -> FleetReport:
-    """Simulate the fleet and merge the shards into one report."""
-    started = time.perf_counter()
-    topology = FleetTopology(config)
-    plans = plan_fleet(topology)
-    workers = max(1, min(workers, config.hosts))
-    if workers == 1:
-        results = [simulate_shard(plan, config) for plan in plans]
-    else:
-        # One worker per host group: hosts are dealt round-robin so every
-        # group gets a grounded shard's heavier DES work with the same
-        # likelihood.  Which worker runs which group cannot matter — the
-        # merge re-establishes the total order.
-        groups: list[list[ShardPlan]] = [[] for _ in range(workers)]
-        for plan in plans:
-            groups[plan.host_id % workers].append(plan)
-        method = (
-            "fork"
-            if "fork" in multiprocessing.get_all_start_methods()
-            else "spawn"
-        )
-        ctx = multiprocessing.get_context(method)
-        with ctx.Pool(processes=workers) as pool:
-            grouped = pool.map(
-                _simulate_group, [(config, group) for group in groups]
+def run_fleet(
+    config: FleetConfig, workers: int = 1, profile=None
+) -> FleetReport:
+    """Simulate the fleet and merge the shards into one report.
+
+    ``profile``: None = off; True/ProfileConfig = self-profile the run
+    (workers and parent), landing the merged ``orthrus-profile/1``
+    payload with per-worker utilization on ``FleetReport.profile``.
+    """
+    timer = WallTimer()
+    parent_prof = make_profiler(True if profile else None)
+    worker_payloads: list[dict] = []
+    with activation(parent_prof):
+        with parent_prof.scope("fleet.plan"):
+            topology = FleetTopology(config)
+            plans = plan_fleet(topology)
+        workers = max(1, min(workers, config.hosts))
+        if workers == 1:
+            results, payload = _simulate_group(
+                (config, plans, parent_prof.enabled)
             )
-        results = [result for group in grouped for result in group]
+            if payload is not None:
+                worker_payloads.append(payload)
+        else:
+            # One worker per host group: hosts are dealt round-robin so
+            # every group gets a grounded shard's heavier DES work with the
+            # same likelihood.  Which worker runs which group cannot matter
+            # — the merge re-establishes the total order.
+            groups: list[list[ShardPlan]] = [[] for _ in range(workers)]
+            for plan in plans:
+                groups[plan.host_id % workers].append(plan)
+            method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+            ctx = multiprocessing.get_context(method)
+            with ctx.Pool(processes=workers) as pool:
+                grouped = pool.map(
+                    _simulate_group,
+                    [(config, group, parent_prof.enabled) for group in groups],
+                )
+            results = [result for group, _ in grouped for result in group]
+            worker_payloads.extend(
+                payload for _, payload in grouped if payload is not None
+            )
 
-    events = merge_events(results)
-    digest = fleet_digest(config, events)
-    registry = merge_registries(results)
-    timeline = merge_timelines(results, cadence=config.epoch_s)
+        with parent_prof.scope("fleet.merge"):
+            events = merge_events(results)
+            digest = fleet_digest(config, events)
+            registry = merge_registries(results)
+            timeline = merge_timelines(results, cadence=config.epoch_s)
+    parent_prof.stop()
+
+    profile_payload = None
+    if parent_prof.enabled:
+        wall_s = timer.elapsed_s()
+        profile_payload = merge_profiles(
+            worker_payloads + [parent_prof.to_payload()], wall_s=wall_s
+        )
+        # Per-worker utilization + straggler only make sense when the
+        # workers actually profiled (they always do when profiling is on).
+        profile_payload.update(worker_summary(worker_payloads))
+
     report = FleetReport(
         config=config,
         topology=topology.describe(),
@@ -172,7 +226,8 @@ def run_fleet(config: FleetConfig, workers: int = 1) -> FleetReport:
             if r.ground_metrics is not None
         ],
         workers=workers,
-        wall_s=time.perf_counter() - started,
+        wall_s=timer.elapsed_s(),
+        profile=profile_payload,
     )
     report.finalize()
     return report

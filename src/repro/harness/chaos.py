@@ -39,10 +39,13 @@ from repro.faultinject.validator_faults import (
 from repro.harness.pipeline import (
     PipelineConfig,
     RunResult,
+    _finish_profile,
     _orthrus_overhead_cycles,
+    _with_profiler,
 )
 from repro.memory.checksum import checksum_of
 from repro.obs.canary import CanaryScheduler, LivenessMonitor, is_canary_log
+from repro.obs.profiling import active as profiling_active
 from repro.obs.slo import SloMonitor, default_objectives
 from repro.obs.timeseries import (
     TimeSeriesRecorder,
@@ -118,12 +121,21 @@ def run_chaos_server(scenario, n_ops: int, config: PipelineConfig) -> RunResult:
     """Run the Orthrus deployment with a fault-tolerant validation plane."""
     if config.validation_cores < 1:
         raise ConfigurationError("Orthrus needs at least one validation core")
+    return _with_profiler(
+        config, "driver.chaos", lambda: _run_chaos_impl(scenario, n_ops, config)
+    )
+
+
+def _run_chaos_impl(scenario, n_ops: int, config: PipelineConfig) -> RunResult:
     ft = (
         config.fault_tolerance
         if config.fault_tolerance is not None
         else FaultToleranceConfig()
     )
+    prof = profiling_active()
     env = Environment()
+    if prof.enabled:
+        env.profiler = prof
     machine = config.build_machine()
     app_cores = list(range(config.app_threads))
     val_cores = [config.app_threads + i for i in range(config.validation_cores)]
@@ -464,6 +476,7 @@ def run_chaos_server(scenario, n_ops: int, config: PipelineConfig) -> RunResult:
                 # turns into ``canary.missed``.
                 decision = None
             else:
+                t0 = prof.now() if prof.enabled else 0
                 if config.memory_budget_bytes is not None:
                     sampler.observe_memory(
                         memory_in_use(), config.memory_budget_bytes
@@ -471,6 +484,8 @@ def run_chaos_server(scenario, n_ops: int, config: PipelineConfig) -> RunResult:
                 else:
                     sampler.observe_delay(now - log.enqueue_time)
                 decision = sampler_decision(sampler, log, now)
+                if prof.enabled:
+                    prof.lap("sampler.decide", t0)
             if obs.enabled:
                 obs.registry.histogram(
                     "orthrus_queue_delay_seconds",
@@ -772,4 +787,6 @@ def run_chaos_server(scenario, n_ops: int, config: PipelineConfig) -> RunResult:
         queue_drops=queues.drops,
     )
     result.digest = server.state_digest() if not result.crashed else None
+    if prof.enabled:
+        _finish_profile(prof, env, [machine])
     return result

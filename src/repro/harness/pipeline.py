@@ -30,6 +30,7 @@ from repro.errors import ConfigurationError
 from repro.machine.cpu import Machine
 from repro.memory.version import approx_size
 from repro.obs.canary import CanaryScheduler, LivenessMonitor, is_canary_log
+from repro.obs.profiling import activation, active, make_profiler
 from repro.obs.slo import SloMonitor, default_objectives
 from repro.obs.timeseries import (
     TimeSeriesRecorder,
@@ -112,6 +113,14 @@ class PipelineConfig:
     #: detection deadline — the liveness summary lands on
     #: ``RunResult.canary`` and misses on the DetectionReport
     canary: Any = None
+    #: wall-clock self-profiling (``repro.obs.profiling``): None/False =
+    #: off, True = a fresh driver-owned Profiler (payload lands on
+    #: ``RunResult.profile``), a ``ProfileConfig`` = owned with knobs
+    #: (e.g. the sys.setprofile sampler), a ``Profiler`` instance =
+    #: shared across runs — the caller installs/stops/exports it.
+    #: Profiling observes wall time only; it never touches virtual time
+    #: or digests (parity-tested in tests/harness/test_profile_parity.py).
+    profile: Any = None
     seed: int = 1
     rbv_batch_size: int | None = None
     rbv_state_check_every: int = 64
@@ -156,12 +165,52 @@ class RunResult:
     #: canary liveness summary dict (``LivenessMonitor.summary()``) when
     #: the run was configured with ``PipelineConfig.canary``
     canary: Any = None
+    #: ``orthrus-profile/1`` payload when the run owned its profiler
+    #: (``PipelineConfig.profile`` of True/ProfileConfig); None otherwise
+    profile: Any = None
 
     @property
     def detections(self) -> int:
         if self.runtime is not None:
             return self.runtime.detections
         return self.rbv_detections
+
+
+def _with_profiler(config: PipelineConfig, label: str, body: Callable[[], RunResult]):
+    """Run a driver body under the configured self-profiler.
+
+    An *owned* profiler (``config.profile`` of True/ProfileConfig) is
+    created, activated, stopped, and exported to ``result.profile`` here;
+    a *shared* one (a Profiler instance, e.g. spanning a whole campaign)
+    is only activated — its creator installs/stops/exports it.  With
+    profiling off the body still runs under the *ambient* profiler's
+    ``label`` scope, so a profiled benchmark sees its driver runs.
+    """
+    prof = make_profiler(config.profile)
+    if not prof.enabled:
+        with active().scope(label):
+            return body()
+    owned = prof is not config.profile
+    with activation(prof):
+        if owned and prof.sampler is not None:
+            prof.sampler.install()
+        try:
+            with prof.scope(label):
+                result = body()
+        finally:
+            if owned:
+                prof.stop()
+    if owned:
+        result.profile = prof.to_payload()
+    return result
+
+
+def _finish_profile(prof, env: Environment, machines) -> None:
+    """Fold the run's throughput counters into the active profiler."""
+    prof.add_events(env.events_processed)
+    prof.add_instructions(
+        sum(core.instructions for machine in machines for core in machine.cores)
+    )
 
 
 def _orthrus_overhead_cycles(log: ClosureLog, costs: CostModel) -> float:
@@ -198,6 +247,7 @@ def validator_process(
     the timely-detection window) are dropped unvalidated.
     """
     obs = runtime.obs
+    prof = active()
     decide = getattr(sampler, "decide", None)
     dispatch_s = config.costs.seconds(config.costs.validation_dispatch_cycles)
     while True:
@@ -257,6 +307,7 @@ def validator_process(
                 event.succeed()
             on_step()
             continue
+        t0 = prof.now() if prof.enabled else 0
         if config.memory_budget_bytes is not None:
             sampler.observe_memory(memory_in_use(), config.memory_budget_bytes)
         else:
@@ -266,6 +317,8 @@ def validator_process(
             if decide is not None
             else sampler_decision(sampler, log, now)
         )
+        if prof.enabled:
+            prof.lap("sampler.decide", t0)
         if obs.enabled:
             obs.registry.histogram(
                 "orthrus_queue_delay_seconds",
@@ -356,7 +409,16 @@ def validator_process(
 # ----------------------------------------------------------------------
 def run_vanilla_server(scenario, n_ops: int, config: PipelineConfig) -> RunResult:
     """The unmodified application: no logging, no checksums, no validator."""
+    return _with_profiler(
+        config, "driver.vanilla", lambda: _run_vanilla_impl(scenario, n_ops, config)
+    )
+
+
+def _run_vanilla_impl(scenario, n_ops: int, config: PipelineConfig) -> RunResult:
+    prof = active()
     env = Environment()
+    if prof.enabled:
+        env.profiler = prof
     machine = config.build_machine()
     app_cores = list(range(config.app_threads))
     runtime = OrthrusRuntime(
@@ -419,6 +481,8 @@ def run_vanilla_server(scenario, n_ops: int, config: PipelineConfig) -> RunResul
     metrics.duration = env.now
     result.responses = [responses_by_index.get(i) for i in range(len(ops))]
     result.digest = server.state_digest() if not result.crashed else None
+    if prof.enabled:
+        _finish_profile(prof, env, [machine])
     return result
 
 
@@ -435,7 +499,16 @@ def run_orthrus_server(scenario, n_ops: int, config: PipelineConfig) -> RunResul
         return run_chaos_server(scenario, n_ops, config)
     if config.validation_cores < 1:
         raise ConfigurationError("Orthrus needs at least one validation core")
+    return _with_profiler(
+        config, "driver.orthrus", lambda: _run_orthrus_impl(scenario, n_ops, config)
+    )
+
+
+def _run_orthrus_impl(scenario, n_ops: int, config: PipelineConfig) -> RunResult:
+    prof = active()
     env = Environment()
+    if prof.enabled:
+        env.profiler = prof
     machine = config.build_machine()
     app_cores = list(range(config.app_threads))
     val_cores = [config.app_threads + i for i in range(config.validation_cores)]
@@ -709,6 +782,8 @@ def run_orthrus_server(scenario, n_ops: int, config: PipelineConfig) -> RunResul
     if responder is not None and not result.crashed:
         result.incident = responder.finalize()
     result.digest = server.state_digest() if not result.crashed else None
+    if prof.enabled:
+        _finish_profile(prof, env, [machine])
     return result
 
 
@@ -723,7 +798,16 @@ def run_rbv_server(scenario, n_ops: int, config: PipelineConfig) -> RunResult:
     primary pays serialization + batched network forwarding and stalls at
     the replication-lag bound.
     """
+    return _with_profiler(
+        config, "driver.rbv", lambda: _run_rbv_impl(scenario, n_ops, config)
+    )
+
+
+def _run_rbv_impl(scenario, n_ops: int, config: PipelineConfig) -> RunResult:
+    prof = active()
     env = Environment()
+    if prof.enabled:
+        env.profiler = prof
     costs = config.costs
     batch_size = config.rbv_batch_size or costs.rbv_batch_size
 
@@ -875,4 +959,6 @@ def run_rbv_server(scenario, n_ops: int, config: PipelineConfig) -> RunResult:
     result.rbv_detections = detections[0]
     result.responses = [responses_by_index.get(i) for i in range(len(ops))]
     result.digest = primary.state_digest() if not result.crashed else None
+    if prof.enabled:
+        _finish_profile(prof, env, [primary_machine, replica_machine])
     return result

@@ -65,6 +65,9 @@ class Core:
         #: attribution scope on the same core (§2.2's call structure).
         self._frames: list[tuple[str, dict[str, int], Trace | None]] = []
         self.total_cycles = 0
+        #: lifetime dynamic instruction count; feeds the wall-clock
+        #: instructions/sec throughput meter (repro.obs.profiling)
+        self.instructions = 0
         #: inspection/profiling support (§A.3.2): when enabled, every
         #: executed instruction site is recorded with its unit and its
         #: dynamic execution count (REFINE samples dynamic instructions)
@@ -131,6 +134,7 @@ class Core:
             self.site_counts[site] = self.site_counts.get(site, 0) + 1
         cycles = CYCLE_COST[unit] * cycle_weight
         self.total_cycles += cycles
+        self.instructions += 1
         trace = self._trace
         if trace is not None:
             trace.unit_counts[unit] = trace.unit_counts.get(unit, 0) + 1

@@ -1,0 +1,707 @@
+"""Wall-clock self-profiling for the simulator itself.
+
+Every other observability layer in :mod:`repro.obs` measures the
+*simulated* world in virtual time.  This module measures the *simulator*:
+where its own wall-clock time goes (machine execute, event-queue push/pop,
+validator compare, closure analysis, memory versioning, sampler decisions,
+fleet merge), how many engine events and simulated instructions it retires
+per wall second, and — via an optional ``sys.setprofile`` hook capped at an
+overhead budget — which Python frames burn the rest.  It is the
+measurement foundation the ROADMAP item-1 kernel rewrite is gated on.
+
+Design rules, carried from the NULL_OBS discipline of PRs 1/4/6:
+
+* **Wall time never enters a determinism digest.**  The profiler observes;
+  it does not participate.  Run digests, fleet digests, and bench config
+  digests are computed from virtual-time state only, and the parity tests
+  prove profiler on/off yields byte-identical digests.
+* **Disabled means free.**  :data:`NULL_PROFILER` is a shared no-op; every
+  instrumentation site either checks ``prof.enabled`` first or uses a
+  scope object whose disabled form does nothing.
+* **Ambient, not plumbed.**  Deep subsystems (the versioned heap, the
+  validator, the fleet merge) read the module-level :func:`active`
+  profiler installed by :func:`activation` instead of threading a handle
+  through every constructor.  The DES drivers are single-threaded, so a
+  module global is safe; fleet workers are separate processes and each
+  install their own.
+
+Exported artifact: ``orthrus-profile/1`` — a JSON dict with the
+hierarchical timer tree (``nodes``), a per-subsystem self-time rollup
+(``subsystems``), the events/instructions throughput meter, and (for
+fleet runs) a per-worker utilization / straggler section.  The same
+payload renders as a console table (:func:`render_profile`), a Prometheus
+section (:func:`export_profile`), and a collapsed-stack file any
+flamegraph tool accepts (:func:`collapsed_stacks`).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = [
+    "NULL_PROFILER",
+    "PROFILE_FORMAT",
+    "ProfileConfig",
+    "Profiler",
+    "SamplingProfiler",
+    "WallTimer",
+    "activation",
+    "active",
+    "collapsed_stacks",
+    "export_profile",
+    "format_rate",
+    "format_wall",
+    "load_profile_json",
+    "make_profiler",
+    "merge_profiles",
+    "render_profile",
+    "share_attribution",
+    "worker_summary",
+    "write_collapsed",
+    "write_profile_json",
+]
+
+PROFILE_FORMAT = "orthrus-profile/1"
+
+
+# ----------------------------------------------------------------------
+# the one formatting helper (the ad-hoc kop/s and wall-seconds renderers
+# scattered across cli/fleet/benchtrack unify on these)
+# ----------------------------------------------------------------------
+def format_rate(value: float, unit: str = "op/s") -> str:
+    """Human-scaled rate: ``843 op/s`` / ``97 kop/s`` / ``1.21 Mop/s``."""
+    if value >= 1e9:
+        return f"{value / 1e9:.2f} G{unit}"
+    if value >= 1e6:
+        return f"{value / 1e6:.2f} M{unit}"
+    if value >= 1e3:
+        return f"{value / 1e3:.0f} k{unit}"
+    return f"{value:.0f} {unit}"
+
+
+def format_wall(value: float) -> str:
+    """Human-scaled wall seconds: ``1.95s`` / ``48.21ms`` / ``6.1us``."""
+    if value >= 1.0:
+        return f"{value:.2f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value * 1e6:.1f}us"
+
+
+class WallTimer:
+    """A perf_counter_ns stopwatch — the one wall-clock definition."""
+
+    __slots__ = ("_t0",)
+
+    def __init__(self):
+        self._t0 = time.perf_counter_ns()
+
+    def elapsed_s(self) -> float:
+        return (time.perf_counter_ns() - self._t0) / 1e9
+
+
+# ----------------------------------------------------------------------
+# scoped hierarchical timer
+# ----------------------------------------------------------------------
+class _Scope:
+    """One ``with prof.scope(name):`` activation; re-entrant and
+    exception-safe (``__exit__`` always pops what ``__enter__`` pushed)."""
+
+    __slots__ = ("_profiler", "_name", "_t0")
+
+    def __init__(self, profiler: "Profiler", name: str):
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self) -> "_Scope":
+        self._profiler._stack.append(self._name)
+        self._t0 = self._profiler._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        profiler = self._profiler
+        elapsed = profiler._clock() - self._t0
+        stack = profiler._stack
+        path = tuple(stack)
+        stack.pop()
+        node = profiler._nodes.get(path)
+        if node is None:
+            profiler._nodes[path] = [1, elapsed]
+        else:
+            node[0] += 1
+            node[1] += elapsed
+        return False
+
+
+class _NullScope:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullScope":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SCOPE = _NullScope()
+
+
+class NullProfiler:
+    """Disabled profiler: every operation is a no-op.
+
+    The shared :data:`NULL_PROFILER` instance is the ambient default, so
+    an unprofiled run pays one attribute read per instrumentation site.
+    """
+
+    enabled = False
+    events = 0
+    instructions = 0
+    sampler = None
+
+    def scope(self, name: str) -> _NullScope:
+        return _NULL_SCOPE
+
+    def now(self) -> int:
+        return 0
+
+    def lap(self, name: str, t0_ns: int) -> None:
+        pass
+
+    def add_events(self, n: int) -> None:
+        pass
+
+    def add_instructions(self, n: int) -> None:
+        pass
+
+    def stop(self) -> None:
+        pass
+
+
+NULL_PROFILER = NullProfiler()
+
+
+class Profiler:
+    """Low-overhead hierarchical subsystem timer over ``perf_counter_ns``.
+
+    Two recording forms:
+
+    * ``with prof.scope("validate.compare"):`` — pushes the name on the
+      scope stack, so nested scopes build paths like
+      ``driver.orthrus;validate.compare`` and self-time is computed per
+      node at export;
+    * ``t0 = prof.now(); ...; prof.lap("sim.queue.pop", t0)`` — a leaf
+      measurement attributed under the *current* stack without the
+      allocation of a context manager (for per-event hot paths).
+
+    ``events`` / ``instructions`` feed the throughput meter: engine events
+    and simulated machine instructions retired per wall second.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        sample: bool = False,
+        sample_budget: float = 0.02,
+        _clock=time.perf_counter_ns,
+    ):
+        self._clock = _clock
+        self._stack: list[str] = []
+        #: path tuple -> [calls, total_ns]
+        self._nodes: dict[tuple[str, ...], list[int]] = {}
+        self._started_ns = _clock()
+        self._stopped_ns: int | None = None
+        self.events = 0
+        self.instructions = 0
+        self.sampler = (
+            SamplingProfiler(budget=sample_budget, _clock=_clock) if sample else None
+        )
+
+    # -- recording -----------------------------------------------------
+    def scope(self, name: str) -> _Scope:
+        return _Scope(self, name)
+
+    def now(self) -> int:
+        return self._clock()
+
+    def lap(self, name: str, t0_ns: int) -> None:
+        """Attribute ``now - t0_ns`` to leaf ``name`` under the current
+        scope stack."""
+        elapsed = self._clock() - t0_ns
+        path = (*self._stack, name)
+        node = self._nodes.get(path)
+        if node is None:
+            self._nodes[path] = [1, elapsed]
+        else:
+            node[0] += 1
+            node[1] += elapsed
+
+    def add_events(self, n: int) -> None:
+        self.events += n
+
+    def add_instructions(self, n: int) -> None:
+        self.instructions += n
+
+    def stop(self) -> None:
+        """Freeze the wall clock (idempotent) and detach the sampler."""
+        if self._stopped_ns is None:
+            self._stopped_ns = self._clock()
+        if self.sampler is not None:
+            self.sampler.uninstall()
+
+    # -- export --------------------------------------------------------
+    @property
+    def wall_ns(self) -> int:
+        end = self._stopped_ns if self._stopped_ns is not None else self._clock()
+        return end - self._started_ns
+
+    @property
+    def wall_s(self) -> float:
+        return self.wall_ns / 1e9
+
+    def to_payload(self) -> dict:
+        """The ``orthrus-profile/1`` dict."""
+        payload = _payload_from_nodes(
+            self._nodes, self.wall_ns, self.events, self.instructions
+        )
+        if self.sampler is not None:
+            payload["sampler"] = self.sampler.summary()
+            payload["sampler"]["stacks"] = self.sampler.collapsed()
+        return payload
+
+    def to_collapsed(self) -> list[str]:
+        return collapsed_stacks(self.to_payload())
+
+    def render_table(self) -> str:
+        return render_profile(self.to_payload())
+
+
+# ----------------------------------------------------------------------
+# payload construction / manipulation (plain dicts: picklable, mergeable)
+# ----------------------------------------------------------------------
+def _self_times(nodes: dict[tuple[str, ...], list[int]]) -> dict[tuple[str, ...], int]:
+    """Per-path self time: total minus the totals of direct children."""
+    children_total: dict[tuple[str, ...], int] = {}
+    for path, (_calls, total) in nodes.items():
+        parent = path[:-1]
+        if parent:
+            children_total[parent] = children_total.get(parent, 0) + total
+    return {
+        path: max(0, total - children_total.get(path, 0))
+        for path, (_calls, total) in nodes.items()
+    }
+
+
+def _payload_from_nodes(
+    nodes: dict[tuple[str, ...], list[int]],
+    wall_ns: int,
+    events: int,
+    instructions: int,
+) -> dict:
+    self_ns = _self_times(nodes)
+    node_list = [
+        {
+            "path": ";".join(path),
+            "calls": int(nodes[path][0]),
+            "total_ns": int(nodes[path][1]),
+            "self_ns": int(self_ns[path]),
+        }
+        for path in sorted(nodes)
+    ]
+    subsystems: dict[str, list[int]] = {}
+    for path in nodes:
+        leaf = path[-1]
+        entry = subsystems.setdefault(leaf, [0, 0])
+        entry[0] += nodes[path][0]
+        entry[1] += self_ns[path]
+    denom = max(1, wall_ns)
+    wall_s = wall_ns / 1e9
+    return {
+        "format": PROFILE_FORMAT,
+        "wall_s": wall_s,
+        "events": int(events),
+        "instructions": int(instructions),
+        "events_per_s": events / wall_s if wall_s > 0 else 0.0,
+        "instructions_per_s": instructions / wall_s if wall_s > 0 else 0.0,
+        "nodes": node_list,
+        "subsystems": [
+            {
+                "name": name,
+                "calls": int(calls),
+                "self_ns": int(ns),
+                "share": ns / denom,
+            }
+            for name, (calls, ns) in sorted(
+                subsystems.items(), key=lambda item: -item[1][1]
+            )
+        ],
+    }
+
+
+def _nodes_from_payload(payload: dict) -> dict[tuple[str, ...], list[int]]:
+    return {
+        tuple(node["path"].split(";")): [node["calls"], node["total_ns"]]
+        for node in payload.get("nodes", ())
+    }
+
+
+def merge_profiles(payloads: list[dict], wall_s: float | None = None) -> dict:
+    """Associative fold of ``orthrus-profile/1`` payloads.
+
+    Node calls/times, events and instructions sum; wall defaults to the
+    *maximum* input wall (the workers ran concurrently — the straggler
+    sets the fleet's elapsed time).  Pass ``wall_s`` to override with a
+    parent-measured elapsed time.  Any ``workers`` sections of the inputs
+    are dropped; rebuild one with :func:`worker_summary`.
+    """
+    merged: dict[tuple[str, ...], list[int]] = {}
+    events = instructions = 0
+    max_wall = 0.0
+    for payload in payloads:
+        for path, (calls, total) in _nodes_from_payload(payload).items():
+            node = merged.get(path)
+            if node is None:
+                merged[path] = [calls, total]
+            else:
+                node[0] += calls
+                node[1] += total
+        events += payload.get("events", 0)
+        instructions += payload.get("instructions", 0)
+        max_wall = max(max_wall, payload.get("wall_s", 0.0))
+    wall = wall_s if wall_s is not None else max_wall
+    return _payload_from_nodes(merged, int(wall * 1e9), events, instructions)
+
+
+def worker_summary(payloads: list[dict]) -> dict:
+    """Per-worker utilization and straggler attribution for a fleet run.
+
+    ``busy_s`` is the worker's instrumented self time (everything its
+    subsystem timers saw); ``utilization`` divides by its own wall.  The
+    straggler — the worker whose wall clock bounds the fleet's elapsed
+    time — is named explicitly so a skewed shard placement is one glance
+    away.
+    """
+    workers = []
+    for index, payload in enumerate(payloads):
+        wall = payload.get("wall_s", 0.0)
+        busy = sum(s["self_ns"] for s in payload.get("subsystems", ())) / 1e9
+        workers.append(
+            {
+                "worker": index,
+                "wall_s": wall,
+                "busy_s": busy,
+                "utilization": busy / wall if wall > 0 else 0.0,
+                "events": payload.get("events", 0),
+            }
+        )
+    straggler = max(workers, key=lambda w: w["wall_s"]) if workers else None
+    return {
+        "workers": workers,
+        "straggler": (
+            {"worker": straggler["worker"], "wall_s": straggler["wall_s"]}
+            if straggler is not None
+            else None
+        ),
+    }
+
+
+def share_attribution(baseline: dict, current: dict) -> list[dict]:
+    """Per-subsystem share movement between two profiles, biggest first.
+
+    The top entry is the answer to "fig6 got 12% slower — *where*?":
+    the subsystem whose share of wall time moved the most.
+    """
+    base = {s["name"]: s["share"] for s in baseline.get("subsystems", ())}
+    cur = {s["name"]: s["share"] for s in current.get("subsystems", ())}
+    moves = [
+        {
+            "name": name,
+            "baseline_share": base.get(name, 0.0),
+            "current_share": cur.get(name, 0.0),
+            "delta": cur.get(name, 0.0) - base.get(name, 0.0),
+        }
+        for name in set(base) | set(cur)
+    ]
+    moves.sort(key=lambda m: (-abs(m["delta"]), m["name"]))
+    return moves
+
+
+# ----------------------------------------------------------------------
+# exporters
+# ----------------------------------------------------------------------
+def collapsed_stacks(payload: dict) -> list[str]:
+    """Collapsed-stack lines (``a;b;c <self_ns>``) for flamegraph tools.
+
+    Sampling-profiler frames ride along under a ``py`` root so subsystem
+    and Python-frame time are distinguishable in one graph.
+    """
+    lines = [
+        f"{node['path']} {node['self_ns']}"
+        for node in payload.get("nodes", ())
+        if node["self_ns"] > 0
+    ]
+    sampler = payload.get("sampler")
+    if sampler:
+        lines.extend(sampler.get("stacks", ()))
+    return lines
+
+
+def write_collapsed(payload: dict, path: str) -> int:
+    lines = collapsed_stacks(payload)
+    with open(path, "w", encoding="utf-8") as fh:
+        for line in lines:
+            fh.write(line)
+            fh.write("\n")
+    return len(lines)
+
+
+def write_profile_json(payload: dict, path: str) -> None:
+    import json
+
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_profile_json(path: str) -> dict:
+    import json
+
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict) or payload.get("format") != PROFILE_FORMAT:
+        raise ValueError(f"{path} is not an {PROFILE_FORMAT} artifact")
+    return payload
+
+
+def export_profile(payload: dict, registry) -> None:
+    """Stamp the profile into a MetricsRegistry as ``profile_*`` families
+    so the Prometheus exporter carries the self-accounting too."""
+    for subsystem in payload.get("subsystems", ()):
+        labels = {"subsystem": subsystem["name"]}
+        registry.counter(
+            "profile_subsystem_seconds_total",
+            labels,
+            help="wall-clock self time per simulator subsystem",
+        ).inc(subsystem["self_ns"] / 1e9)
+        registry.counter(
+            "profile_subsystem_calls_total",
+            labels,
+            help="timed activations per simulator subsystem",
+        ).inc(subsystem["calls"])
+    registry.gauge(
+        "profile_wall_seconds", help="profiled wall-clock duration"
+    ).set(payload.get("wall_s", 0.0))
+    registry.gauge(
+        "profile_events_per_second",
+        help="simulation-engine events retired per wall second",
+    ).set(payload.get("events_per_s", 0.0))
+    registry.gauge(
+        "profile_instructions_per_second",
+        help="simulated machine instructions retired per wall second",
+    ).set(payload.get("instructions_per_s", 0.0))
+
+
+def render_profile(payload: dict, top: int = 16) -> str:
+    """Console table: throughput meter + subsystem share breakdown."""
+    lines = [
+        "self-profile"
+        f" : wall {format_wall(payload.get('wall_s', 0.0))},"
+        f" {format_rate(payload.get('events_per_s', 0.0), 'event/s')},"
+        f" {format_rate(payload.get('instructions_per_s', 0.0), 'instr/s')}"
+    ]
+    subsystems = list(payload.get("subsystems", ()))[:top]
+    if subsystems:
+        width = max(len(s["name"]) for s in subsystems)
+        lines.append(
+            f"  {'subsystem'.ljust(width)}  {'calls':>10}  {'self':>10}  share"
+        )
+        for s in subsystems:
+            lines.append(
+                f"  {s['name'].ljust(width)}  {s['calls']:>10}"
+                f"  {format_wall(s['self_ns'] / 1e9):>10}  {s['share']:6.1%}"
+            )
+    summary = worker_lines(payload)
+    lines.extend(summary)
+    sampler = payload.get("sampler")
+    if sampler:
+        status = "budget exhausted" if sampler.get("exhausted") else "within budget"
+        lines.append(
+            f"  py sampler: {sampler.get('frames', 0)} frames,"
+            f" overhead {format_wall(sampler.get('overhead_ns', 0) / 1e9)}"
+            f" ({status}, cap {sampler.get('budget_fraction', 0.0):.1%})"
+        )
+    return "\n".join(lines)
+
+
+def worker_lines(payload: dict) -> list[str]:
+    """Per-worker utilization lines (empty for single-process profiles)."""
+    workers = payload.get("workers")
+    if not workers:
+        return []
+    lines = []
+    for worker in workers:
+        lines.append(
+            f"  worker {worker['worker']}: wall {format_wall(worker['wall_s'])},"
+            f" busy {format_wall(worker['busy_s'])}"
+            f" ({worker['utilization']:.0%} utilized),"
+            f" {worker['events']} events"
+        )
+    straggler = payload.get("straggler")
+    if straggler is not None:
+        lines.append(
+            f"  straggler: worker {straggler['worker']}"
+            f" ({format_wall(straggler['wall_s'])} wall)"
+        )
+    return lines
+
+
+# ----------------------------------------------------------------------
+# the ambient (active) profiler
+# ----------------------------------------------------------------------
+_ACTIVE: Profiler | NullProfiler = NULL_PROFILER
+
+
+def active() -> Profiler | NullProfiler:
+    """The profiler deep subsystems record into (NULL_PROFILER when off)."""
+    return _ACTIVE
+
+
+@contextmanager
+def activation(profiler: Profiler | NullProfiler):
+    """Install ``profiler`` as the ambient profiler for the duration.
+
+    Nests: an inner activation (e.g. a driver run inside a profiled
+    benchmark) shadows and then restores the outer one.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = profiler if profiler is not None else NULL_PROFILER
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous
+
+
+# ----------------------------------------------------------------------
+# config plumbing for PipelineConfig.profile / run_fleet(profile=...)
+# ----------------------------------------------------------------------
+@dataclass
+class ProfileConfig:
+    """Knobs for a driver-owned profiler."""
+
+    #: also install the sys.setprofile Python-frame sampler
+    sample: bool = False
+    #: sampler overhead cap as a fraction of elapsed wall time; the hook
+    #: uninstalls itself when its self-measured cost crosses the cap
+    sample_budget: float = 0.02
+
+
+def make_profiler(spec) -> Profiler | NullProfiler:
+    """Resolve a ``profile`` config value to a profiler instance.
+
+    ``None`` → :data:`NULL_PROFILER`; ``True`` → a fresh :class:`Profiler`;
+    a :class:`ProfileConfig` → a fresh profiler with those knobs; an
+    existing :class:`Profiler` passes through unchanged (shared across
+    runs — e.g. one profiler over a whole fault-injection campaign; the
+    caller that built it owns install/stop/export).
+    """
+    if spec is None or spec is False:
+        return NULL_PROFILER
+    if isinstance(spec, (Profiler, NullProfiler)):
+        return spec
+    if spec is True:
+        return Profiler()
+    return Profiler(sample=spec.sample, sample_budget=spec.sample_budget)
+
+
+# ----------------------------------------------------------------------
+# optional Python-frame sampler (sys.setprofile) under an overhead budget
+# ----------------------------------------------------------------------
+class SamplingProfiler:
+    """A ``sys.setprofile`` call/return profiler that polices itself.
+
+    Every hook invocation measures its own cost; every ``check_every``
+    events the accumulated overhead is compared against ``budget`` × the
+    elapsed wall time, and the hook uninstalls itself the moment it
+    crosses the cap (``exhausted`` records that it did).  Frames feed the
+    same collapsed-stack export as the subsystem timers, under a ``py``
+    root.  C-function events are ignored; stacks are depth-capped.
+    """
+
+    def __init__(
+        self,
+        budget: float = 0.02,
+        check_every: int = 2048,
+        max_depth: int = 24,
+        _clock=time.perf_counter_ns,
+    ):
+        if budget < 0:
+            raise ValueError(f"negative overhead budget {budget}")
+        self.budget = budget
+        self.check_every = max(1, check_every)
+        self.max_depth = max_depth
+        self._clock = _clock
+        self.overhead_ns = 0
+        self.exhausted = False
+        self.frames = 0
+        self._stack: list[tuple[str, int]] = []
+        self._nodes: dict[tuple[str, ...], list[int]] = {}
+        self._installed = False
+        self._t0: int | None = None
+
+    def install(self) -> None:
+        if self._installed:
+            return
+        self._t0 = self._clock()
+        self._installed = True
+        sys.setprofile(self._hook)
+
+    def uninstall(self) -> None:
+        if self._installed:
+            sys.setprofile(None)
+            self._installed = False
+
+    def _hook(self, frame, event, arg) -> None:
+        t = self._clock()
+        if event == "call":
+            code = frame.f_code
+            name = getattr(code, "co_qualname", None) or code.co_name
+            self._stack.append((name, t))
+        elif event == "return" and self._stack:
+            name, entered = self._stack.pop()
+            depth = min(len(self._stack), self.max_depth - 1)
+            path = (*(n for n, _ in self._stack[:depth]), name)
+            node = self._nodes.get(path)
+            elapsed = t - entered
+            if node is None:
+                self._nodes[path] = [1, elapsed]
+            else:
+                node[0] += 1
+                node[1] += elapsed
+        self.frames += 1
+        self.overhead_ns += self._clock() - t
+        if self.frames % self.check_every == 0:
+            elapsed_wall = self._clock() - self._t0
+            if elapsed_wall > 0 and self.overhead_ns > self.budget * elapsed_wall:
+                self.exhausted = True
+                self.uninstall()
+
+    def summary(self) -> dict:
+        return {
+            "budget_fraction": self.budget,
+            "overhead_ns": int(self.overhead_ns),
+            "exhausted": self.exhausted,
+            "frames": self.frames,
+            "paths": len(self._nodes),
+        }
+
+    def collapsed(self) -> list[str]:
+        self_ns = _self_times(self._nodes)
+        return [
+            f"py;{';'.join(path)} {self_ns[path]}"
+            for path in sorted(self._nodes)
+            if self_ns[path] > 0
+        ]

@@ -41,6 +41,7 @@ from repro.memory.heap import VersionedHeap
 from repro.memory.pointer import OrthrusPtr
 from repro.memory.reclaim import ReclamationManager
 from repro.obs.observability import NULL_OBS
+from repro.obs.profiling import active as profiling_active
 from repro.runtime.sampling import AlwaysSampler, sampler_decision
 from repro.runtime.scheduler import LatencyTracker, Scheduler
 from repro.validation.queues import OVERFLOW_REJECT, QueueSet
@@ -255,9 +256,14 @@ class OrthrusRuntime:
             detector=self._on_detection,
             obs=self.obs,
         )
+        prof = profiling_active()
         try:
-            with ctx:
-                retval = meta.fn(*args, **kwargs)
+            if prof.enabled:
+                with prof.scope("machine.execute"), ctx:
+                    retval = meta.fn(*args, **kwargs)
+            else:
+                with ctx:
+                    retval = meta.fn(*args, **kwargs)
         except BaseException:
             # Fail-stop: the closure crashed.  Close its window so its
             # versions do not leak, then let the crash propagate.
@@ -383,8 +389,12 @@ class OrthrusRuntime:
             processed += 1
             now = self.clock.now()
             delay = self.queues.queue_delay(now)
+            prof = profiling_active()
+            t0 = prof.now() if prof.enabled else 0
             self.sampler.observe_delay(delay)
             decision = sampler_decision(self.sampler, log, now)
+            if prof.enabled:
+                prof.lap("sampler.decide", t0)
             if obs.enabled:
                 obs.registry.histogram(
                     "orthrus_queue_delay_seconds",

@@ -1,0 +1,110 @@
+"""Bench self-profiling: artifact breakdown + regression attribution.
+
+``orthrus-bench/1`` artifacts now carry a per-subsystem wall-time
+breakdown (``profile``), and ``compare_artifacts`` attributes a
+throughput regression to the subsystem whose share of wall time moved
+most — the acceptance scenario for the profiling PR: inflate one
+subsystem synthetically and bench-compare must *name* it.
+"""
+
+import copy
+
+import pytest
+
+from repro.harness.benchtrack import (
+    compare_artifacts,
+    render_comparison,
+    run_bench,
+)
+from repro.obs import PROFILE_FORMAT
+
+SCALE = 0.1
+
+
+@pytest.fixture(scope="module")
+def fig6_artifact():
+    return run_bench("fig6_performance", scale=SCALE, seed=1)
+
+
+def inflate(artifact: dict, subsystem: str, factor: float) -> dict:
+    """Synthetically slow one subsystem: scale its node times and stretch
+    the wall clock to match, like a real single-subsystem regression."""
+    slowed = copy.deepcopy(artifact)
+    profile = slowed["profile"]
+    added_ns = 0
+    for node in profile["nodes"]:
+        if node["path"].split(";")[-1] == subsystem:
+            extra = int(node["total_ns"] * (factor - 1.0))
+            node["total_ns"] += extra
+            node["self_ns"] += extra
+            added_ns += extra
+    for entry in profile["subsystems"]:
+        if entry["name"] == subsystem:
+            entry["self_ns"] = int(entry["self_ns"] * factor)
+    new_wall = profile["wall_s"] + added_ns / 1e9
+    for entry in profile["subsystems"]:
+        entry["share"] = entry["self_ns"] / (new_wall * 1e9)
+    profile["wall_s"] = new_wall
+    return slowed
+
+
+class TestBenchProfileArtifact:
+    def test_artifact_carries_profile_breakdown(self, fig6_artifact):
+        profile = fig6_artifact["profile"]
+        assert profile["format"] == PROFILE_FORMAT
+        names = {s["name"] for s in profile["subsystems"]}
+        assert "bench.fig6_performance" in names
+        assert "machine.execute" in names
+        assert "validate.compare" in names
+        assert profile["events"] > 0
+        assert profile["wall_s"] > 0
+        assert fig6_artifact["wall_time_s"] == pytest.approx(
+            profile["wall_s"], rel=0.25
+        )
+
+    def test_profile_never_feeds_config_digest(self, fig6_artifact):
+        rerun = run_bench("fig6_performance", scale=SCALE, seed=1)
+        # wall times differ run to run; the identity digest must not
+        assert rerun["config_digest"] == fig6_artifact["config_digest"]
+        assert rerun["sim"] == fig6_artifact["sim"]
+
+
+class TestRegressionAttribution:
+    def test_self_compare_has_no_loud_attribution(self, fig6_artifact):
+        comparison = compare_artifacts(
+            fig6_artifact, fig6_artifact, tolerance=0.1
+        )
+        assert comparison.ok
+        text = render_comparison(comparison)
+        assert "profile attribution" not in text
+
+    def test_synthetic_slowdown_names_the_subsystem(self, fig6_artifact):
+        slowed = inflate(fig6_artifact, "validate.compare", factor=20.0)
+        # ...and the visible symptom: the tracked overhead metric doubles
+        slowed["sim"]["memcached_orthrus_overhead"] *= 4.0
+        comparison = compare_artifacts(fig6_artifact, slowed, tolerance=0.25)
+        assert not comparison.ok
+        assert comparison.profile_shift
+        assert comparison.profile_shift[0]["name"] == "validate.compare"
+        assert comparison.profile_shift[0]["delta"] > 0
+        text = render_comparison(comparison)
+        assert "profile attribution: validate.compare" in text
+
+    def test_large_share_move_is_reported_even_without_regression(
+        self, fig6_artifact
+    ):
+        # No metric regressed, but >=5pp of wall time moved: say so.
+        shifted = inflate(fig6_artifact, "validate.compare", factor=20.0)
+        comparison = compare_artifacts(fig6_artifact, shifted, tolerance=0.25)
+        assert comparison.ok
+        top = comparison.profile_shift[0]
+        assert abs(top["delta"]) >= 0.05
+        assert "profile attribution" in render_comparison(comparison)
+
+    def test_artifacts_without_profiles_compare_quietly(self, fig6_artifact):
+        legacy_a = {k: v for k, v in fig6_artifact.items() if k != "profile"}
+        legacy_b = copy.deepcopy(legacy_a)
+        comparison = compare_artifacts(legacy_a, legacy_b, tolerance=0.1)
+        assert comparison.ok
+        assert comparison.profile_shift == []
+        assert "profile attribution" not in render_comparison(comparison)

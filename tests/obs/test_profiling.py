@@ -1,0 +1,390 @@
+"""Unit tests for the wall-clock self-profiler (repro.obs.profiling).
+
+A fake nanosecond clock drives the timer tests, so every duration below
+is exact — no sleeps, no flakiness.  Wall time never feeds any
+determinism digest (that property is covered end-to-end by
+tests/harness/test_profile_parity.py and tests/fleet/test_fleet_profile.py);
+here we pin down the timer algebra itself: nesting, reentrancy,
+exception safety, self-time math, merge associativity, and the sampling
+profiler's overhead budget.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiling import (
+    NULL_PROFILER,
+    PROFILE_FORMAT,
+    ProfileConfig,
+    Profiler,
+    SamplingProfiler,
+    activation,
+    active,
+    collapsed_stacks,
+    export_profile,
+    format_rate,
+    format_wall,
+    load_profile_json,
+    make_profiler,
+    merge_profiles,
+    render_profile,
+    share_attribution,
+    worker_summary,
+    write_profile_json,
+)
+
+
+class FakeClock:
+    """Deterministic perf_counter_ns stand-in: advances only on demand."""
+
+    def __init__(self):
+        self.t = 0
+
+    def __call__(self) -> int:
+        return self.t
+
+    def advance(self, ns: int) -> None:
+        self.t += ns
+
+
+def make_clocked() -> tuple[Profiler, FakeClock]:
+    clock = FakeClock()
+    return Profiler(_clock=clock), clock
+
+
+def node_map(payload: dict) -> dict[str, dict]:
+    return {node["path"]: node for node in payload["nodes"]}
+
+
+# ----------------------------------------------------------------------
+# timer scopes
+
+
+class TestScopes:
+    def test_nested_scopes_accumulate_under_full_path(self):
+        prof, clock = make_clocked()
+        with prof.scope("driver"):
+            clock.advance(100)
+            with prof.scope("inner"):
+                clock.advance(40)
+        prof.stop()
+        nodes = node_map(prof.to_payload())
+        assert nodes["driver"]["total_ns"] == 140
+        assert nodes["driver;inner"]["total_ns"] == 40
+        # self time excludes the child's share
+        assert nodes["driver"]["self_ns"] == 100
+        assert nodes["driver;inner"]["self_ns"] == 40
+
+    def test_reentrant_scope_nests_rather_than_merging(self):
+        prof, clock = make_clocked()
+        with prof.scope("a"):
+            clock.advance(10)
+            with prof.scope("a"):
+                clock.advance(5)
+        prof.stop()
+        nodes = node_map(prof.to_payload())
+        assert nodes["a"]["total_ns"] == 15
+        assert nodes["a;a"]["total_ns"] == 5
+        # ...but the subsystem rollup (by leaf name) pools both frames
+        subsystems = {
+            s["name"]: s for s in prof.to_payload()["subsystems"]
+        }
+        assert subsystems["a"]["self_ns"] == 15
+        assert subsystems["a"]["calls"] == 2
+
+    def test_scope_pops_on_exception(self):
+        prof, clock = make_clocked()
+        with pytest.raises(RuntimeError):
+            with prof.scope("outer"):
+                clock.advance(7)
+                raise RuntimeError("boom")
+        # the stack unwound: a later scope is a root, not outer;child
+        with prof.scope("later"):
+            clock.advance(3)
+        prof.stop()
+        nodes = node_map(prof.to_payload())
+        assert nodes["outer"]["total_ns"] == 7
+        assert nodes["later"]["total_ns"] == 3
+
+    def test_lap_lands_under_current_stack(self):
+        prof, clock = make_clocked()
+        with prof.scope("driver"):
+            t0 = prof.now()
+            clock.advance(25)
+            prof.lap("queue.push", t0)
+            clock.advance(5)
+        prof.stop()
+        nodes = node_map(prof.to_payload())
+        assert nodes["driver;queue.push"]["total_ns"] == 25
+        assert nodes["driver"]["self_ns"] == 5
+
+    def test_calls_counted_per_activation(self):
+        prof, clock = make_clocked()
+        for _ in range(3):
+            with prof.scope("s"):
+                clock.advance(2)
+        prof.stop()
+        assert node_map(prof.to_payload())["s"]["calls"] == 3
+
+
+# ----------------------------------------------------------------------
+# payload / meters / rendering
+
+
+class TestPayload:
+    def test_throughput_meters(self):
+        prof, clock = make_clocked()
+        with prof.scope("run"):
+            clock.advance(2_000_000_000)  # 2s wall
+        prof.add_events(500)
+        prof.add_instructions(4000)
+        prof.stop()
+        payload = prof.to_payload()
+        assert payload["format"] == PROFILE_FORMAT
+        assert payload["wall_s"] == pytest.approx(2.0)
+        assert payload["events_per_s"] == pytest.approx(250.0)
+        assert payload["instructions_per_s"] == pytest.approx(2000.0)
+
+    def test_shares_sum_to_at_most_one(self):
+        prof, clock = make_clocked()
+        with prof.scope("a"):
+            clock.advance(60)
+            with prof.scope("b"):
+                clock.advance(40)
+        clock.advance(100)  # un-attributed wall
+        prof.stop()
+        payload = prof.to_payload()
+        total_share = sum(s["share"] for s in payload["subsystems"])
+        assert 0 < total_share <= 1.0 + 1e-9
+
+    def test_render_profile_mentions_top_subsystem(self):
+        prof, clock = make_clocked()
+        with prof.scope("validate.compare"):
+            clock.advance(90)
+        prof.stop()
+        text = render_profile(prof.to_payload())
+        assert "self-profile" in text
+        assert "validate.compare" in text
+
+    def test_collapsed_stack_lines(self):
+        prof, clock = make_clocked()
+        with prof.scope("a"):
+            clock.advance(10)
+            with prof.scope("b"):
+                clock.advance(4)
+        prof.stop()
+        lines = collapsed_stacks(prof.to_payload())
+        assert "a 10" in lines
+        assert "a;b 4" in lines
+
+    def test_json_round_trip(self, tmp_path):
+        prof, clock = make_clocked()
+        with prof.scope("x"):
+            clock.advance(11)
+        prof.stop()
+        path = str(tmp_path / "p.json")
+        write_profile_json(prof.to_payload(), path)
+        assert load_profile_json(path) == prof.to_payload()
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "orthrus-metrics/1"}')
+        with pytest.raises(ValueError):
+            load_profile_json(str(path))
+
+    def test_export_profile_families(self):
+        prof, clock = make_clocked()
+        with prof.scope("machine.execute"):
+            clock.advance(1_000_000)
+        prof.stop()
+        registry = MetricsRegistry()
+        export_profile(prof.to_payload(), registry)
+        series = dict(
+            (labels["subsystem"], child.value)
+            for labels, child in registry.series(
+                "profile_subsystem_seconds_total"
+            )
+        )
+        assert series["machine.execute"] == pytest.approx(1e-3)
+
+
+# ----------------------------------------------------------------------
+# merge / attribution
+
+
+def synthetic_payload(spans: dict[str, int], wall_ns: int, events: int) -> dict:
+    prof = Profiler(_clock=(clock := FakeClock()))
+    for name, ns in spans.items():
+        with prof.scope(name):
+            clock.advance(ns)
+    clock.t = wall_ns
+    prof.add_events(events)
+    prof.stop()
+    return prof.to_payload()
+
+
+class TestMerge:
+    def test_merge_sums_nodes_and_events(self):
+        a = synthetic_payload({"x": 10}, wall_ns=100, events=5)
+        b = synthetic_payload({"x": 30, "y": 1}, wall_ns=200, events=7)
+        merged = merge_profiles([a, b])
+        assert node_map(merged)["x"]["total_ns"] == 40
+        assert merged["events"] == 12
+        # concurrent workers: the straggler bounds elapsed wall
+        assert merged["wall_s"] == pytest.approx(200e-9)
+
+    def test_merge_is_associative(self):
+        parts = [
+            synthetic_payload({"x": i * 10, "y": i}, wall_ns=100 * i, events=i)
+            for i in (1, 2, 3)
+        ]
+        left = merge_profiles([merge_profiles(parts[:2]), parts[2]])
+        right = merge_profiles([parts[0], merge_profiles(parts[1:])])
+        assert left["nodes"] == right["nodes"]
+        assert left["events"] == right["events"]
+
+    def test_worker_summary_names_straggler(self):
+        fast = synthetic_payload({"w": 10}, wall_ns=50, events=1)
+        slow = synthetic_payload({"w": 90}, wall_ns=100, events=2)
+        summary = worker_summary([fast, slow])
+        assert len(summary["workers"]) == 2
+        assert summary["straggler"]["worker"] == 1
+
+    def test_share_attribution_orders_by_delta(self):
+        base = synthetic_payload(
+            {"a": 50, "b": 25, "c": 25}, wall_ns=100, events=1
+        )
+        # b ballooned: it must be the top mover
+        cur = synthetic_payload(
+            {"a": 50, "b": 850, "c": 100}, wall_ns=1000, events=1
+        )
+        movers = share_attribution(base, cur)
+        assert movers[0]["name"] == "b"
+        assert movers[0]["delta"] > 0
+
+
+# ----------------------------------------------------------------------
+# null profiler / ambient activation
+
+
+class TestActivation:
+    def test_null_profiler_is_inert(self):
+        assert NULL_PROFILER.enabled is False
+        with NULL_PROFILER.scope("anything"):
+            pass
+        NULL_PROFILER.lap("x", NULL_PROFILER.now())
+        NULL_PROFILER.add_events(3)
+        NULL_PROFILER.stop()
+        assert NULL_PROFILER.events == 0
+
+    def test_activation_swaps_and_restores(self):
+        assert active() is NULL_PROFILER
+        prof = Profiler()
+        with activation(prof):
+            assert active() is prof
+        assert active() is NULL_PROFILER
+
+    def test_activation_restores_on_exception(self):
+        with pytest.raises(ValueError):
+            with activation(Profiler()):
+                raise ValueError
+        assert active() is NULL_PROFILER
+
+    def test_make_profiler_spec_forms(self):
+        assert make_profiler(None) is NULL_PROFILER
+        assert make_profiler(False) is NULL_PROFILER
+        assert isinstance(make_profiler(True), Profiler)
+        prof = Profiler()
+        assert make_profiler(prof) is prof
+        sampled = make_profiler(ProfileConfig(sample=True, sample_budget=0.5))
+        assert sampled.sampler is not None
+        assert sampled.sampler.budget == 0.5
+
+
+# ----------------------------------------------------------------------
+# sampling profiler
+
+
+class TestSampler:
+    def test_budget_exhaustion_uninstalls(self):
+        before = sys.getprofile()
+        sampler = SamplingProfiler(budget=1e-12, check_every=1)
+        sampler.install()
+        try:
+            # burn frames until the (absurdly tight) budget trips
+            for _ in range(200):
+                format_wall(0.5)
+                if sampler.exhausted:
+                    break
+        finally:
+            sampler.uninstall()
+        assert sampler.exhausted
+        assert sys.getprofile() is before
+
+    def test_collects_python_frames_within_budget(self):
+        before = sys.getprofile()
+        sampler = SamplingProfiler(budget=1.0, check_every=1 << 30)
+        sampler.install()
+        try:
+            for _ in range(50):
+                format_rate(12345.0)
+        finally:
+            sampler.uninstall()
+        assert sys.getprofile() is before
+        lines = sampler.collapsed()
+        assert lines
+        assert all(line.startswith("py;") for line in lines)
+        assert any("format_rate" in line for line in lines)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(budget=-0.1)
+
+    def test_profiler_stop_uninstalls_sampler(self):
+        before = sys.getprofile()
+        prof = make_profiler(ProfileConfig(sample=True, sample_budget=1.0))
+        prof.sampler.install()
+        prof.stop()
+        assert sys.getprofile() is before
+
+    def test_sampler_summary_reports_overhead(self):
+        sampler = SamplingProfiler(budget=1.0, check_every=1 << 30)
+        sampler.install()
+        try:
+            for _ in range(20):
+                format_wall(2e-5)
+        finally:
+            sampler.uninstall()
+        summary = sampler.summary()
+        assert summary["frames"] > 0
+        assert summary["overhead_ns"] >= 0
+        assert summary["exhausted"] is False
+
+
+# ----------------------------------------------------------------------
+# formatting helpers (the repo-wide rate/wall renderers)
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        ("value", "expect"),
+        [
+            (12.0, "12 op/s"),
+            (4_200.0, "4 kop/s"),
+            (1_390_000.0, "1.39 Mop/s"),
+            (2_500_000_000.0, "2.50 Gop/s"),
+        ],
+    )
+    def test_format_rate(self, value, expect):
+        assert format_rate(value) == expect
+
+    @pytest.mark.parametrize(
+        ("value", "expect"),
+        [(2.5, "2.50s"), (0.0035, "3.50ms"), (4.2e-6, "4.2us")],
+    )
+    def test_format_wall(self, value, expect):
+        assert format_wall(value) == expect
