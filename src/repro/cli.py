@@ -59,6 +59,20 @@ of ``--workers``.  ``--json`` saves the orthrus-fleet/1 rollup,
 in the standard formats, and a fleet with any shard ending in SAFE_HOLD
 exits with status 2.
 
+``doctor`` statically audits validation-plane configs (a JSON file with
+``pipeline``/``fleet`` sections, or the stock defaults) for
+contradictions — a quarantined-out validator pool, a watchdog deadline
+outliving its SLO, a sampler targeting unregistered closures — and exits
+1 when any ERROR-severity finding survives; ``--out`` saves the
+``orthrus-audit/1`` artifact (``obs-summary`` renders it).  ``--audit``
+on perf/latency/respond/fleet additionally attaches the *runtime* drift
+monitor, which compares declared config against observed behavior
+(coverage floor, verdict-producing cores, ledger residuals, canary
+liveness) and folds every unvalidated log into the per-closure
+``orthrus_exposure_seconds`` exposure ledger; ``--audit-out`` saves the
+payload.  Auditing is observational: run digests are byte-identical
+with it on or off.
+
 ``profile`` runs the Orthrus arm under the wall-clock self-profiler and
 prints the subsystem share table (machine execute, queue ops, validator
 compare, memory versioning, …) plus the events/s / instructions/s
@@ -78,7 +92,7 @@ import json
 import os
 import sys
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ExitCode
 from repro.faultinject.campaign import FaultInjectionCampaign
 from repro.fleet import FleetConfig, FleetConfigError, run_fleet
 from repro.faultinject.config import InjectionConfig
@@ -113,13 +127,17 @@ from repro.harness.scenarios import (
 )
 from repro.machine.units import Unit
 from repro.obs import (
+    AUDIT_FORMAT,
     PROFILE_FORMAT,
+    AuditConfig,
     CanaryConfig,
     MetricsRegistry,
     Observability,
     ProfileConfig,
     TimeSeriesConfig,
     attribute,
+    audit_fleet,
+    audit_pipeline,
     console_summary,
     export_profile,
     format_rate,
@@ -129,6 +147,7 @@ from repro.obs import (
     load_spans_chrome,
     load_timeline,
     make_profiler,
+    render_audit,
     render_profile,
     render_sparkline,
     render_waterfall,
@@ -182,16 +201,28 @@ def _resolve(app: str):
 _RESPOND_CLOSURES = {"memcached": "mc.set", "lsmtree": "lsm.put"}
 
 
+def subcommand_names(parser=None) -> list[str]:
+    """Registered subcommand names, in registration order.
+
+    Derived from the parser itself (not a hand-kept list), so the
+    ``list`` output and the help epilog can never drift from what
+    ``add_parser`` actually registered.
+    """
+    parser = parser if parser is not None else build_parser()
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return list(action.choices)
+    return []
+
+
 def cmd_list(_args) -> int:
     print("applications:")
     for name, (_, _, _, _, size) in _APPS.items():
         print(f"  {name:<10} (default workload size {size})")
-    print(
-        "\nsubcommands: perf, latency, coverage, respond, fleet, profile, "
-        "obs-summary, timeline, latency-attrib, bench-compare"
-    )
+    others = [name for name in subcommand_names() if name != "list"]
+    print("\nsubcommands: " + ", ".join(others))
     print("tracked benchmarks (bench-compare): " + ", ".join(sorted(BENCHES)))
-    return 0
+    return int(ExitCode.OK)
 
 
 def _make_obs(args) -> Observability | None:
@@ -441,7 +472,7 @@ def _finish_fault_tolerance(result, args) -> int:
     ft = getattr(result, "ft", None)
     if ft is None:
         print("fault tolerance    : (runner does not attach the chaos plane)")
-        return 0
+        return int(ExitCode.OK)
     ledger = ft.ledger
     print(
         f"log conservation   : {ledger['enqueued']} in = "
@@ -480,8 +511,189 @@ def _finish_fault_tolerance(result, args) -> int:
         print(f"fault-tolerance out: {args.ft_json}")
     if ft.terminal_level == "safe-hold":
         print("verdict            : run ended in SAFE_HOLD")
-        return 2
-    return 0
+        return int(ExitCode.SAFE_HOLD)
+    return int(ExitCode.OK)
+
+
+def _audit_enabled(args):
+    """True (enable the drift monitor with defaults) when either audit
+    flag asks for it, else None (the NULL fast path)."""
+    if getattr(args, "audit", False) or \
+            getattr(args, "audit_out", None) is not None:
+        return True
+    return None
+
+
+def _finish_audit(result, args) -> int:
+    """Print/save the run's ``orthrus-audit/1`` drift payload.
+
+    Returns the exit-status contribution: FAILURE when the audit found
+    ERROR-severity drift, else OK.  A no-op unless an audit flag was
+    passed.
+    """
+    if _audit_enabled(args) is None:
+        return int(ExitCode.OK)
+    payload = getattr(result, "audit", None)
+    if payload is None:
+        print("audit              : (runner does not attach the drift monitor)")
+        return int(ExitCode.OK)
+    print(render_audit(payload))
+    out = getattr(args, "audit_out", None)
+    if out is not None:
+        try:
+            with open(out, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        except OSError as exc:
+            raise SystemExit(f"cannot write {out}: {exc}")
+        print(f"audit artifact     : {out}")
+    errors = payload.get("summary", {}).get("errors", 0)
+    return int(ExitCode.FAILURE) if errors else int(ExitCode.OK)
+
+
+#: keys the ``doctor`` config file may use per section — rejected keys
+#: fail loudly rather than silently auditing nothing
+_DOCTOR_PIPELINE_KEYS = frozenset((
+    "app_threads", "validation_cores", "seed", "sampler_targets",
+    "canary", "slos", "fault_tolerance", "quarantine", "audit",
+))
+_DOCTOR_FLEET_KEYS = frozenset((
+    "hosts", "shards", "cores_per_host", "validators_per_shard",
+    "app_cores_per_shard", "vnodes", "min_coverage", "queue_capacity",
+    "canary_every", "watchdog_deadline", "slo_window", "quarantined",
+    "epochs", "seed",
+))
+
+
+def _pipeline_from_spec(spec: dict) -> PipelineConfig:
+    """A :class:`PipelineConfig` from a ``doctor`` JSON section."""
+    unknown = sorted(set(spec) - _DOCTOR_PIPELINE_KEYS)
+    if unknown:
+        raise SystemExit(
+            f"unknown pipeline key(s): {', '.join(unknown)} "
+            f"(expected: {', '.join(sorted(_DOCTOR_PIPELINE_KEYS))})"
+        )
+    kwargs = {
+        key: spec[key]
+        for key in ("app_threads", "validation_cores", "seed")
+        if key in spec
+    }
+    if "sampler_targets" in spec:
+        kwargs["sampler_targets"] = tuple(spec["sampler_targets"])
+    if "canary" in spec:
+        kwargs["canary"] = CanaryConfig(**spec["canary"])
+    if "slos" in spec:
+        kwargs["slos"] = [SloObjective.parse(s) for s in spec["slos"]]
+    if "audit" in spec:
+        kwargs["audit"] = AuditConfig(**spec["audit"])
+    ft_spec = spec.get("fault_tolerance")
+    if ft_spec is not None:
+        ft_kwargs = {
+            key: ft_spec[key]
+            for key in ("queue_capacity", "overflow_policy")
+            if key in ft_spec
+        }
+        if "watchdog_deadline" in ft_spec:
+            ft_kwargs["watchdog"] = WatchdogConfig(
+                deadline=ft_spec["watchdog_deadline"]
+            )
+        kwargs["fault_tolerance"] = FaultToleranceConfig(**ft_kwargs)
+    if spec.get("quarantine"):
+        kwargs["response"] = ResponseConfig()
+    return PipelineConfig(**kwargs)
+
+
+def _fleet_from_spec(spec: dict) -> FleetConfig:
+    """A :class:`FleetConfig` from a ``doctor`` JSON section."""
+    unknown = sorted(set(spec) - _DOCTOR_FLEET_KEYS)
+    if unknown:
+        raise SystemExit(
+            f"unknown fleet key(s): {', '.join(unknown)} "
+            f"(expected: {', '.join(sorted(_DOCTOR_FLEET_KEYS))})"
+        )
+    kwargs = dict(spec)
+    if "quarantined" in kwargs:
+        kwargs["quarantined"] = tuple(
+            (int(host), int(core)) for host, core in kwargs["quarantined"]
+        )
+    return FleetConfig(**kwargs)
+
+
+def cmd_doctor(args) -> int:
+    """Static validation-plane audit: cross-check declared configs for
+    contradictions *before* anything runs (ROADMAP item 5)."""
+    spec: dict = {}
+    if args.config is not None:
+        try:
+            with open(args.config, encoding="utf-8") as fh:
+                spec = json.load(fh)
+        except OSError as exc:
+            raise SystemExit(f"cannot read {args.config}: {exc}")
+        except ValueError as exc:
+            raise SystemExit(f"{args.config} is not valid JSON: {exc}")
+        if not isinstance(spec, dict):
+            raise SystemExit(
+                f"{args.config}: expected a JSON object with "
+                "'pipeline' and/or 'fleet' sections"
+            )
+        unknown = sorted(set(spec) - {"pipeline", "fleet"})
+        if unknown:
+            raise SystemExit(
+                f"{args.config}: unknown section(s) {', '.join(unknown)} "
+                "(expected 'pipeline' and/or 'fleet')"
+            )
+    pipeline_spec = dict(spec.get("pipeline", {}))
+    if args.cores is not None:
+        pipeline_spec["validation_cores"] = args.cores
+    if args.sampler_target:
+        pipeline_spec["sampler_targets"] = list(
+            pipeline_spec.get("sampler_targets", ())
+        ) + list(args.sampler_target)
+    if args.canary_period is not None:
+        pipeline_spec.setdefault("canary", {})["period"] = args.canary_period
+    if args.canary_deadline is not None:
+        pipeline_spec.setdefault("canary", {})["deadline"] = args.canary_deadline
+    ft_flags = {
+        "watchdog_deadline": args.watchdog_deadline,
+        "queue_capacity": args.queue_capacity,
+        "overflow_policy": args.overflow_policy,
+    }
+    for key, value in ft_flags.items():
+        if value is not None:
+            pipeline_spec.setdefault("fault_tolerance", {})[key] = value
+    if args.slo:
+        pipeline_spec["slos"] = list(pipeline_spec.get("slos", ())) + args.slo
+    try:
+        pipeline = _pipeline_from_spec(pipeline_spec)
+    except (ConfigurationError, TypeError, ValueError) as exc:
+        raise SystemExit(f"bad pipeline spec: {exc}")
+    report = audit_pipeline(pipeline)
+    fleet_spec = spec.get("fleet")
+    if fleet_spec is not None:
+        try:
+            fleet_config = _fleet_from_spec(fleet_spec)
+        except (TypeError, ValueError) as exc:
+            raise SystemExit(f"bad fleet spec: {exc}")
+        report.merge(audit_fleet(fleet_config))
+    elif args.config is None:
+        # Bare `doctor`: vet the stock fleet defaults too, so one
+        # invocation audits everything the CLI would run unflagged.
+        report.merge(audit_fleet(FleetConfig()))
+    payload = report.to_json()
+    if args.out is not None:
+        try:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        except OSError as exc:
+            raise SystemExit(f"cannot write {args.out}: {exc}")
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_audit(payload))
+        if args.out is not None:
+            print(f"audit artifact     : {args.out}")
+    return int(ExitCode.OK) if report.ok else int(ExitCode.FAILURE)
 
 
 def cmd_perf(args) -> int:
@@ -492,8 +704,10 @@ def cmd_perf(args) -> int:
     ft, chaos = _fault_tolerance_setup(args)
     canary = _canary_config(args)
     profile = _profile_config(args)
+    audit = _audit_enabled(args)
     config = lambda obs=None, response=None, timeseries=None, slos=None, \
-            ft=None, chaos=None, canary=None, profile=None: PipelineConfig(
+            ft=None, chaos=None, canary=None, profile=None, \
+            audit=None: PipelineConfig(
         app_threads=args.threads,
         validation_cores=args.cores,
         seed=args.seed,
@@ -505,12 +719,13 @@ def cmd_perf(args) -> int:
         validator_faults=chaos,
         canary=canary,
         profile=profile,
+        audit=audit,
     )
     v = vanilla(scenario, size, config())
     o = orthrus(
         scenario, size,
         config(obs, _response_config(args), timeseries, slos, ft, chaos,
-               canary, profile),
+               canary, profile, audit),
     )
     r = rbv(scenario, size, config())
     if args.app == "phoenix":
@@ -531,6 +746,7 @@ def cmd_perf(args) -> int:
     rc = 0
     if ft is not None or chaos is not None:
         rc = _finish_fault_tolerance(o, args)
+    rc = rc or _finish_audit(o, args)
     _report_timeline(o, args)
     _export_obs(obs, args, o.metrics)
     _export_profile(getattr(o, "profile", None), args)
@@ -545,8 +761,10 @@ def cmd_latency(args) -> int:
     ft, chaos = _fault_tolerance_setup(args)
     canary = _canary_config(args)
     profile = _profile_config(args)
+    audit = _audit_enabled(args)
     config = lambda obs=None, response=None, timeseries=None, slos=None, \
-            ft=None, chaos=None, canary=None, profile=None: PipelineConfig(
+            ft=None, chaos=None, canary=None, profile=None, \
+            audit=None: PipelineConfig(
         app_threads=args.threads,
         validation_cores=args.cores,
         seed=args.seed,
@@ -558,11 +776,12 @@ def cmd_latency(args) -> int:
         validator_faults=chaos,
         canary=canary,
         profile=profile,
+        audit=audit,
     )
     o = orthrus(
         scenario, size,
         config(obs, _response_config(args), timeseries, slos, ft, chaos,
-               canary, profile),
+               canary, profile, audit),
     )
     r = rbv(scenario, size, config())
     ol, rl = o.metrics.validation_latency, r.metrics.validation_latency
@@ -577,6 +796,7 @@ def cmd_latency(args) -> int:
     rc = 0
     if ft is not None or chaos is not None:
         rc = _finish_fault_tolerance(o, args)
+    rc = rc or _finish_audit(o, args)
     _report_timeline(o, args)
     _export_obs(obs, args, o.metrics)
     _export_profile(getattr(o, "profile", None), args)
@@ -646,7 +866,7 @@ def cmd_coverage(args) -> int:
     if prof is not None:
         prof.stop()
         _export_profile(prof.to_payload(), args)
-    return 0
+    return int(ExitCode.OK)
 
 
 def cmd_respond(args) -> int:
@@ -702,9 +922,10 @@ def cmd_respond(args) -> int:
     # fault-tolerant validation plane so the incident episode also scores
     # how detection holds up when the detectors themselves fail.
     ft, chaos = _fault_tolerance_setup(args)
+    audit = _audit_enabled(args)
     stress = None
     ft_rc = 0
-    if ft is not None or chaos is not None:
+    if ft is not None or chaos is not None or audit is not None:
         print("validation-plane stress arm:")
         stress = run_orthrus_server(
             scenario,
@@ -715,9 +936,12 @@ def cmd_respond(args) -> int:
                 seed=args.seed,
                 fault_tolerance=ft,
                 validator_faults=chaos,
+                audit=audit,
             ),
         )
-        ft_rc = _finish_fault_tolerance(stress, args)
+        if ft is not None or chaos is not None:
+            ft_rc = _finish_fault_tolerance(stress, args)
+        ft_rc = ft_rc or _finish_audit(stress, args)
     if args.json is not None:
         payload = json.loads(report.to_json())
         if stress is not None and stress.ft is not None:
@@ -729,7 +953,11 @@ def cmd_respond(args) -> int:
             raise SystemExit(f"cannot write {args.json}: {exc}")
         print(f"incident report    : {args.json}")
     _export_obs(obs, args)
-    rc = 0 if result.repaired and result.attribution_correct else 1
+    rc = (
+        int(ExitCode.OK)
+        if result.repaired and result.attribution_correct
+        else int(ExitCode.FAILURE)
+    )
     return rc or ft_rc
 
 
@@ -766,8 +994,8 @@ def _summarize_trace_jsonl(path: str) -> int:
     missed = by_kind.get("canary.missed", 0)
     if missed:
         print(f"canary liveness    : ALARM — {missed} canary.missed event(s)")
-        return 3
-    return 0
+        return int(ExitCode.CANARY_MISSED)
+    return int(ExitCode.OK)
 
 
 def _canary_status_from_registry(registry) -> int:
@@ -777,7 +1005,7 @@ def _canary_status_from_registry(registry) -> int:
         child.value for _, child in registry.series("orthrus_canary_issued_total")
     )
     if not issued:
-        return 0
+        return int(ExitCode.OK)
     detected = sum(
         child.value
         for _, child in registry.series("orthrus_canary_detected_total")
@@ -790,7 +1018,7 @@ def _canary_status_from_registry(registry) -> int:
         f"canary liveness: {status} — {issued:.0f} issued, "
         f"{detected:.0f} detected, {missed:.0f} missed"
     )
-    return 3 if missed else 0
+    return int(ExitCode.CANARY_MISSED) if missed else int(ExitCode.OK)
 
 
 def cmd_fleet(args) -> int:
@@ -832,8 +1060,9 @@ def cmd_fleet(args) -> int:
         )
     except FleetConfigError as exc:
         print(str(exc), file=sys.stderr)
-        return 1
+        return int(ExitCode.FAILURE)
     print(report.render())
+    audit_rc = _finish_audit(report, args)
     if args.json is not None:
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(report.to_json(), fh, indent=2, sort_keys=True)
@@ -863,8 +1092,8 @@ def cmd_fleet(args) -> int:
             f"results ({', '.join(held[:8])}{'…' if len(held) > 8 else ''})",
             file=sys.stderr,
         )
-        return 2
-    return 0
+        return int(ExitCode.SAFE_HOLD)
+    return audit_rc
 
 
 def cmd_profile(args) -> int:
@@ -887,7 +1116,7 @@ def cmd_profile(args) -> int:
     if payload is None:
         print(f"(the {type(result).__name__} runner does not attach the "
               "profiler; no profile recorded)")
-        return 1
+        return int(ExitCode.FAILURE)
     print(render_profile(payload))
     if args.out is not None:
         try:
@@ -902,7 +1131,7 @@ def cmd_profile(args) -> int:
             raise SystemExit(f"cannot write {args.flame_out}: {exc}")
         print(f"flamegraph stacks  : {written} -> {args.flame_out} "
               "(collapsed; feed to flamegraph.pl or speedscope)")
-    return 0
+    return int(ExitCode.OK)
 
 
 def cmd_obs_summary(args) -> int:
@@ -914,14 +1143,18 @@ def cmd_obs_summary(args) -> int:
         raise SystemExit(f"cannot read {args.path}: {exc}")
     except ValueError as exc:
         raise SystemExit(f"{args.path} is not valid JSON: {exc}")
+    if isinstance(snapshot, dict) and snapshot.get("format") == AUDIT_FORMAT:
+        print(render_audit(snapshot))
+        errors = snapshot.get("summary", {}).get("errors", 0)
+        return int(ExitCode.FAILURE) if errors else int(ExitCode.OK)
     if isinstance(snapshot, dict) and snapshot.get("format") == PROFILE_FORMAT:
         if args.format == "prom":
             registry = MetricsRegistry()
             export_profile(snapshot, registry)
             print(to_prometheus(registry), end="")
-            return 0
+            return int(ExitCode.OK)
         print(render_profile(snapshot))
-        return 0
+        return int(ExitCode.OK)
     if not isinstance(snapshot, dict) or snapshot.get("format") != "orthrus-metrics/1":
         raise SystemExit(
             f"{args.path} is not an orthrus-metrics/1 snapshot or an "
@@ -930,7 +1163,7 @@ def cmd_obs_summary(args) -> int:
         )
     if args.format == "prom":
         print(to_prometheus(snapshot), end="")
-        return 0
+        return int(ExitCode.OK)
     print(console_summary(snapshot), end="")
     registry = MetricsRegistry.from_snapshot(snapshot)
     stages = stage_stats_from_registry(registry)
@@ -967,8 +1200,8 @@ def cmd_timeline(args) -> int:
                      "stat": args.stat, "value": value}
                 ))
         if canary_missed is not None and canary_missed.summary()["max"]:
-            return 3
-        return 0
+            return int(ExitCode.CANARY_MISSED)
+        return int(ExitCode.OK)
     width = max(len(name) for name in series_map) if series_map else 0
     for series in series_map.values():
         points = [value for _, value in series.values(args.stat)]
@@ -991,8 +1224,8 @@ def cmd_timeline(args) -> int:
         status = "ALARM" if missed else "ok"
         print(f"canary liveness: {status} — {missed:.0f} missed")
         if missed:
-            return 3
-    return 0
+            return int(ExitCode.CANARY_MISSED)
+    return int(ExitCode.OK)
 
 
 def cmd_latency_attrib(args) -> int:
@@ -1022,7 +1255,7 @@ def cmd_latency_attrib(args) -> int:
         print(render_waterfall(stages), end="")
         print("(snapshot input: no per-chain reconciliation; use a "
               "--spans-out trace for that)")
-        return 0
+        return int(ExitCode.OK)
     try:
         spans = load_spans_chrome(args.path)
     except ValueError as exc:
@@ -1055,7 +1288,9 @@ def cmd_latency_attrib(args) -> int:
         for closure, stages in attr.by_closure().items():
             print(f"\nclosure: {closure or '(unnamed)'}")
             print(render_waterfall(stages), end="")
-    return 0 if recon["reconciled"] else 1
+    return (
+        int(ExitCode.OK) if recon["reconciled"] else int(ExitCode.FAILURE)
+    )
 
 
 def cmd_bench_compare(args) -> int:
@@ -1087,7 +1322,7 @@ def cmd_bench_compare(args) -> int:
         print(render_comparison(comparison))
         if not comparison.ok:
             failures += 1
-    return 1 if failures else 0
+    return int(ExitCode.FAILURE) if failures else int(ExitCode.OK)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1098,6 +1333,18 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list applications and subcommands")
+
+    def audit_flags(p):
+        p.add_argument(
+            "--audit", action="store_true",
+            help="attach the runtime drift monitor (declared config vs "
+            "observed behavior) and print the orthrus-audit/1 report; "
+            "exits 1 on ERROR-severity drift",
+        )
+        p.add_argument(
+            "--audit-out", default=None, metavar="PATH",
+            help="save the orthrus-audit/1 drift payload (implies --audit)",
+        )
 
     def common(p):
         p.add_argument("--app", default="memcached", help="application to drive")
@@ -1220,6 +1467,53 @@ def build_parser() -> argparse.ArgumentParser:
             "watchdog counters, terminal degradation state) as JSON",
         )
 
+    doctor = sub.add_parser(
+        "doctor",
+        help="statically audit validation-plane configs for "
+        "contradictions (exit 1 on ERROR findings)",
+    )
+    doctor.add_argument(
+        "--config", default=None, metavar="PATH",
+        help="JSON file with 'pipeline' and/or 'fleet' sections to audit "
+        "(default: audit the stock pipeline + fleet defaults)",
+    )
+    doctor.add_argument(
+        "--cores", type=int, default=None,
+        help="validation cores to declare",
+    )
+    doctor.add_argument(
+        "--sampler-target", action="append", default=None, metavar="CLOSURE",
+        help="declare a sampler target closure (repeatable; unregistered "
+        "names are exactly the nba-stats-scraper failure mode)",
+    )
+    canary_flags(doctor)
+    doctor.add_argument(
+        "--watchdog-deadline", type=float, default=None, metavar="SIM_S",
+        help="watchdog deadline to declare",
+    )
+    doctor.add_argument(
+        "--queue-capacity", type=int, default=None, metavar="N",
+        help="bounded validation-queue capacity to declare",
+    )
+    doctor.add_argument(
+        "--overflow-policy", default=None, metavar="POLICY",
+        help="bounded-queue overflow policy to declare (free-form on "
+        "purpose: the audit flags unknown policies)",
+    )
+    doctor.add_argument(
+        "--slo", action="append", default=None, metavar="SPEC",
+        help="SLO objective '<series> <stat> <op> <value>[unit]' "
+        "(repeatable)",
+    )
+    doctor.add_argument(
+        "--json", action="store_true",
+        help="print the orthrus-audit/1 payload as JSON instead of text",
+    )
+    doctor.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="save the orthrus-audit/1 artifact",
+    )
+
     perf = sub.add_parser("perf", help="Fig 6-style performance comparison")
     common(perf)
     quarantine_flag(perf)
@@ -1227,6 +1521,7 @@ def build_parser() -> argparse.ArgumentParser:
     fault_tolerance_flags(perf)
     canary_flags(perf)
     profile_flags(perf)
+    audit_flags(perf)
 
     latency = sub.add_parser("latency", help="Fig 8-style validation latency")
     common(latency)
@@ -1235,6 +1530,7 @@ def build_parser() -> argparse.ArgumentParser:
     fault_tolerance_flags(latency)
     canary_flags(latency)
     profile_flags(latency)
+    audit_flags(latency)
 
     coverage = sub.add_parser("coverage", help="Table 2-style fault campaign")
     common(coverage)
@@ -1276,6 +1572,7 @@ def build_parser() -> argparse.ArgumentParser:
         "fault_tolerance summary when the stress arm ran)",
     )
     fault_tolerance_flags(respond)
+    audit_flags(respond)
 
     fleet = sub.add_parser(
         "fleet",
@@ -1373,6 +1670,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--flame-out", default=None, metavar="PATH",
         help="also save the merged collapsed flamegraph stacks",
     )
+    audit_flags(fleet)
 
     profile = sub.add_parser(
         "profile",
@@ -1491,25 +1789,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--update", action="store_true",
         help="rewrite the baselines from this run instead of comparing",
     )
+    parser.epilog = "subcommands: " + ", ".join(subcommand_names(parser))
     return parser
+
+
+#: subcommand name -> handler.  The roster drift test asserts this stays
+#: in lockstep with the subparsers ``build_parser`` registers.
+_HANDLERS = {
+    "list": cmd_list,
+    "doctor": cmd_doctor,
+    "perf": cmd_perf,
+    "latency": cmd_latency,
+    "coverage": cmd_coverage,
+    "respond": cmd_respond,
+    "fleet": cmd_fleet,
+    "profile": cmd_profile,
+    "obs-summary": cmd_obs_summary,
+    "timeline": cmd_timeline,
+    "latency-attrib": cmd_latency_attrib,
+    "bench-compare": cmd_bench_compare,
+}
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    handler = {
-        "list": cmd_list,
-        "perf": cmd_perf,
-        "latency": cmd_latency,
-        "coverage": cmd_coverage,
-        "respond": cmd_respond,
-        "fleet": cmd_fleet,
-        "profile": cmd_profile,
-        "obs-summary": cmd_obs_summary,
-        "timeline": cmd_timeline,
-        "latency-attrib": cmd_latency_attrib,
-        "bench-compare": cmd_bench_compare,
-    }[args.command]
-    return handler(args)
+    return _HANDLERS[args.command](args)
 
 
 if __name__ == "__main__":

@@ -11,6 +11,37 @@ deployment model (§1).
 
 from __future__ import annotations
 
+import enum
+
+
+class ExitCode(enum.IntEnum):
+    """The CLI's documented exit-code registry.
+
+    Every subcommand returns one of these; tests assert the mapping so a
+    new code cannot ship undocumented.
+
+    ========  =====================================================
+    code      meaning
+    ========  =====================================================
+    OK        run completed; every gate passed
+    FAILURE   rejected config, unrepaired incident, unreconciled
+              attribution, missing/invalid artifact, bench
+              regression, or ERROR-severity audit findings
+              (``doctor``, ``--audit``)
+    SAFE_HOLD the degradation ladder ended the run in SAFE_HOLD
+              (``perf``/``latency``/``respond`` fault-tolerance
+              runs, ``fleet``)
+    CANARY_MISSED  a canary probe missed its detection deadline
+              (``perf``/``latency`` canary runs, ``obs-summary``,
+              ``timeline``)
+    ========  =====================================================
+    """
+
+    OK = 0
+    FAILURE = 1
+    SAFE_HOLD = 2
+    CANARY_MISSED = 3
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""

@@ -28,6 +28,7 @@ import hashlib
 import json
 
 from repro.determinism import stable_digest
+from repro.obs.audit import AuditReport, Finding, merge_findings
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiling import active as profiling_active
 from repro.obs.timeseries import TimeSeries
@@ -35,6 +36,7 @@ from repro.obs.timeseries import TimeSeries
 __all__ = [
     "merge_events",
     "fleet_digest",
+    "merge_audit",
     "merge_registries",
     "FleetTimeline",
     "merge_timelines",
@@ -87,6 +89,28 @@ def merge_registries(results) -> MetricsRegistry:
         for result in sorted(results, key=lambda r: r.shard_id):
             merged.merge_snapshot(result.snapshot)
         return merged
+
+
+def merge_audit(results) -> dict:
+    """Fold per-shard drift findings into one ``orthrus-audit/1`` payload.
+
+    ``merge_findings`` dedupes by (rule, subject, message) and sorts by
+    severity, so the payload is identical for any worker count or fold
+    order — the same argument the registry merge makes.  Two drift rules
+    are evaluated per shard (coverage floor, canary liveness), hence
+    ``rules_run``.
+    """
+    shard_results = sorted(results, key=lambda r: r.shard_id)
+    findings = merge_findings(*[
+        [Finding.from_dict(entry) for entry in result.audit]
+        for result in shard_results
+    ])
+    report = AuditReport(
+        findings=findings,
+        rules_run=2 * len(shard_results),
+        targets=["fleet-drift"],
+    )
+    return report.to_json()
 
 
 class FleetTimeline:

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.fleet.merge import FleetTimeline
 from repro.fleet.topology import FleetConfig
+from repro.obs.exposure import ExposureLedger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiling import format_rate, format_wall, worker_lines
 from repro.sim.metrics import RunMetrics
@@ -43,6 +44,8 @@ class FleetReport:
     #: merged ``orthrus-profile/1`` payload (with per-worker utilization)
     #: when the run was launched with ``run_fleet(..., profile=...)``
     profile: dict | None = None
+    #: merged ``orthrus-audit/1`` payload of per-shard drift findings
+    audit: dict | None = None
 
     # ------------------------------------------------------------------
     def finalize(self) -> None:
@@ -93,6 +96,7 @@ class FleetReport:
             }
         lag = registry.series("fleet_validation_lag_seconds")
         lag_summary = lag[0][1].summary() if lag else {}
+        exposure = ExposureLedger.from_registry(registry, subject_label="shard")
         self.rollup = {
             "ops": int(ops),
             "validated": int(validated),
@@ -121,6 +125,7 @@ class FleetReport:
                 "remote_logs": int(value("fleet_rbv_remote_logs_total")),
                 "remote_bytes": int(value("fleet_rbv_remote_bytes_total")),
             },
+            "exposure": exposure.summary(),
             "ground": ground_rollup,
         }
         registry.gauge(
@@ -166,6 +171,8 @@ class FleetReport:
         }
         if self.profile is not None:
             payload["profile"] = self.profile
+        if self.audit is not None:
+            payload["audit"] = self.audit
         return payload
 
     def render(self) -> str:
@@ -222,6 +229,23 @@ class FleetReport:
             f"  cross-host rbv  : {rollup['rbv']['remote_logs']:,} remote logs,"
             f" {rollup['rbv']['remote_bytes'] / 1e6:.2f} MB on the link"
         )
+        exp = rollup.get("exposure")
+        if exp and exp["logs"]:
+            worst = exp["worst"][0] if exp["worst"] else None
+            line = (
+                f"  exposure        : {exp['logs']:,} log(s),"
+                f" {exp['seconds'] * 1e3:.3f} ms unprotected"
+            )
+            if worst is not None:
+                line += f" (worst shard {worst['subject']})"
+            lines.append(line)
+        if self.audit is not None:
+            summary = self.audit["summary"]
+            lines.append(
+                f"  drift audit     : {summary['errors']} error(s),"
+                f" {summary['warnings']} warning(s)"
+                f" over {self.audit['rules_run']} rule-check(s)"
+            )
         if rollup["ground"]:
             ground = rollup["ground"]
             lines.append(

@@ -31,6 +31,7 @@ import numpy as np
 from repro.determinism import derive_seed
 from repro.fleet.merge import (
     fleet_digest,
+    merge_audit,
     merge_events,
     merge_registries,
     merge_timelines,
@@ -200,6 +201,7 @@ def run_fleet(
             digest = fleet_digest(config, events)
             registry = merge_registries(results)
             timeline = merge_timelines(results, cadence=config.epoch_s)
+            audit = merge_audit(results)
     parent_prof.stop()
 
     profile_payload = None
@@ -228,6 +230,7 @@ def run_fleet(
         workers=workers,
         wall_s=timer.elapsed_s(),
         profile=profile_payload,
+        audit=audit,
     )
     report.finalize()
     return report

@@ -35,6 +35,8 @@ from dataclasses import dataclass, field
 
 from repro.fleet.streams import shard_rng
 from repro.fleet.topology import FleetConfig
+from repro.obs.audit import Finding, Severity
+from repro.obs.exposure import ExposureLedger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiling import active as profiling_active
 from repro.obs.timeseries import TimeSeries
@@ -99,6 +101,9 @@ class ShardResult:
     #: series name -> TimeSeries.to_dict()
     series: dict = field(default_factory=dict)
     summary: dict = field(default_factory=dict)
+    #: terminal drift findings (``Finding.to_dict`` records) — merged
+    #: fleet-wide by the runner into the report's audit payload
+    audit: list = field(default_factory=list)
     ground: dict | None = None
     ground_metrics: object | None = None
 
@@ -143,6 +148,9 @@ def _simulate_shard(plan: ShardPlan, config: FleetConfig) -> ShardResult:
     rng = shard_rng(config.seed, plan.host_id, plan.shard_id, "sim")
     registry = MetricsRegistry()
     labels = {"host": plan.host_name}
+    exposure = ExposureLedger(
+        registry=registry, subject_label="shard", extra_labels=labels
+    )
     series = {
         name: TimeSeries(name, capacity=128, reservoir=8, unit=unit)
         for name, unit in SHARD_SERIES
@@ -239,6 +247,21 @@ def _simulate_shard(plan: ShardPlan, config: FleetConfig) -> ShardResult:
         timed_out = queue if (
             queue and expected_wait > config.watchdog_deadline
         ) else 0
+
+        # -- exposure windows (DESIGN §14): every log left unvalidated
+        # opens a measured span of vulnerability.  A skip lasts one
+        # epoch (the next resampling opportunity); a drop exposes the
+        # key for the rest of the run; a stall lasts until the queue
+        # drains or the run ends, whichever is sooner. ------------------
+        remaining = config.horizon_s - t
+        exposure.record(plan.shard_name, "sampled-out", config.epoch_s, skipped)
+        exposure.record(plan.shard_name, "queue-drop", remaining, dropped)
+        exposure.record(
+            plan.shard_name, "checksum-only", config.epoch_s, checksum_only
+        )
+        exposure.record(
+            plan.shard_name, "stalled", min(expected_wait, remaining), timed_out
+        )
 
         lag = per_validation_s + (
             (queue / capacity) * config.epoch_s if capacity else config.epoch_s
@@ -366,6 +389,44 @@ def _simulate_shard(plan: ShardPlan, config: FleetConfig) -> ShardResult:
         )
     })
     result.summary = summary
+
+    # -- shard-local drift findings (never event-emitted: the audit
+    # artifact rides beside the digest-covered event stream) -------------
+    findings = []
+    if totals["ops"] and summary["coverage"] < config.min_coverage:
+        findings.append(Finding(
+            rule="drift-coverage-floor",
+            severity=Severity.ERROR,
+            subject=plan.shard_name,
+            message=(
+                f"observed coverage {summary['coverage']:.4f} below the "
+                f"declared floor {config.min_coverage:g}"
+            ),
+            remediation="raise validator capacity or lower min_coverage",
+            observed=(
+                ("coverage", summary["coverage"]),
+                ("floor", config.min_coverage),
+            ),
+        ))
+    if totals["canary_missed"]:
+        findings.append(Finding(
+            rule="drift-canary-liveness",
+            severity=Severity.ERROR,
+            subject=plan.shard_name,
+            message=(
+                f"{totals['canary_missed']} of {totals['canary_issued']} "
+                "canary probe(s) missed"
+            ),
+            remediation=(
+                "restore validator capacity; the shard cannot prove the "
+                "validation plane is live"
+            ),
+            observed=(
+                ("issued", totals["canary_issued"]),
+                ("missed", totals["canary_missed"]),
+            ),
+        ))
+    result.audit = [f.to_dict() for f in findings]
 
     # -- registry export --------------------------------------------------
     counter_pairs = (

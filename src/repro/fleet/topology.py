@@ -8,12 +8,15 @@ each shard, which local cores form each shard's APP set and validator
 pool, and the consistent-hash ring that places the versioned keyspace.
 
 Topology construction *fails closed*: every structural violation found is
-collected and raised as one structured :class:`FleetConfigError` (the
-seed of ROADMAP item 5's config auditing).  The three checks the fleet
-issue calls out — a validator pool entirely quarantined, more core demand
-than usable cores, and a watchdog deadline that outlives the SLO window —
-are exactly the misconfigurations that would make a fleet *silently*
-under-validate, which is the failure mode Orthrus exists to prevent.
+collected and raised as one structured :class:`FleetConfigError`.  The
+checks themselves live in the shared rule engine
+(:mod:`repro.obs.audit` — the fleet rule ids double as the violation
+codes here), so the ``doctor`` CLI audits the same invariants the
+constructor enforces.  The three checks the fleet issue calls out — a
+validator pool entirely quarantined, more core demand than usable cores,
+and a watchdog deadline that outlives the SLO window — are exactly the
+misconfigurations that would make a fleet *silently* under-validate,
+which is the failure mode Orthrus exists to prevent.
 """
 
 from __future__ import annotations
@@ -22,6 +25,11 @@ from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
 from repro.fleet.ring import DEFAULT_VNODES, ConsistentHashRing
+from repro.obs.audit import (
+    audit_fleet_config,
+    audit_fleet_topology,
+    findings_to_violations,
+)
 from repro.sim.costs import DEFAULT_COSTS, CostModel
 
 __all__ = ["FleetConfig", "FleetConfigError", "FleetTopology", "HostView", "ShardView"]
@@ -150,6 +158,27 @@ class FleetTopology:
         violations = self._scalar_violations(config)
         if violations:
             raise FleetConfigError(violations)
+        self._build_views()
+        violations = self._structural_violations()
+        if violations:
+            raise FleetConfigError(violations)
+
+    @classmethod
+    def unchecked(cls, config: FleetConfig) -> "FleetTopology":
+        """Materialize views without raising on structural violations.
+
+        For the auditor: it reports *every* defect in one pass, so it
+        needs a topology even when one would be rejected.  Only safe
+        once the scalar rules pass (view building assumes positive
+        counts), which :func:`repro.obs.audit.audit_fleet` guarantees.
+        """
+        topology = cls.__new__(cls)
+        topology.config = config
+        topology._build_views()
+        return topology
+
+    def _build_views(self) -> None:
+        config = self.config
         self.hosts: list[HostView] = []
         self.shards: list[ShardView] = []
         self._ring: ConsistentHashRing | None = None
@@ -190,88 +219,14 @@ class FleetTopology:
                     )
                 )
         self.shards.sort(key=lambda s: s.shard_id)
-        violations = self._structural_violations()
-        if violations:
-            raise FleetConfigError(violations)
 
-    # -- sanity checks ---------------------------------------------------
+    # -- sanity checks (delegated to the shared rule engine) -------------
     @staticmethod
     def _scalar_violations(config: FleetConfig) -> list[dict]:
-        found = []
-
-        def bad(code: str, subject: str, message: str) -> None:
-            found.append({"code": code, "subject": subject, "message": message})
-
-        if config.hosts < 1:
-            bad("no-hosts", "fleet", f"hosts must be >= 1, got {config.hosts}")
-        if config.shards < 1:
-            bad("no-shards", "fleet", f"shards must be >= 1, got {config.shards}")
-        if config.cores_per_host < 1:
-            bad("no-cores", "fleet", "cores_per_host must be >= 1")
-        if config.validators_per_shard < 1:
-            bad("no-validators", "fleet", "validators_per_shard must be >= 1")
-        if config.app_cores_per_shard < 1:
-            bad("no-app-cores", "fleet", "app_cores_per_shard must be >= 1")
-        if config.epochs < 2:
-            bad("too-few-epochs", "fleet", "epochs must be >= 2")
-        if config.epoch_s <= 0:
-            bad("bad-epoch", "fleet", "epoch_s must be > 0")
-        if not 0.0 <= config.min_coverage <= 1.0:
-            bad("bad-min-coverage", "fleet", "min_coverage must be in [0, 1]")
-        if config.watchdog_deadline > config.slo_window:
-            bad(
-                "watchdog-exceeds-slo",
-                "fleet",
-                f"watchdog deadline {config.watchdog_deadline:g}s exceeds the "
-                f"SLO window {config.slo_window:g}s — timeouts would be "
-                "declared after the SLO is already burned",
-            )
-        for host_id, core in config.quarantined:
-            if not (0 <= int(host_id) < config.hosts) or not (
-                0 <= int(core) < config.cores_per_host
-            ):
-                bad(
-                    "quarantine-out-of-range",
-                    f"h{int(host_id):03d}/c{int(core)}",
-                    "pre-quarantined core is outside the topology",
-                )
-        return found
+        return findings_to_violations(audit_fleet_config(config))
 
     def _structural_violations(self) -> list[dict]:
-        config = self.config
-        found: list[dict] = []
-        for host in self.hosts:
-            demanded = len(host.shard_ids) * (
-                config.app_cores_per_shard + config.validators_per_shard
-            )
-            usable = host.cores - len(host.quarantined)
-            if demanded > usable:
-                found.append(
-                    {
-                        "code": "shards-exceed-cores",
-                        "subject": host.name,
-                        "message": (
-                            f"{len(host.shard_ids)} shard(s) demand {demanded} "
-                            f"cores but only {usable} usable core(s) remain "
-                            f"({host.cores} - {len(host.quarantined)} quarantined)"
-                        ),
-                    }
-                )
-        for shard in self.shards:
-            quarantined = set(self.hosts[shard.host_id].quarantined)
-            if set(shard.validator_cores) <= quarantined:
-                found.append(
-                    {
-                        "code": "validator-pool-quarantined",
-                        "subject": shard.name,
-                        "message": (
-                            f"every validator core {list(shard.validator_cores)} "
-                            f"on {self.hosts[shard.host_id].name} is quarantined — "
-                            "the shard could never validate anything"
-                        ),
-                    }
-                )
-        return found
+        return findings_to_violations(audit_fleet_topology(self))
 
     # -- derived views ---------------------------------------------------
     def ring(self) -> ConsistentHashRing:

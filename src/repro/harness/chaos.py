@@ -39,6 +39,8 @@ from repro.faultinject.validator_faults import (
 from repro.harness.pipeline import (
     PipelineConfig,
     RunResult,
+    _audit_setup,
+    _exposure_staleness,
     _finish_profile,
     _orthrus_overhead_cycles,
     _with_profiler,
@@ -49,6 +51,7 @@ from repro.obs.profiling import active as profiling_active
 from repro.obs.slo import SloMonitor, default_objectives
 from repro.obs.timeseries import (
     TimeSeriesRecorder,
+    install_audit_probes,
     install_canary_probes,
     install_default_probes,
     install_span_probes,
@@ -243,6 +246,13 @@ def _run_chaos_impl(scenario, n_ops: int, config: PipelineConfig) -> RunResult:
     apps_done = [False]
     stop = [False]
 
+    drift, exposure = _audit_setup(config, sampler, metrics, obs)
+    if drift is not None:
+        # The conservation ledger is the residual-drift signal: work
+        # outstanding while nothing settles means the plane is wedged.
+        drift.attach_ledger(ledger)
+    stale_s = _exposure_staleness(sampler)
+
     recorder = None
     slo_monitor = None
     if config.timeseries is not None and obs.enabled:
@@ -252,6 +262,8 @@ def _run_chaos_impl(scenario, n_ops: int, config: PipelineConfig) -> RunResult:
             install_span_probes(recorder)
         if config.canary is not None:
             install_canary_probes(recorder)
+        if drift is not None:
+            install_audit_probes(recorder)
         slo_monitor = SloMonitor(
             recorder,
             objectives=(
@@ -290,6 +302,11 @@ def _run_chaos_impl(scenario, n_ops: int, config: PipelineConfig) -> RunResult:
         """Account a dropped log: window closed, waiter released."""
         ledger.dropped(log.seq, reason)
         runtime.validator.drop(log, reason)
+        if exposure is not None:
+            # A drop exposes the key for the queue time already burned
+            # plus the span until its next validation opportunity.
+            waited = max(0.0, now - log.enqueue_time) if log.enqueue_time else 0.0
+            exposure.record(log.closure_name, reason, waited + stale_s)
         release(log)
 
     def checksum_fallback(log, now: float) -> None:
@@ -315,6 +332,10 @@ def _run_chaos_impl(scenario, n_ops: int, config: PipelineConfig) -> RunResult:
                 )
         ledger.fallback(log.seq)
         runtime.reclaimer.closure_finished(log.seq)
+        if exposure is not None:
+            # CRC checks catch bit-flips but not mercurial compute errors:
+            # partial coverage, honestly accounted as exposure.
+            exposure.record(log.closure_name, "checksum-only", stale_s)
         if obs.enabled:
             obs.registry.counter(
                 "orthrus_checksum_fallbacks_total",
@@ -520,6 +541,12 @@ def _run_chaos_impl(scenario, n_ops: int, config: PipelineConfig) -> RunResult:
                 runtime.validator.skip(log)
                 ledger.skipped(log.seq)
                 metrics.skipped += 1
+                if exposure is not None:
+                    exposure.record(
+                        log.closure_name,
+                        "coverage-shed" if shed_for_coverage else "sampled-out",
+                        stale_s,
+                    )
                 if obs.enabled:
                     obs.spans.record(
                         "skip", log.seq, now, now,
@@ -563,6 +590,8 @@ def _run_chaos_impl(scenario, n_ops: int, config: PipelineConfig) -> RunResult:
                 on_step()
                 continue
             outcome = runtime.validator.validate(log, core)
+            if drift is not None:
+                drift.verdict(core_id)
             if responder is not None:
                 responder.on_outcome(outcome)
             if not is_canary:
@@ -629,6 +658,12 @@ def _run_chaos_impl(scenario, n_ops: int, config: PipelineConfig) -> RunResult:
                     checksum_fallback(dispatch.log, now)
                 else:
                     redispatch_pending[0] += 1
+                    if exposure is not None:
+                        # The backoff delay is pure exposure: the log sits
+                        # unprotected until its re-enqueue.
+                        exposure.record(
+                            dispatch.log.closure_name, "redispatch", delay
+                        )
                     if obs.enabled:
                         # Backoff before the re-enqueue; the next queue.wait
                         # starts where this ends.
@@ -719,6 +754,19 @@ def _run_chaos_impl(scenario, n_ops: int, config: PipelineConfig) -> RunResult:
 
         env.process(canary_issuer())
         env.process(canary_poller())
+        if drift is not None:
+            drift.attach_canary(canary_monitor)
+
+    if drift is not None:
+        # Drift probes ride their own virtual-time cadence so
+        # declared-vs-observed contradictions surface even while the app
+        # threads are blocked on backpressure or safe-mode holds.
+        def audit_probe_process():
+            while not stop[0]:
+                yield env.timeout(drift.config.cadence)
+                drift.probe(env.now)
+
+        env.process(audit_probe_process())
 
     def coordinator():
         yield env.all_of(threads)
@@ -754,6 +802,10 @@ def _run_chaos_impl(scenario, n_ops: int, config: PipelineConfig) -> RunResult:
         # last timeline sample sees every miss.
         canary_monitor.finalize(env.now)
         result.canary = canary_monitor.summary()
+    if drift is not None:
+        # One terminal probe (so the last timeline sample sees every
+        # violation counter), then freeze the audit payload.
+        result.audit = drift.finalize(env.now)
     if recorder is not None:
         recorder.sample(env.now, force=True)
         result.timeline = recorder

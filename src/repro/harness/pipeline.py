@@ -29,11 +29,14 @@ from repro.closures.log import ClosureLog
 from repro.errors import ConfigurationError
 from repro.machine.cpu import Machine
 from repro.memory.version import approx_size
+from repro.obs.audit import AuditConfig, DriftMonitor
 from repro.obs.canary import CanaryScheduler, LivenessMonitor, is_canary_log
+from repro.obs.exposure import ExposureLedger
 from repro.obs.profiling import activation, active, make_profiler
 from repro.obs.slo import SloMonitor, default_objectives
 from repro.obs.timeseries import (
     TimeSeriesRecorder,
+    install_audit_probes,
     install_canary_probes,
     install_default_probes,
     install_span_probes,
@@ -121,6 +124,17 @@ class PipelineConfig:
     #: Profiling observes wall time only; it never touches virtual time
     #: or digests (parity-tested in tests/harness/test_profile_parity.py).
     profile: Any = None
+    #: an ``repro.obs.AuditConfig`` (or True for defaults); when set the
+    #: Orthrus drivers run runtime drift probes (declared vs observed
+    #: behavior, DESIGN §14) plus an ExposureLedger, and the terminal
+    #: ``orthrus-audit/1`` payload lands on ``RunResult.audit``.
+    #: Observational only: no RNG, no virtual-time perturbation of the
+    #: functional path — digests are identical with auditing on or off.
+    audit: Any = None
+    #: closure names the sampler is *declared* to target; the static
+    #: auditor cross-checks them against the closure registry (a target
+    #: no app registers would be waited on forever)
+    sampler_targets: tuple = ()
     seed: int = 1
     rbv_batch_size: int | None = None
     rbv_state_check_every: int = 64
@@ -168,6 +182,9 @@ class RunResult:
     #: ``orthrus-profile/1`` payload when the run owned its profiler
     #: (``PipelineConfig.profile`` of True/ProfileConfig); None otherwise
     profile: Any = None
+    #: ``orthrus-audit/1`` payload (drift-probe findings + exposure
+    #: ledger) when the run was configured with ``PipelineConfig.audit``
+    audit: Any = None
 
     @property
     def detections(self) -> int:
@@ -226,6 +243,39 @@ def _orthrus_overhead_cycles(log: ClosureLog, costs: CostModel) -> float:
     return cycles
 
 
+def _exposure_staleness(sampler) -> float:
+    """The exposure window one skipped validation opens: the key stays
+    unprotected until its next validation opportunity, which the sampler
+    bounds by its staleness threshold (DESIGN §14)."""
+    return float(
+        getattr(getattr(sampler, "config", None), "staleness_threshold", 2e-3)
+    )
+
+
+def _audit_setup(config: PipelineConfig, sampler, metrics, obs):
+    """Build the (drift monitor, exposure ledger) pair when auditing is on.
+
+    Shared with the chaos driver.  The declared coverage floor defaults
+    to the sampler's configured minimum rate — the contract the drift
+    probe holds observed organic coverage against.
+    """
+    if config.audit is None:
+        return None, None
+    audit_cfg = AuditConfig() if config.audit is True else config.audit
+    exposure = ExposureLedger(registry=obs.registry if obs.enabled else None)
+    drift = DriftMonitor(
+        audit_cfg,
+        declared_pool=config.validation_cores,
+        coverage_floor=float(
+            getattr(getattr(sampler, "config", None), "min_rate", 0.0)
+        ),
+        metrics=metrics,
+        obs=obs,
+        exposure=exposure,
+    )
+    return drift, exposure
+
+
 def validator_process(
     env: Environment,
     core,
@@ -239,6 +289,8 @@ def validator_process(
     memory_in_use: Callable[[], float],
     on_step: Callable[[], None] = lambda: None,
     deadline: list[float] | None = None,
+    drift=None,
+    exposure=None,
 ):
     """One Orthrus validation core: dequeue → sample → re-execute (§3.3).
 
@@ -250,6 +302,7 @@ def validator_process(
     prof = active()
     decide = getattr(sampler, "decide", None)
     dispatch_s = config.costs.seconds(config.costs.validation_dispatch_cycles)
+    stale_s = _exposure_staleness(sampler)
     while True:
         log = yield log_store.get()
         if log is _SENTINEL:
@@ -272,6 +325,12 @@ def validator_process(
                 )
             runtime.validator.skip(log)
             metrics.skipped += 1
+            if exposure is not None:
+                exposure.record(
+                    log.closure_name,
+                    "deadline",
+                    (now - log.enqueue_time) + stale_s,
+                )
             event = done_events.pop(log.seq, None)
             if event is not None:
                 event.succeed()
@@ -281,6 +340,8 @@ def validator_process(
             # nothing — and stay out of the run's coverage metrics.  Their
             # app core is synthetic (-1), so no NUMA placement applies.
             outcome = runtime.validator.validate(log, core)
+            if drift is not None:
+                drift.verdict(core.core_id)
             busy = config.costs.validation_dispatch_cycles + outcome.val_cycles
             busy += config.costs.compare_cycles_per_byte * log.approx_bytes()
             yield env.timeout(config.costs.seconds(busy))
@@ -357,6 +418,8 @@ def validator_process(
                 except Exception:
                     pass
             outcome = runtime.validator.validate(log, core)
+            if drift is not None:
+                drift.verdict(core.core_id)
             if runtime.responder is not None:
                 runtime.responder.on_outcome(outcome)
             busy = config.costs.validation_dispatch_cycles + outcome.val_cycles
@@ -391,6 +454,8 @@ def validator_process(
                 )
         else:
             runtime.validator.skip(log)
+            if exposure is not None:
+                exposure.record(log.closure_name, "sampled-out", stale_s)
             if obs.enabled:
                 obs.spans.record(
                     "skip", log.seq, now, now,
@@ -558,6 +623,7 @@ def _run_orthrus_impl(scenario, n_ops: int, config: PipelineConfig) -> RunResult
             "orthrus_log_store_depth",
             help="pending closure logs in the shared validation store",
         ).set_function(lambda: float(len(log_store)))
+    drift, exposure = _audit_setup(config, sampler, metrics, obs)
     recorder = None
     slo_monitor = None
     if config.timeseries is not None and obs.enabled:
@@ -567,6 +633,8 @@ def _run_orthrus_impl(scenario, n_ops: int, config: PipelineConfig) -> RunResult
             install_span_probes(recorder)
         if config.canary is not None:
             install_canary_probes(recorder)
+        if drift is not None:
+            install_audit_probes(recorder)
         slo_monitor = SloMonitor(
             recorder,
             objectives=(
@@ -679,6 +747,8 @@ def _run_orthrus_impl(scenario, n_ops: int, config: PipelineConfig) -> RunResult
                     memory_in_use=memory_in_use,
                     on_step=track_memory,
                     deadline=deadline,
+                    drift=drift,
+                    exposure=exposure,
                 )
             )
         )
@@ -720,6 +790,8 @@ def _run_orthrus_impl(scenario, n_ops: int, config: PipelineConfig) -> RunResult
     if config.canary is not None:
         canary_sched = CanaryScheduler(config.canary, seed=config.seed)
         canary_monitor = LivenessMonitor(config.canary, runtime.report, obs=obs)
+        if drift is not None:
+            drift.attach_canary(canary_monitor)
 
         def canary_issuer():
             # Mint known-corrupt probes through the same store the organic
@@ -756,6 +828,19 @@ def _run_orthrus_impl(scenario, n_ops: int, config: PipelineConfig) -> RunResult
         env.process(canary_issuer())
         env.process(canary_poller())
 
+    if drift is not None:
+        # Drift probes ride their own virtual-time cadence, like
+        # telemetry: declared-vs-observed contradictions must surface even
+        # while the app threads are blocked.  Abandoned at teardown.
+        def audit_probe_process():
+            while True:
+                yield env.timeout(drift.config.cadence)
+                drift.probe(env.now)
+                if apps_done[0]:
+                    return
+
+        env.process(audit_probe_process())
+
     def coordinator():
         yield env.all_of(threads)
         apps_done[0] = True
@@ -773,6 +858,10 @@ def _run_orthrus_impl(scenario, n_ops: int, config: PipelineConfig) -> RunResult
         # last timeline sample sees every miss.
         canary_monitor.finalize(env.now)
         result.canary = canary_monitor.summary()
+    if drift is not None:
+        # One terminal probe (so the last timeline sample sees every
+        # violation counter), then freeze the audit payload.
+        result.audit = drift.finalize(env.now)
     if recorder is not None:
         # Final flush: one forced sample so the tail of the run (the drain
         # phase) is in the series, then freeze the SLO verdicts.

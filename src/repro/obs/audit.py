@@ -1,0 +1,1089 @@
+"""Validation-plane auditing: a static rule engine + runtime drift probes.
+
+The nba-stats-scraper incident (ROADMAP item 5) was pure configuration
+drift — the system "correctly waited for processors that would never
+arrive" for three days.  Orthrus's validation plane can rot the same
+way: a validator pool that is entirely quarantined, a watchdog deadline
+that outlives the SLO it is supposed to protect, a sampler targeting
+closures no app registers.  None of these is a *code* failure, so no
+test catches them; each silently converts "protected" into "exposed".
+
+This module is the auditor that closes the gap, in two halves:
+
+* **Static audit** — a rule engine (one small :class:`AuditRule` per
+  invariant, with an id, severity, affected subject, and remediation
+  hint) cross-checking :class:`~repro.harness.pipeline.PipelineConfig`
+  and :class:`~repro.fleet.topology.FleetConfig`/``FleetTopology`` for
+  contradictions before a run starts.  The fleet topology's startup
+  checks delegate here (the rule ids double as the
+  :class:`~repro.fleet.topology.FleetConfigError` violation codes), and
+  the ``doctor`` CLI subcommand runs the same rules over any config.
+  Results are an :class:`AuditReport`, exported as the
+  ``orthrus-audit/1`` artifact.
+
+* **Runtime drift probes** — a :class:`DriftMonitor` polled inside the
+  DES that compares *declared* config against *observed* behavior:
+  organic coverage vs the declared floor, the declared validator pool
+  vs the cores that actually produced verdicts, conservation-ledger
+  residuals, and canary liveness.  Violations become ``audit.violation``
+  trace events (the incident timeline), ``orthrus_audit_violations_total``
+  counters, and terminal findings merged into the run's audit payload.
+
+Findings merge associatively (dedupe by rule/subject/message, severity
+sort), so fleet workers can fold shard-level findings without caring
+about worker count or arrival order — the same discipline the metrics
+and profile merges use.  Everything here is observational: no rule
+consumes RNG or perturbs virtual time, so run digests are byte-identical
+with auditing on or off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.obs.observability import NULL_OBS
+
+__all__ = [
+    "AUDIT_FORMAT",
+    "AuditConfig",
+    "AuditReport",
+    "AuditRule",
+    "DRIFT_RULES",
+    "DriftMonitor",
+    "FLEET_SCALAR_RULES",
+    "FLEET_STRUCTURAL_RULES",
+    "Finding",
+    "Severity",
+    "audit_fleet",
+    "audit_fleet_config",
+    "audit_fleet_topology",
+    "audit_pipeline",
+    "component_violations",
+    "findings_to_violations",
+    "merge_findings",
+    "pipeline_rules",
+    "render_audit",
+]
+
+AUDIT_FORMAT = "orthrus-audit/1"
+
+
+class Severity:
+    """Finding severities, ordered most-severe-first for sorting."""
+
+    ERROR = "error"
+    WARN = "warn"
+    INFO = "info"
+
+    _ORDER = {ERROR: 0, WARN: 1, INFO: 2}
+
+    @classmethod
+    def rank(cls, severity: str) -> int:
+        return cls._ORDER.get(severity, len(cls._ORDER))
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation: what broke, where, and how to fix it."""
+
+    rule: str
+    severity: str
+    subject: str
+    message: str
+    remediation: str = ""
+    #: sorted (key, value) pairs of the evidence the rule observed
+    observed: tuple = ()
+
+    def sort_key(self) -> tuple:
+        return (Severity.rank(self.severity), self.rule, self.subject, self.message)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "subject": self.subject,
+            "message": self.message,
+            "remediation": self.remediation,
+            "observed": dict(self.observed),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Finding":
+        return cls(
+            rule=payload["rule"],
+            severity=payload.get("severity", Severity.ERROR),
+            subject=payload.get("subject", ""),
+            message=payload.get("message", ""),
+            remediation=payload.get("remediation", ""),
+            observed=tuple(sorted(payload.get("observed", {}).items())),
+        )
+
+
+def merge_findings(*groups) -> list[Finding]:
+    """Associative fold: dedupe by (rule, subject, message), severity sort.
+
+    Order-independent in the output, so the fleet merge is worker-count
+    invariant by construction.
+    """
+    seen: dict[tuple, Finding] = {}
+    for group in groups:
+        for finding in group:
+            seen[(finding.rule, finding.subject, finding.message)] = finding
+    return sorted(seen.values(), key=Finding.sort_key)
+
+
+def findings_to_violations(findings) -> list[dict]:
+    """ERROR findings as the ``{"code", "subject", "message"}`` records
+    :class:`~repro.fleet.topology.FleetConfigError` carries."""
+    return [
+        {"code": f.rule, "subject": f.subject, "message": f.message}
+        for f in findings
+        if f.severity == Severity.ERROR
+    ]
+
+
+def component_violations(component) -> list[str]:
+    """A component config's own violations, as messages.
+
+    Prefers the structured ``violations()`` protocol (DegradationConfig,
+    WatchdogConfig, CanaryConfig, QuarantineConfig, AuditConfig); falls
+    back to calling ``validate()`` and catching the first complaint.
+    """
+    probe = getattr(component, "violations", None)
+    if callable(probe):
+        return [str(message) for message in probe()]
+    validate = getattr(component, "validate", None)
+    if callable(validate):
+        try:
+            validate()
+        except ConfigurationError as exc:
+            return [str(exc)]
+    return []
+
+
+class AuditRule:
+    """One invariant over a config/topology object.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    returning zero or more :class:`Finding`\\ s.  Rules never raise on a
+    bad config — collecting every defect in one pass is the point.
+    """
+
+    rule_id = "abstract"
+    severity = Severity.ERROR
+    description = ""
+    remediation = ""
+
+    def check(self, target) -> list[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, subject: str, message: str, severity: str | None = None, **observed
+    ) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            severity=self.severity if severity is None else severity,
+            subject=subject,
+            message=message,
+            remediation=self.remediation,
+            observed=tuple(sorted(observed.items())),
+        )
+
+
+@dataclass
+class AuditReport:
+    """Everything one static audit concluded; ``to_json`` is the artifact."""
+
+    findings: list = field(default_factory=list)
+    rules_run: int = 0
+    targets: list = field(default_factory=list)
+
+    @property
+    def errors(self) -> list:
+        return [f for f in self.findings if f.severity == Severity.ERROR]
+
+    @property
+    def warnings(self) -> list:
+        return [f for f in self.findings if f.severity == Severity.WARN]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def run(self, rules, target) -> None:
+        """Apply each rule to ``target``, collecting its findings."""
+        for rule in rules:
+            self.findings.extend(rule.check(target))
+            self.rules_run += 1
+
+    def merge(self, other: "AuditReport") -> None:
+        self.findings = merge_findings(self.findings, other.findings)
+        self.rules_run += other.rules_run
+        for target in other.targets:
+            if target not in self.targets:
+                self.targets.append(target)
+
+    def to_json(self) -> dict:
+        findings = merge_findings(self.findings)
+        return {
+            "format": AUDIT_FORMAT,
+            "targets": list(self.targets),
+            "rules_run": self.rules_run,
+            "summary": {
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "ok": self.ok,
+            },
+            "findings": [f.to_dict() for f in findings],
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "AuditReport":
+        if payload.get("format") != AUDIT_FORMAT:
+            raise ValueError(f"not an {AUDIT_FORMAT} artifact")
+        return cls(
+            findings=[Finding.from_dict(f) for f in payload.get("findings", [])],
+            rules_run=int(payload.get("rules_run", 0)),
+            targets=list(payload.get("targets", [])),
+        )
+
+    def render(self) -> str:
+        return render_audit(self.to_json())
+
+
+def render_audit(payload: dict) -> str:
+    """Console rendering of an ``orthrus-audit/1`` payload (static audits
+    and runtime drift payloads share the shape)."""
+    summary = payload.get("summary", {})
+    targets = ", ".join(payload.get("targets", [])) or "config"
+    head = (
+        f"validation-plane audit ({targets}): "
+        f"{summary.get('errors', 0)} error(s), "
+        f"{summary.get('warnings', 0)} warning(s) "
+        f"over {payload.get('rules_run', 0)} rule(s)"
+    )
+    if "probes" in payload:
+        head += f", {payload['probes']} drift probe(s)"
+    lines = [head]
+    for finding in payload.get("findings", []):
+        lines.append(
+            f"  [{finding['severity'].upper():<5}] {finding['rule']}"
+            f"  {finding['subject']}: {finding['message']}"
+        )
+        if finding.get("remediation"):
+            lines.append(f"          fix: {finding['remediation']}")
+    exposure = payload.get("exposure")
+    if exposure is not None:
+        from repro.obs.exposure import render_exposure
+
+        lines.extend(render_exposure(exposure).splitlines())
+    if not payload.get("findings"):
+        lines.append("  no contradictions found")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# pipeline rules
+# ----------------------------------------------------------------------
+
+
+def _detection_latency_ceiling(slos) -> float | None:
+    """The detection-latency SLO ceiling among declared objectives."""
+    if not slos:
+        return None
+    for objective in slos:
+        if (
+            getattr(objective, "series", "") == "validation_lag_p95"
+            and getattr(objective, "op", "") == "<="
+        ):
+            return float(objective.threshold)
+    return None
+
+
+class ValidatorPoolPresent(AuditRule):
+    rule_id = "validator-pool-empty"
+    description = "the pipeline declares at least one validation core"
+    remediation = "set validation_cores >= 1"
+
+    def check(self, config) -> list[Finding]:
+        cores = getattr(config, "validation_cores", 1)
+        if cores >= 1:
+            return []
+        return [
+            self.finding(
+                "pipeline",
+                f"validation_cores must be >= 1, got {cores} — "
+                "the plane could never validate anything",
+                validation_cores=cores,
+            )
+        ]
+
+
+class SamplerTargetsRegistered(AuditRule):
+    rule_id = "sampler-target-unknown"
+    description = "every declared sampler target is a registered closure"
+    remediation = "register the closure with @closure(...) or drop the target"
+
+    def __init__(self, known_closures=None):
+        self._known = known_closures
+
+    def check(self, config) -> list[Finding]:
+        targets = tuple(getattr(config, "sampler_targets", ()) or ())
+        if not targets:
+            return []
+        known = self._known
+        if known is None:
+            from repro.closures import CLOSURE_REGISTRY
+            from repro.obs.canary import CANARY_CLOSURE
+
+            known = set(CLOSURE_REGISTRY) | {CANARY_CLOSURE}
+        findings = []
+        for target in targets:
+            if target in known:
+                continue
+            findings.append(
+                self.finding(
+                    target,
+                    f"sampler targets closure {target!r} but no app "
+                    "registers it — the target would wait forever",
+                    registered_closures=len(known),
+                )
+            )
+        return findings
+
+
+class CanaryDeadlineOrdered(AuditRule):
+    rule_id = "canary-deadline-inverted"
+    description = "each canary gets a detection window shorter than the cadence"
+    remediation = (
+        "raise the canary deadline above its period "
+        "(or leave it unset for the 3x-period default)"
+    )
+
+    def check(self, config) -> list[Finding]:
+        canary = getattr(config, "canary", None)
+        if canary is None:
+            return []
+        period = float(getattr(canary, "period", 0.0))
+        deadline = float(getattr(canary, "deadline", 0.0))
+        if deadline <= 0.0 or period < deadline:
+            return []
+        return [
+            self.finding(
+                "canary",
+                f"canary period {period:g}s >= deadline {deadline:g}s — "
+                "probes would be declared missed on the detector's own "
+                "schedule, not the plane's health",
+                period=period,
+                deadline=deadline,
+            )
+        ]
+
+
+class WatchdogWithinSlo(AuditRule):
+    rule_id = "watchdog-exceeds-slo"
+    description = "the watchdog fires before the detection-latency SLO burns"
+    remediation = (
+        "lower the watchdog deadline below the detection-latency SLO ceiling"
+    )
+
+    def check(self, config) -> list[Finding]:
+        ft = getattr(config, "fault_tolerance", None)
+        watchdog = getattr(ft, "watchdog", None) if ft is not None else None
+        if watchdog is None:
+            return []
+        ceiling = _detection_latency_ceiling(getattr(config, "slos", None))
+        deadline = float(getattr(watchdog, "deadline", 0.0))
+        if ceiling is None or deadline <= ceiling:
+            return []
+        return [
+            self.finding(
+                "watchdog",
+                f"watchdog deadline {deadline:g}s exceeds the "
+                f"detection-latency SLO ceiling {ceiling:g}s — timeouts "
+                "would be declared after the SLO is already burned",
+                deadline=deadline,
+                slo_ceiling=ceiling,
+            )
+        ]
+
+
+class OverflowPolicyKnown(AuditRule):
+    rule_id = "overflow-policy-unknown"
+    description = "the bounded-queue overflow policy names a real policy"
+    remediation = "pick one of the repro.validation.queues overflow policies"
+
+    def check(self, config) -> list[Finding]:
+        ft = getattr(config, "fault_tolerance", None)
+        if ft is None:
+            return []
+        from repro.validation.queues import OVERFLOW_POLICIES
+
+        policy = getattr(ft, "overflow_policy", None)
+        if policy in OVERFLOW_POLICIES:
+            return []
+        return [
+            self.finding(
+                "queues",
+                f"unknown overflow policy {policy!r}; expected one of "
+                f"{sorted(OVERFLOW_POLICIES)}",
+                policy=str(policy),
+            )
+        ]
+
+
+class OverflowPolicyGuarded(AuditRule):
+    rule_id = "overflow-policy-unguarded"
+    severity = Severity.WARN
+    description = (
+        "block-producer overflow is paired with a degradation ladder so a "
+        "hung pool cannot stall producers (and the conservation ledger) "
+        "forever"
+    )
+    remediation = "enable the degradation ladder alongside block-producer"
+
+    def check(self, config) -> list[Finding]:
+        ft = getattr(config, "fault_tolerance", None)
+        if ft is None or getattr(ft, "overflow_policy", "") != "block-producer":
+            return []
+        if getattr(ft, "degradation", None) is not None:
+            return []
+        return [
+            self.finding(
+                "queues",
+                "block-producer overflow with no degradation ladder: a hung "
+                "validator pool blocks every producer, records no drops, and "
+                "the conservation ledger can never settle",
+                policy="block-producer",
+            )
+        ]
+
+
+class QueueCapacityPositive(AuditRule):
+    rule_id = "queue-capacity-invalid"
+    description = "a bounded validation queue holds at least one log"
+    remediation = "set queue_capacity >= 1 (or None for unbounded)"
+
+    def check(self, config) -> list[Finding]:
+        ft = getattr(config, "fault_tolerance", None)
+        if ft is None:
+            return []
+        capacity = getattr(ft, "queue_capacity", None)
+        if capacity is None or capacity >= 1:
+            return []
+        return [
+            self.finding(
+                "queues",
+                f"queue capacity must be >= 1 when bounded, got {capacity}",
+                capacity=capacity,
+            )
+        ]
+
+
+class ComponentConfigsValid(AuditRule):
+    rule_id = "component-config-invalid"
+    description = "every attached component config passes its own checks"
+    remediation = "fix the named component config before starting the run"
+
+    def check(self, config) -> list[Finding]:
+        ft = getattr(config, "fault_tolerance", None)
+        response = getattr(config, "response", None)
+        components = (
+            ("watchdog", getattr(ft, "watchdog", None) if ft else None),
+            ("degradation", getattr(ft, "degradation", None) if ft else None),
+            ("canary", getattr(config, "canary", None)),
+            ("quarantine", getattr(response, "quarantine", None)),
+            ("audit", getattr(config, "audit", None)),
+        )
+        findings = []
+        for name, component in components:
+            if component is None:
+                continue
+            for message in component_violations(component):
+                findings.append(self.finding(name, message))
+        return findings
+
+
+class QuarantineKeepsPool(AuditRule):
+    rule_id = "quarantine-empties-pool"
+    severity = Severity.WARN
+    description = "quarantine cannot empty a single-core validator pool"
+    remediation = (
+        "provision at least two validation cores when quarantine is enabled"
+    )
+
+    def check(self, config) -> list[Finding]:
+        if getattr(config, "response", None) is None:
+            return []
+        cores = getattr(config, "validation_cores", 0)
+        if cores != 1:
+            return []
+        return [
+            self.finding(
+                "response",
+                "quarantining the only validation core would empty the "
+                "pool; the scheduler will hold offenders in service instead",
+                validation_cores=cores,
+            )
+        ]
+
+
+def pipeline_rules(known_closures=None) -> tuple:
+    """The static rule set for one :class:`PipelineConfig`."""
+    return (
+        ValidatorPoolPresent(),
+        SamplerTargetsRegistered(known_closures),
+        CanaryDeadlineOrdered(),
+        WatchdogWithinSlo(),
+        OverflowPolicyKnown(),
+        OverflowPolicyGuarded(),
+        QueueCapacityPositive(),
+        ComponentConfigsValid(),
+        QuarantineKeepsPool(),
+    )
+
+
+def audit_pipeline(config, known_closures=None) -> AuditReport:
+    """Statically audit one pipeline config (the ``doctor`` entry point)."""
+    report = AuditReport(targets=["pipeline"])
+    report.run(pipeline_rules(known_closures), config)
+    return report
+
+
+# ----------------------------------------------------------------------
+# fleet rules (rule ids double as FleetConfigError violation codes)
+# ----------------------------------------------------------------------
+
+
+class HostsPositive(AuditRule):
+    rule_id = "no-hosts"
+    remediation = "set hosts >= 1"
+
+    def check(self, config) -> list[Finding]:
+        if config.hosts >= 1:
+            return []
+        return [
+            self.finding("fleet", f"hosts must be >= 1, got {config.hosts}")
+        ]
+
+
+class ShardsPositive(AuditRule):
+    rule_id = "no-shards"
+    remediation = "set shards >= 1"
+
+    def check(self, config) -> list[Finding]:
+        if config.shards >= 1:
+            return []
+        return [
+            self.finding("fleet", f"shards must be >= 1, got {config.shards}")
+        ]
+
+
+class CoresPositive(AuditRule):
+    rule_id = "no-cores"
+    remediation = "set cores_per_host >= 1"
+
+    def check(self, config) -> list[Finding]:
+        if config.cores_per_host >= 1:
+            return []
+        return [self.finding("fleet", "cores_per_host must be >= 1")]
+
+
+class ValidatorsPositive(AuditRule):
+    rule_id = "no-validators"
+    remediation = "set validators_per_shard >= 1"
+
+    def check(self, config) -> list[Finding]:
+        if config.validators_per_shard >= 1:
+            return []
+        return [self.finding("fleet", "validators_per_shard must be >= 1")]
+
+
+class AppCoresPositive(AuditRule):
+    rule_id = "no-app-cores"
+    remediation = "set app_cores_per_shard >= 1"
+
+    def check(self, config) -> list[Finding]:
+        if config.app_cores_per_shard >= 1:
+            return []
+        return [self.finding("fleet", "app_cores_per_shard must be >= 1")]
+
+
+class EpochsSufficient(AuditRule):
+    rule_id = "too-few-epochs"
+    remediation = "run at least two epochs"
+
+    def check(self, config) -> list[Finding]:
+        if config.epochs >= 2:
+            return []
+        return [self.finding("fleet", "epochs must be >= 2")]
+
+
+class EpochSpanPositive(AuditRule):
+    rule_id = "bad-epoch"
+    remediation = "set epoch_s > 0"
+
+    def check(self, config) -> list[Finding]:
+        if config.epoch_s > 0:
+            return []
+        return [self.finding("fleet", "epoch_s must be > 0")]
+
+
+class MinCoverageInRange(AuditRule):
+    rule_id = "bad-min-coverage"
+    remediation = "keep min_coverage inside [0, 1]"
+
+    def check(self, config) -> list[Finding]:
+        if 0.0 <= config.min_coverage <= 1.0:
+            return []
+        return [self.finding("fleet", "min_coverage must be in [0, 1]")]
+
+
+class FleetWatchdogWithinSlo(AuditRule):
+    rule_id = "watchdog-exceeds-slo"
+    remediation = "lower watchdog_deadline below slo_window"
+
+    def check(self, config) -> list[Finding]:
+        if config.watchdog_deadline <= config.slo_window:
+            return []
+        return [
+            self.finding(
+                "fleet",
+                f"watchdog deadline {config.watchdog_deadline:g}s exceeds "
+                f"the SLO window {config.slo_window:g}s — timeouts would "
+                "be declared after the SLO is already burned",
+                deadline=config.watchdog_deadline,
+                slo_window=config.slo_window,
+            )
+        ]
+
+
+class QuarantineWithinTopology(AuditRule):
+    rule_id = "quarantine-out-of-range"
+    remediation = "quarantine only (host, core) pairs inside the topology"
+
+    def check(self, config) -> list[Finding]:
+        findings = []
+        for host_id, core in config.quarantined:
+            if not (0 <= int(host_id) < config.hosts) or not (
+                0 <= int(core) < config.cores_per_host
+            ):
+                findings.append(
+                    self.finding(
+                        f"h{int(host_id):03d}/c{int(core)}",
+                        "pre-quarantined core is outside the topology",
+                    )
+                )
+        return findings
+
+
+class ShardsFitUsableCores(AuditRule):
+    rule_id = "shards-exceed-cores"
+    remediation = "add cores, shrink per-shard pools, or shed shards"
+
+    def check(self, topology) -> list[Finding]:
+        config = topology.config
+        findings = []
+        for host in topology.hosts:
+            demanded = len(host.shard_ids) * (
+                config.app_cores_per_shard + config.validators_per_shard
+            )
+            usable = host.cores - len(host.quarantined)
+            if demanded > usable:
+                findings.append(
+                    self.finding(
+                        host.name,
+                        f"{len(host.shard_ids)} shard(s) demand {demanded} "
+                        f"cores but only {usable} usable core(s) remain "
+                        f"({host.cores} - {len(host.quarantined)} "
+                        "quarantined)",
+                        demanded=demanded,
+                        usable=usable,
+                    )
+                )
+        return findings
+
+
+class ValidatorPoolUsable(AuditRule):
+    rule_id = "validator-pool-quarantined"
+    remediation = "release a quarantined core or re-home the shard"
+
+    def check(self, topology) -> list[Finding]:
+        findings = []
+        for shard in topology.shards:
+            host = topology.hosts[shard.host_id]
+            if set(shard.validator_cores) <= set(host.quarantined):
+                findings.append(
+                    self.finding(
+                        shard.name,
+                        f"every validator core {list(shard.validator_cores)} "
+                        f"on {host.name} is quarantined — the shard could "
+                        "never validate anything",
+                        pool=len(shard.validator_cores),
+                    )
+                )
+        return findings
+
+
+FLEET_SCALAR_RULES = (
+    HostsPositive(),
+    ShardsPositive(),
+    CoresPositive(),
+    ValidatorsPositive(),
+    AppCoresPositive(),
+    EpochsSufficient(),
+    EpochSpanPositive(),
+    MinCoverageInRange(),
+    FleetWatchdogWithinSlo(),
+    QuarantineWithinTopology(),
+)
+
+FLEET_STRUCTURAL_RULES = (
+    ShardsFitUsableCores(),
+    ValidatorPoolUsable(),
+)
+
+#: scalar rules whose violation makes the host/shard views meaningless —
+#: structural rules are skipped only when one of THESE fires, so e.g. a
+#: watchdog/SLO contradiction cannot hide a quarantined validator pool
+_FLEET_SHAPE_RULES = frozenset(
+    rule.rule_id
+    for rule in (
+        HostsPositive(),
+        ShardsPositive(),
+        CoresPositive(),
+        ValidatorsPositive(),
+        AppCoresPositive(),
+        QuarantineWithinTopology(),
+    )
+)
+
+
+def audit_fleet_config(config) -> list[Finding]:
+    """Scalar fleet invariants (no topology needed)."""
+    findings = []
+    for rule in FLEET_SCALAR_RULES:
+        findings.extend(rule.check(config))
+    return findings
+
+
+def audit_fleet_topology(topology) -> list[Finding]:
+    """Structural fleet invariants over materialized host/shard views."""
+    findings = []
+    for rule in FLEET_STRUCTURAL_RULES:
+        findings.extend(rule.check(topology))
+    return findings
+
+
+def audit_fleet(config) -> AuditReport:
+    """Statically audit one fleet config (the ``doctor`` entry point).
+
+    Structural rules need materialized views; they only run when the
+    scalar pass is clean enough to build them safely.
+    """
+    report = AuditReport(targets=["fleet"])
+    report.run(FLEET_SCALAR_RULES, config)
+    shape_ok = not any(f.rule in _FLEET_SHAPE_RULES for f in report.errors)
+    if shape_ok:
+        from repro.fleet.topology import FleetTopology
+
+        report.run(FLEET_STRUCTURAL_RULES, FleetTopology.unchecked(config))
+    return report
+
+
+# ----------------------------------------------------------------------
+# runtime drift probes
+# ----------------------------------------------------------------------
+
+#: the drift rule ids a DriftMonitor can raise
+DRIFT_RULES = (
+    "drift-coverage-floor",
+    "drift-validator-pool",
+    "drift-ledger-residual",
+    "drift-canary-liveness",
+)
+
+
+@dataclass(slots=True)
+class AuditConfig:
+    """Runtime drift-probe knobs; set ``PipelineConfig.audit`` to enable."""
+
+    #: virtual seconds between drift probes (matches the fault-tolerance
+    #: plane's default check interval, so short CI runs still warm up)
+    cadence: float = 25e-6
+    #: probes skipped before coverage/pool drift may flag (startup
+    #: transients: the first logs are still in flight)
+    warmup_probes: int = 2
+    #: declared organic coverage floor; None derives the sampler min_rate
+    coverage_floor: float | None = None
+    #: declared validator pool size; None derives ``validation_cores``
+    declared_pool: int | None = None
+    #: consecutive stalled probes (work outstanding, nothing settling)
+    #: before the conservation-ledger residual rule fires
+    residual_probes: int = 3
+
+    def violations(self) -> list[str]:
+        found = []
+        if self.cadence <= 0:
+            found.append("audit cadence must be positive")
+        if self.warmup_probes < 0:
+            found.append("audit warmup_probes must be >= 0")
+        if self.coverage_floor is not None and not (
+            0.0 <= self.coverage_floor <= 1.0
+        ):
+            found.append("audit coverage_floor must be in [0, 1]")
+        if self.declared_pool is not None and self.declared_pool < 1:
+            found.append("audit declared_pool must be >= 1")
+        if self.residual_probes < 1:
+            found.append("audit residual_probes must be >= 1")
+        return found
+
+    def validate(self) -> None:
+        for message in self.violations():
+            raise ConfigurationError(message)
+
+
+class DriftMonitor:
+    """Periodic declared-vs-observed comparison inside the DES.
+
+    Drivers call :meth:`verdict` as validators produce verdicts and
+    :meth:`probe` on the audit cadence (plus once from
+    :meth:`finalize`).  Violations emit ``audit.violation`` trace events
+    on the transition into the violated state (and ``audit.recover`` on
+    the way out), bump ``orthrus_audit_violations_total{rule=...}``, and
+    persist as findings in the terminal :meth:`payload`.
+    """
+
+    def __init__(
+        self,
+        config: AuditConfig,
+        *,
+        declared_pool: int,
+        coverage_floor: float,
+        metrics=None,
+        obs=None,
+        exposure=None,
+    ):
+        config.validate()
+        self.config = config
+        self._obs = obs if obs is not None else NULL_OBS
+        self._metrics = metrics
+        self._exposure = exposure
+        self._declared_pool = (
+            config.declared_pool
+            if config.declared_pool is not None
+            else declared_pool
+        )
+        self._coverage_floor = (
+            config.coverage_floor
+            if config.coverage_floor is not None
+            else coverage_floor
+        )
+        self._ledger = None
+        self._canary = None
+        self._verdict_cores: set[int] = set()
+        self.probes = 0
+        self.violation_count = 0
+        self._findings: dict[tuple, Finding] = {}
+        self._active: set[tuple] = set()
+        self._stalled_probes = 0
+        self._last_accounted = -1
+        self._canary_missed_seen = 0
+
+    # -- wiring ---------------------------------------------------------
+    def attach_ledger(self, ledger) -> None:
+        """Watch a :class:`ValidationLedger` for conservation residuals."""
+        self._ledger = ledger
+
+    def attach_canary(self, monitor) -> None:
+        """Watch a :class:`LivenessMonitor` for missed probes."""
+        self._canary = monitor
+
+    def verdict(self, core_id: int) -> None:
+        """A validator core produced a verdict (evidence it is alive)."""
+        self._verdict_cores.add(core_id)
+
+    @property
+    def findings(self) -> list[Finding]:
+        return merge_findings(self._findings.values())
+
+    # -- violation bookkeeping ------------------------------------------
+    def _flag(
+        self,
+        rule: str,
+        subject: str,
+        message: str,
+        now: float,
+        severity: str = Severity.ERROR,
+        remediation: str = "",
+        **observed,
+    ) -> None:
+        self._findings[(rule, subject)] = Finding(
+            rule=rule,
+            severity=severity,
+            subject=subject,
+            message=message,
+            remediation=remediation,
+            observed=tuple(sorted(observed.items())),
+        )
+        key = (rule, subject)
+        if key in self._active:
+            return
+        self._active.add(key)
+        self.violation_count += 1
+        if self._obs.enabled:
+            self._obs.registry.counter(
+                "orthrus_audit_violations_total",
+                {"rule": rule},
+                help="runtime drift-probe violations by rule",
+            ).inc()
+            self._obs.tracer.emit(
+                "audit.violation",
+                ts=now,
+                rule=rule,
+                subject=subject,
+                message=message,
+                **dict(observed),
+            )
+
+    def _clear(self, rule: str, subject: str, now: float) -> None:
+        key = (rule, subject)
+        if key not in self._active:
+            return
+        self._active.discard(key)
+        if self._obs.enabled:
+            self._obs.tracer.emit(
+                "audit.recover", ts=now, rule=rule, subject=subject
+            )
+
+    # -- the probes -----------------------------------------------------
+    def probe(self, now: float) -> None:
+        """One declared-vs-observed pass (driver calls on the cadence)."""
+        self.probes += 1
+        warm = self.probes > self.config.warmup_probes
+        metrics = self._metrics
+        validated = float(getattr(metrics, "validated", 0) or 0)
+        skipped = float(getattr(metrics, "skipped", 0) or 0)
+        operations = float(getattr(metrics, "operations", 0) or 0)
+
+        # declared coverage floor vs observed organic coverage
+        decided = validated + skipped
+        if warm and decided >= 16:
+            coverage = validated / decided
+            if coverage < self._coverage_floor:
+                self._flag(
+                    "drift-coverage-floor",
+                    "sampler",
+                    f"observed organic coverage {coverage:.1%} is below the "
+                    f"declared floor {self._coverage_floor:.1%}",
+                    now,
+                    remediation=(
+                        "add validator capacity or lower the declared floor"
+                    ),
+                    coverage=round(coverage, 6),
+                    floor=self._coverage_floor,
+                )
+            else:
+                self._clear("drift-coverage-floor", "sampler", now)
+
+        # declared validator pool vs cores that actually produced verdicts
+        active = len(self._verdict_cores)
+        spoke_up = validated >= 4 * self._declared_pool or (
+            validated == 0 and operations >= 16
+        )
+        if warm and active < self._declared_pool and spoke_up:
+            self._flag(
+                "drift-validator-pool",
+                "validators",
+                f"declared pool of {self._declared_pool} validator core(s) "
+                f"but only {active} produced verdicts",
+                now,
+                remediation=(
+                    "check for hung/crashed validators or shrink the "
+                    "declared pool"
+                ),
+                declared=self._declared_pool,
+                observed_cores=active,
+            )
+        elif active >= self._declared_pool:
+            self._clear("drift-validator-pool", "validators", now)
+
+        # conservation-ledger residual: outstanding work, nothing settling
+        if self._ledger is not None:
+            outstanding = int(getattr(self._ledger, "outstanding", 0))
+            accounted = int(getattr(self._ledger, "accounted", 0))
+            progressed = accounted != self._last_accounted
+            self._last_accounted = accounted
+            if outstanding > 0 and not progressed:
+                self._stalled_probes += 1
+            else:
+                self._stalled_probes = 0
+                self._clear("drift-ledger-residual", "ledger", now)
+            if self._stalled_probes >= self.config.residual_probes:
+                self._flag(
+                    "drift-ledger-residual",
+                    "ledger",
+                    f"{outstanding} closure log(s) outstanding with no "
+                    f"settlement for {self._stalled_probes} probe(s)",
+                    now,
+                    remediation=(
+                        "check the watchdog deadline and validator liveness"
+                    ),
+                    outstanding=outstanding,
+                )
+
+        # canary liveness vs plan
+        if self._canary is not None:
+            missed = int(getattr(self._canary, "missed", 0))
+            if missed > self._canary_missed_seen:
+                self._canary_missed_seen = missed
+                self._flag(
+                    "drift-canary-liveness",
+                    "canary",
+                    f"{missed} canary probe(s) missed their detection "
+                    "deadline",
+                    now,
+                    remediation="the plane is not detecting — see canary "
+                    "events for the stall window",
+                    missed=missed,
+                )
+
+    def finalize(self, now: float) -> dict:
+        """Terminal sweep + the run's ``orthrus-audit/1`` payload."""
+        self.probe(now)
+        if self._ledger is not None:
+            outstanding = int(getattr(self._ledger, "outstanding", 0))
+            if outstanding > 0:
+                self._flag(
+                    "drift-ledger-residual",
+                    "ledger",
+                    f"run ended with {outstanding} closure log(s) never "
+                    "reaching a terminal state",
+                    now,
+                    remediation=(
+                        "check the watchdog deadline and validator liveness"
+                    ),
+                    outstanding=outstanding,
+                )
+        return self.payload()
+
+    def payload(self) -> dict:
+        findings = self.findings
+        errors = [f for f in findings if f.severity == Severity.ERROR]
+        warnings = [f for f in findings if f.severity == Severity.WARN]
+        payload = {
+            "format": AUDIT_FORMAT,
+            "targets": ["runtime"],
+            "rules_run": len(DRIFT_RULES),
+            "probes": self.probes,
+            "summary": {
+                "errors": len(errors),
+                "warnings": len(warnings),
+                "ok": not errors,
+            },
+            "findings": [f.to_dict() for f in findings],
+        }
+        if self._exposure is not None:
+            payload["exposure"] = self._exposure.to_dict()
+        return payload

@@ -82,11 +82,17 @@ class CanaryConfig:
             self.deadline = 3.0 * self.period
         self.validate()
 
-    def validate(self) -> None:
+    def violations(self) -> list[str]:
+        found = []
         if self.period <= 0:
-            raise ConfigurationError("canary period must be positive")
+            found.append("canary period must be positive")
         if self.deadline <= 0:
-            raise ConfigurationError("canary deadline must be positive")
+            found.append("canary deadline must be positive")
+        return found
+
+    def validate(self) -> None:
+        for message in self.violations():
+            raise ConfigurationError(message)
 
 
 class CanaryScheduler:

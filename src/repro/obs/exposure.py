@@ -1,0 +1,189 @@
+"""Coverage-exposure accounting: which keys were unprotected, and why.
+
+Every decision that leaves a closure log unvalidated — the sampler
+skipping it, a bounded queue dropping it, the degradation ladder
+shedding it, the watchdog re-dispatching it after a stall — opens an
+*exposure window*: a span of virtual time during which a corruption of
+that key would have gone undetected.  Fleet SDC experience (Dixit et
+al.) says coverage must be a *measured* artifact, not an assumption;
+the :class:`ExposureLedger` is that measurement.
+
+The ledger folds each decision into per-subject/per-reason totals
+(count of logs, summed exposure seconds) and mirrors every record into
+the ``orthrus_exposure_seconds`` histogram family when a registry is
+attached, so ``obs-summary`` and the fleet rollup can answer "which
+keys were unprotected, for how long, and why".  ``merge`` is an
+associative, commutative fold — fleet workers combine ledgers in any
+grouping and land on identical totals.
+
+Window semantics (see DESIGN §14): a skip exposes the key until the
+next validation opportunity, bounded by the sampler's staleness
+threshold; a drop additionally charges the queue time already spent;
+checksum-only degradation covers bit-flips but not mercurial compute
+errors, so it still counts as (partial) exposure.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "EXPOSURE_METRIC",
+    "ExposureLedger",
+    "render_exposure",
+]
+
+EXPOSURE_METRIC = "orthrus_exposure_seconds"
+
+
+class ExposureLedger:
+    """Per-subject/per-reason exposure-window accounting.
+
+    ``subject_label`` names the aggregation axis: ``closure`` for one
+    pipeline (per-closure exposure), ``shard`` for the fleet model.
+    ``extra_labels`` (e.g. ``{"host": "h000"}``) ride along on the
+    mirrored histogram series so fleet merges stay per-host
+    attributable.
+    """
+
+    __slots__ = ("_registry", "_subject_label", "_extra", "totals")
+
+    def __init__(self, registry=None, subject_label="closure", extra_labels=None):
+        self._registry = registry
+        self._subject_label = subject_label
+        self._extra = dict(extra_labels or {})
+        #: ``(subject, reason) -> [logs, seconds]``
+        self.totals: dict[tuple, list] = {}
+
+    def record(self, subject, reason, seconds, count=1) -> None:
+        """Fold ``count`` logs of ``subject`` exposed for ``seconds`` each."""
+        if count <= 0 or seconds < 0:
+            return
+        cell = self.totals.setdefault((subject, reason), [0, 0.0])
+        cell[0] += count
+        cell[1] += seconds * count
+        if self._registry is not None:
+            labels = {self._subject_label: subject, "reason": reason}
+            labels.update(self._extra)
+            self._registry.histogram(
+                EXPOSURE_METRIC,
+                labels,
+                help="unvalidated exposure windows by subject and reason",
+            ).record_many(seconds, count)
+
+    # -- rollups --------------------------------------------------------
+    @property
+    def logs(self) -> int:
+        return sum(cell[0] for cell in self.totals.values())
+
+    @property
+    def seconds(self) -> float:
+        return sum(cell[1] for cell in self.totals.values())
+
+    def by_reason(self) -> dict:
+        out: dict[str, list] = {}
+        for (_, reason), (logs, seconds) in self.totals.items():
+            cell = out.setdefault(reason, [0, 0.0])
+            cell[0] += logs
+            cell[1] += seconds
+        return {
+            reason: {"logs": logs, "seconds": seconds}
+            for reason, (logs, seconds) in sorted(out.items())
+        }
+
+    def by_subject(self) -> dict:
+        out: dict[str, list] = {}
+        for (subject, _), (logs, seconds) in self.totals.items():
+            cell = out.setdefault(subject, [0, 0.0])
+            cell[0] += logs
+            cell[1] += seconds
+        return {
+            subject: {"logs": logs, "seconds": seconds}
+            for subject, (logs, seconds) in sorted(out.items())
+        }
+
+    def worst(self, n=3) -> list:
+        """The ``n`` most-exposed subjects, by summed seconds."""
+        ranked = sorted(
+            self.by_subject().items(),
+            key=lambda item: (-item[1]["seconds"], item[0]),
+        )
+        return [
+            {"subject": subject, **cell} for subject, cell in ranked[:n]
+        ]
+
+    def summary(self) -> dict:
+        return {
+            "logs": self.logs,
+            "seconds": self.seconds,
+            "by_reason": self.by_reason(),
+            "worst": self.worst(),
+        }
+
+    # -- serialization + merge ------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "subject_label": self._subject_label,
+            "entries": [
+                {
+                    "subject": subject,
+                    "reason": reason,
+                    "logs": logs,
+                    "seconds": seconds,
+                }
+                for (subject, reason), (logs, seconds) in sorted(
+                    self.totals.items()
+                )
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExposureLedger":
+        ledger = cls(subject_label=payload.get("subject_label", "closure"))
+        for entry in payload.get("entries", []):
+            cell = ledger.totals.setdefault(
+                (entry["subject"], entry["reason"]), [0, 0.0]
+            )
+            cell[0] += int(entry["logs"])
+            cell[1] += float(entry["seconds"])
+        return ledger
+
+    @classmethod
+    def from_registry(cls, registry, subject_label="closure") -> "ExposureLedger":
+        """Reconstruct totals from the mirrored histogram family — used
+        by the fleet report after :func:`merge_registries` has already
+        folded every shard's series associatively."""
+        ledger = cls(subject_label=subject_label)
+        for labels, child in registry.series(EXPOSURE_METRIC):
+            key = (labels.get(subject_label, ""), labels.get("reason", ""))
+            cell = ledger.totals.setdefault(key, [0, 0.0])
+            cell[0] += child.count
+            cell[1] += child.sum
+        return ledger
+
+    def merge(self, other: "ExposureLedger") -> "ExposureLedger":
+        """Associative in-place fold; returns self for chaining."""
+        for key, (logs, seconds) in other.totals.items():
+            cell = self.totals.setdefault(key, [0, 0.0])
+            cell[0] += logs
+            cell[1] += seconds
+        return self
+
+
+def render_exposure(payload: dict) -> str:
+    """Console rendering of an exposure payload (``to_dict`` shape)."""
+    ledger = ExposureLedger.from_dict(payload)
+    label = payload.get("subject_label", "closure")
+    lines = [
+        f"  exposure windows: {ledger.logs} log(s), "
+        f"{ledger.seconds * 1e3:.3f} ms unprotected"
+    ]
+    for reason, cell in ledger.by_reason().items():
+        lines.append(
+            f"    {reason:<16} {cell['logs']:>8} log(s)  "
+            f"{cell['seconds'] * 1e3:>10.3f} ms"
+        )
+    for entry in ledger.worst():
+        lines.append(
+            f"    worst {label} {entry['subject']}: {entry['logs']} log(s), "
+            f"{entry['seconds'] * 1e3:.3f} ms"
+        )
+    return "\n".join(lines)

@@ -144,6 +144,18 @@ class StreamingHistogram:
         if value > self._max:
             self._max = value
 
+    def record_many(self, value: float, count: int) -> None:
+        """Record ``count`` identical samples in O(1)."""
+        if count <= 0:
+            return
+        self.counts[bisect_left(self.bounds, value)] += count
+        self.count += count
+        self.sum += value * count
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
     def merge(self, other: "StreamingHistogram") -> None:
         """Fold another histogram with identical buckets into this one."""
         if other.bounds != self.bounds:

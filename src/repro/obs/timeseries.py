@@ -649,6 +649,22 @@ def install_canary_probes(recorder: TimeSeriesRecorder) -> None:
     )
 
 
+def install_audit_probes(recorder: TimeSeriesRecorder) -> None:
+    """Validation-plane audit series: cumulative drift-probe violations
+    and the running count of logs with open exposure windows (DESIGN
+    §14) — the timeline view of "how unprotected is the plane, now"."""
+    recorder.add_series(
+        "audit_violations",
+        GaugeProbe("orthrus_audit_violations_total"),
+        unit="violations",
+    )
+    recorder.add_series(
+        "exposure_logs",
+        GaugeProbe("orthrus_exposure_seconds"),
+        unit="logs",
+    )
+
+
 # ----------------------------------------------------------------------
 # artifact I/O + terminal rendering
 # ----------------------------------------------------------------------

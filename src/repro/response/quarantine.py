@@ -49,15 +49,21 @@ class QuarantineConfig:
     #: consecutive clean probes required to re-admit a quarantined core
     probation_probes: int = 3
 
-    def validate(self) -> None:
+    def violations(self) -> list[str]:
+        found = []
         if self.fault_threshold <= 0:
-            raise ConfigurationError("fault_threshold must be positive")
+            found.append("fault_threshold must be positive")
         if self.fault_weight <= 0:
-            raise ConfigurationError("fault_weight must be positive")
+            found.append("fault_weight must be positive")
         if not 0.0 <= self.clean_decay <= 1.0:
-            raise ConfigurationError("clean_decay must be in [0, 1]")
+            found.append("clean_decay must be in [0, 1]")
         if self.probation_probes < 1:
-            raise ConfigurationError("probation_probes must be >= 1")
+            found.append("probation_probes must be >= 1")
+        return found
+
+    def validate(self) -> None:
+        for message in self.violations():
+            raise ConfigurationError(message)
 
 
 @dataclass(slots=True)

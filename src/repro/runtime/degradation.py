@@ -65,15 +65,21 @@ class DegradationConfig:
     #: consecutive cool observations before recovering one level
     recover_after: int = 4
 
-    def validate(self) -> None:
+    def violations(self) -> list[str]:
+        found = []
         if not 0.0 <= self.queue_low_water < self.queue_high_water <= 1.0:
-            raise ConfigurationError(
+            found.append(
                 "degradation water marks must satisfy 0 <= low < high <= 1"
             )
         if self.drop_rate_high <= 0 or self.timeout_rate_high <= 0:
-            raise ConfigurationError("degradation rate thresholds must be positive")
+            found.append("degradation rate thresholds must be positive")
         if self.escalate_after < 1 or self.recover_after < 1:
-            raise ConfigurationError("degradation streaks must be >= 1")
+            found.append("degradation streaks must be >= 1")
+        return found
+
+    def validate(self) -> None:
+        for message in self.violations():
+            raise ConfigurationError(message)
 
 
 @dataclass(slots=True)

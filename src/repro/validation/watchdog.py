@@ -56,17 +56,21 @@ class WatchdogConfig:
     #: deadline timeouts on one core before it is reported an offender
     offender_threshold: int = 2
 
-    def validate(self) -> None:
+    def violations(self) -> list[str]:
+        found = []
         if self.deadline <= 0:
-            raise ConfigurationError("watchdog deadline must be positive")
+            found.append("watchdog deadline must be positive")
         if self.max_retries < 0:
-            raise ConfigurationError("watchdog retry budget must be >= 0")
+            found.append("watchdog retry budget must be >= 0")
         if self.backoff_base < 0 or self.backoff_cap < self.backoff_base:
-            raise ConfigurationError(
-                "watchdog backoff must satisfy 0 <= base <= cap"
-            )
+            found.append("watchdog backoff must satisfy 0 <= base <= cap")
         if self.offender_threshold < 1:
-            raise ConfigurationError("offender threshold must be >= 1")
+            found.append("offender threshold must be >= 1")
+        return found
+
+    def validate(self) -> None:
+        for message in self.violations():
+            raise ConfigurationError(message)
 
 
 @dataclass(slots=True)

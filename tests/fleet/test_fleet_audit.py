@@ -1,0 +1,106 @@
+"""Fleet drift audit + exposure fold: worker-count invariance.
+
+Shard workers record exposure windows into their own registries and
+report terminal drift findings; the parent folds both through the same
+associative merges the metrics use, so every rollup — and the fleet
+digest — must be identical for one worker and four.
+"""
+
+import pytest
+
+from repro.fleet.merge import merge_audit
+from repro.fleet.runner import run_fleet
+from repro.fleet.shardsim import ShardResult
+from repro.fleet.topology import FleetConfig
+from repro.obs.audit import AUDIT_FORMAT
+
+
+def _healthy_config():
+    return FleetConfig(hosts=2, shards=2, scale=0.05, epochs=24,
+                       ground_shards=0, seed=11)
+
+
+def _overloaded_config():
+    # far more offered load than the validator pools can drain: coverage
+    # collapses below the declared floor and queues drop
+    return FleetConfig(hosts=2, shards=2, scale=0.05, epochs=24,
+                       load_factor=30.0, queue_capacity=8,
+                       min_coverage=0.5, ground_shards=0, seed=11)
+
+
+class TestWorkerCountInvariance:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        config = _overloaded_config()
+        return run_fleet(config, workers=1), run_fleet(config, workers=4)
+
+    def test_digest_and_audit_identical(self, reports):
+        w1, w4 = reports
+        assert w1.digest == w4.digest
+        assert w1.audit == w4.audit
+
+    def test_exposure_rollup_identical(self, reports):
+        w1, w4 = reports
+        assert w1.rollup["exposure"] == w4.rollup["exposure"]
+        assert w1.rollup["exposure"]["logs"] > 0
+
+
+class TestDriftFindings:
+    @pytest.fixture(scope="class")
+    def overloaded(self):
+        return run_fleet(_overloaded_config(), workers=1)
+
+    def test_overload_raises_coverage_floor_findings(self, overloaded):
+        payload = overloaded.audit
+        assert payload["format"] == AUDIT_FORMAT
+        assert payload["targets"] == ["fleet-drift"]
+        assert payload["summary"]["errors"] > 0
+        rules = {f["rule"] for f in payload["findings"]}
+        assert "drift-coverage-floor" in rules
+        # two drift rules per shard
+        assert payload["rules_run"] == 2 * len(overloaded.shards)
+
+    def test_findings_name_the_shard(self, overloaded):
+        subjects = {f["subject"] for f in overloaded.audit["findings"]}
+        shard_names = {s["shard"] for s in overloaded.shards}
+        assert subjects <= shard_names
+
+    def test_exposure_attributes_reasons(self, overloaded):
+        by_reason = overloaded.rollup["exposure"]["by_reason"]
+        assert by_reason  # overload must open windows
+        assert set(by_reason) <= {
+            "sampled-out", "queue-drop", "checksum-only", "stalled"
+        }
+
+    def test_render_and_artifact_carry_the_audit(self, overloaded):
+        text = overloaded.render()
+        assert "exposure        :" in text
+        assert "drift audit     :" in text
+        payload = overloaded.to_json()
+        assert payload["audit"] == overloaded.audit
+        assert payload["exposure"] == overloaded.rollup["exposure"]
+
+    def test_healthy_fleet_is_clean(self):
+        report = run_fleet(_healthy_config(), workers=1)
+        assert report.audit["summary"]["ok"] is True
+        assert report.audit["findings"] == []
+
+
+class TestMergeAudit:
+    def test_merge_is_order_invariant(self):
+        def shard(shard_id, findings):
+            result = ShardResult(shard_id=shard_id, host_id=0)
+            result.audit = findings
+            return result
+
+        finding = {
+            "rule": "drift-coverage-floor", "severity": "error",
+            "subject": "s0001", "message": "coverage low",
+            "remediation": "", "observed": {},
+        }
+        shards = [shard(0, []), shard(1, [finding])]
+        forward = merge_audit(shards)
+        backward = merge_audit(list(reversed(shards)))
+        assert forward == backward
+        assert forward["rules_run"] == 4
+        assert forward["findings"][0]["subject"] == "s0001"

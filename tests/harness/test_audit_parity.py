@@ -1,0 +1,110 @@
+"""Runtime auditing acceptance: drift detection without digest drift.
+
+Two contracts from DESIGN §14: (1) a chaos run with hung validators and
+a mis-declared pool raises ``audit.violation`` events, lands ERROR
+findings, and accumulates a nonzero exposure histogram; (2) the whole
+apparatus is observational — run digests are byte-identical with
+auditing on or off, on both the plain and the fault-tolerant plane.
+"""
+
+import pytest
+
+from repro.faultinject.validator_faults import ValidatorChaosConfig
+from repro.harness.pipeline import PipelineConfig, run_orthrus_server
+from repro.harness.scenarios import memcached_scenario
+from repro.obs import Observability
+from repro.obs.audit import AUDIT_FORMAT, AuditConfig
+from repro.obs.exposure import EXPOSURE_METRIC
+from repro.runtime.degradation import FaultToleranceConfig
+from repro.validation.watchdog import WatchdogConfig
+
+
+def _run(ops=300, **overrides):
+    config = PipelineConfig(app_threads=2, validation_cores=2, seed=7,
+                            **overrides)
+    return run_orthrus_server(memcached_scenario(), ops, config)
+
+
+def _chaos_config(audit, obs=None):
+    # two of two validators hang; the watchdog deadline is tight enough
+    # to force re-dispatches inside a short CI run
+    return dict(
+        fault_tolerance=FaultToleranceConfig(
+            queue_capacity=16,
+            watchdog=WatchdogConfig(deadline=80e-6),
+        ),
+        validator_faults=ValidatorChaosConfig.parse(["hang=2"], seed=7),
+        audit=audit,
+        obs=obs,
+    )
+
+
+class TestDigestParity:
+    def test_pipeline_digest_identical_with_auditing(self):
+        bare = _run()
+        audited = _run(audit=True)
+        fully = _run(audit=AuditConfig(), obs=Observability())
+        assert bare.digest is not None
+        assert bare.digest == audited.digest == fully.digest
+        assert bare.metrics.validated == audited.metrics.validated
+        assert bare.detections == audited.detections
+
+    def test_chaos_digest_identical_with_auditing(self):
+        bare = _run(**_chaos_config(audit=None))
+        audited = _run(**_chaos_config(audit=True, obs=Observability()))
+        assert bare.digest == audited.digest
+        assert bare.responses == audited.responses
+
+    def test_audit_payload_absent_when_disabled(self):
+        assert _run().audit is None
+
+
+class TestCleanRunAudit:
+    def test_clean_run_produces_ok_payload(self):
+        result = _run(audit=True)
+        payload = result.audit
+        assert payload["format"] == AUDIT_FORMAT
+        assert payload["targets"] == ["runtime"]
+        assert payload["summary"]["ok"] is True
+        assert payload["probes"] > 0
+        # full coverage: the exposure ledger rides along but is empty
+        assert payload["exposure"]["entries"] == []
+
+
+class TestChaosRunAudit:
+    @pytest.fixture(scope="class")
+    def chaos(self):
+        obs = Observability()
+        result = _run(**_chaos_config(audit=True, obs=obs))
+        return result, obs
+
+    def test_hung_pool_raises_drift_violation(self, chaos):
+        result, obs = chaos
+        payload = result.audit
+        assert payload["summary"]["ok"] is False
+        rules = {f["rule"] for f in payload["findings"]}
+        assert "drift-validator-pool" in rules
+        events = obs.tracer.of_kind("audit.violation")
+        assert events and any(
+            e.fields["rule"] == "drift-validator-pool" for e in events
+        )
+
+    def test_violation_counter_recorded(self, chaos):
+        _, obs = chaos
+        series = obs.registry.series("orthrus_audit_violations_total")
+        rules = {labels["rule"] for labels, _ in series}
+        assert "drift-validator-pool" in rules
+        assert all(child.value >= 1 for _, child in series)
+
+    def test_exposure_histogram_nonzero(self, chaos):
+        result, obs = chaos
+        series = obs.registry.series(EXPOSURE_METRIC)
+        assert series
+        total = sum(child.count for _, child in series)
+        assert total > 0
+        entries = result.audit["exposure"]["entries"]
+        assert sum(e["logs"] for e in entries) == total
+        assert {e["reason"] for e in entries} <= {
+            "sampled-out", "deadline", "evicted-oldest", "coverage-shed",
+            "checksum-only", "stalled", "redispatch",
+        }

@@ -1,0 +1,154 @@
+"""Exposure-window ledger: accounting, registry mirroring, merge algebra.
+
+Coverage must be a measured artifact: every skip/drop/shed/stall folds
+into per-subject/per-reason totals, mirrors into the
+``orthrus_exposure_seconds`` histogram family in O(1), and merges
+associatively so fleet rollups are worker-count invariant.
+"""
+
+from repro.obs.exposure import EXPOSURE_METRIC, ExposureLedger, render_exposure
+from repro.obs.metrics import MetricsRegistry
+
+
+def _sample_ledger():
+    ledger = ExposureLedger()
+    ledger.record("cache.get", "sampled-out", 2e-6, 10)
+    ledger.record("cache.get", "queue-drop", 5e-6, 2)
+    ledger.record("cache.set", "sampled-out", 2e-6, 4)
+    return ledger
+
+
+class TestAccounting:
+    def test_totals_fold_count_times_seconds(self):
+        ledger = ExposureLedger()
+        ledger.record("k", "sampled-out", 3.0, 4)
+        ledger.record("k", "sampled-out", 1.0)
+        assert ledger.totals[("k", "sampled-out")] == [5, 13.0]
+        assert ledger.logs == 5
+        assert ledger.seconds == 13.0
+
+    def test_nonpositive_counts_and_negative_windows_ignored(self):
+        ledger = ExposureLedger()
+        ledger.record("k", "r", 1.0, 0)
+        ledger.record("k", "r", 1.0, -2)
+        ledger.record("k", "r", -0.5, 3)
+        assert ledger.totals == {}
+
+    def test_zero_second_windows_still_count_logs(self):
+        # checksum-only shedding can have a zero *residual* window but
+        # the log was still not fully validated
+        ledger = ExposureLedger()
+        ledger.record("k", "checksum-only", 0.0, 2)
+        assert ledger.logs == 2 and ledger.seconds == 0.0
+
+    def test_by_reason_and_by_subject_rollups(self):
+        ledger = _sample_ledger()
+        by_reason = ledger.by_reason()
+        assert by_reason["sampled-out"]["logs"] == 14
+        assert abs(by_reason["sampled-out"]["seconds"] - 28e-6) < 1e-15
+        assert by_reason["queue-drop"]["logs"] == 2
+        by_subject = ledger.by_subject()
+        assert by_subject["cache.get"]["logs"] == 12
+        assert by_subject["cache.set"]["logs"] == 4
+
+    def test_worst_ranks_by_seconds_then_name(self):
+        ledger = _sample_ledger()
+        worst = ledger.worst(n=1)
+        assert worst[0]["subject"] == "cache.get"
+        tied = ExposureLedger()
+        tied.record("b", "r", 1.0)
+        tied.record("a", "r", 1.0)
+        assert [w["subject"] for w in tied.worst()] == ["a", "b"]
+
+    def test_summary_shape(self):
+        summary = _sample_ledger().summary()
+        assert set(summary) == {"logs", "seconds", "by_reason", "worst"}
+        assert summary["logs"] == 16
+
+
+class TestSerializationAndMerge:
+    def test_dict_round_trip(self):
+        ledger = _sample_ledger()
+        back = ExposureLedger.from_dict(ledger.to_dict())
+        assert back.totals == ledger.totals
+        assert back.to_dict() == ledger.to_dict()
+
+    def test_merge_is_grouping_invariant(self):
+        parts = []
+        for salt in range(4):
+            part = ExposureLedger()
+            part.record(f"shard-{salt % 2:04d}", "sampled-out", 1e-6, salt + 1)
+            part.record("shard-0000", "queue-drop", 2e-6, 1)
+            parts.append(part)
+        left = ExposureLedger()
+        for part in parts:
+            left.merge(part)
+        right = ExposureLedger().merge(parts[2]).merge(parts[3])
+        right_then_left = (
+            ExposureLedger().merge(parts[0]).merge(parts[1]).merge(right)
+        )
+        assert left.totals == right_then_left.totals
+
+    def test_render_lists_reasons_and_worst_subject(self):
+        text = render_exposure(_sample_ledger().to_dict())
+        assert "16 log(s)" in text
+        assert "sampled-out" in text and "queue-drop" in text
+        assert "worst closure cache.get" in text
+
+
+class TestRegistryMirror:
+    def test_record_mirrors_into_histogram_family(self):
+        registry = MetricsRegistry()
+        ledger = ExposureLedger(registry=registry, subject_label="closure")
+        ledger.record("cache.get", "sampled-out", 2e-6, 10)
+        series = registry.series(EXPOSURE_METRIC)
+        assert len(series) == 1
+        labels, child = series[0]
+        assert labels == {"closure": "cache.get", "reason": "sampled-out"}
+        assert child.count == 10
+        assert abs(child.sum - 20e-6) < 1e-18
+
+    def test_extra_labels_ride_along(self):
+        registry = MetricsRegistry()
+        ledger = ExposureLedger(
+            registry=registry, subject_label="shard",
+            extra_labels={"host": "h000"},
+        )
+        ledger.record("s0000", "queue-drop", 1e-6)
+        labels, _ = registry.series(EXPOSURE_METRIC)[0]
+        assert labels == {
+            "shard": "s0000", "reason": "queue-drop", "host": "h000"
+        }
+
+    def test_from_registry_reconstructs_totals(self):
+        registry = MetricsRegistry()
+        ledger = ExposureLedger(registry=registry)
+        ledger.record("cache.get", "sampled-out", 2e-6, 10)
+        ledger.record("cache.set", "deadline", 7e-6, 3)
+        back = ExposureLedger.from_registry(registry, subject_label="closure")
+        assert back.logs == ledger.logs
+        assert abs(back.seconds - ledger.seconds) < 1e-15
+        assert set(back.totals) == set(ledger.totals)
+
+    def test_from_registry_after_snapshot_merge_matches_direct_fold(self):
+        # the fleet path: workers mirror into per-shard registries, the
+        # parent merges snapshots; reconstruction must equal a direct
+        # single-ledger fold of the same records
+        shards = []
+        for shard in range(3):
+            registry = MetricsRegistry()
+            ledger = ExposureLedger(registry=registry, subject_label="shard")
+            ledger.record(f"s{shard:04d}", "sampled-out", 1e-6, shard + 1)
+            ledger.record("s0000", "stalled", 4e-6, 2)
+            shards.append((registry, ledger))
+        merged = MetricsRegistry()
+        for registry, _ in shards:
+            merged.merge_snapshot(registry.snapshot())
+        reconstructed = ExposureLedger.from_registry(merged, subject_label="shard")
+        direct = ExposureLedger()
+        for _, ledger in shards:
+            direct.merge(ledger)
+        assert reconstructed.totals.keys() == direct.totals.keys()
+        for key, (logs, seconds) in direct.totals.items():
+            assert reconstructed.totals[key][0] == logs
+            assert abs(reconstructed.totals[key][1] - seconds) < 1e-15

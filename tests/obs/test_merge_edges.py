@@ -1,0 +1,131 @@
+"""Merge edge cases for the registry and time-series folds.
+
+The audit counters and exposure histograms ride the same merge
+machinery the fleet rollup uses; these edges (empty snapshots, disjoint
+label sets, single-stream equivalence) are exactly where a worker-count
+dependence would hide.
+"""
+
+from repro.obs.exposure import EXPOSURE_METRIC, ExposureLedger
+from repro.obs.metrics import MetricsRegistry, merge_snapshots
+from repro.obs.timeseries import TimeSeries
+
+
+def _registry_with_exposure(shard, reasons):
+    registry = MetricsRegistry()
+    ledger = ExposureLedger(registry=registry, subject_label="shard")
+    for i, reason in enumerate(reasons):
+        ledger.record(shard, reason, (i + 1) * 1e-6, i + 1)
+    registry.counter(
+        "orthrus_audit_violations_total", {"rule": "drift-coverage-floor"},
+        help="t",
+    ).inc()
+    return registry
+
+
+class TestMergeSnapshotEdges:
+    def test_empty_snapshot_is_identity(self):
+        registry = _registry_with_exposure("s0000", ["sampled-out"])
+        before = registry.snapshot()
+        registry.merge_snapshot(MetricsRegistry().snapshot())
+        assert registry.snapshot() == before
+
+    def test_merge_into_empty_registry_copies_everything(self):
+        source = _registry_with_exposure("s0000", ["sampled-out", "stalled"])
+        target = MetricsRegistry()
+        target.merge_snapshot(source.snapshot())
+        assert target.snapshot() == source.snapshot()
+
+    def test_disjoint_label_sets_union(self):
+        a = _registry_with_exposure("s0000", ["sampled-out"])
+        b = _registry_with_exposure("s0001", ["queue-drop"])
+        a.merge_snapshot(b.snapshot())
+        labels = {
+            (series[0]["shard"], series[0]["reason"])
+            for series in (
+                (labels, None) for labels, _ in a.series(EXPOSURE_METRIC)
+            )
+        }
+        assert labels == {
+            ("s0000", "sampled-out"), ("s0001", "queue-drop")
+        }
+
+    def test_overlapping_audit_counters_sum(self):
+        a = _registry_with_exposure("s0000", [])
+        b = _registry_with_exposure("s0000", [])
+        a.merge_snapshot(b.snapshot())
+        (_, child), = a.series("orthrus_audit_violations_total")
+        assert child.value == 2
+
+    def test_single_stream_equals_merged_for_exposure_family(self):
+        # one registry fed every record == N per-shard registries merged
+        records = [
+            ("s0000", "sampled-out", 2e-6, 5),
+            ("s0001", "sampled-out", 2e-6, 3),
+            ("s0000", "queue-drop", 9e-6, 1),
+            ("s0001", "stalled", 4e-6, 2),
+        ]
+        single = MetricsRegistry()
+        ledger = ExposureLedger(registry=single, subject_label="shard")
+        for record in records:
+            ledger.record(*record)
+        per_shard = {}
+        for subject, reason, seconds, count in records:
+            registry = per_shard.setdefault(subject, MetricsRegistry())
+            ExposureLedger(registry=registry, subject_label="shard").record(
+                subject, reason, seconds, count
+            )
+        merged = merge_snapshots(
+            registry.snapshot() for _, registry in sorted(per_shard.items())
+        )
+
+        def canonical(registry):
+            return sorted(
+                (sorted(labels.items()), child.snapshot())
+                for labels, child in registry.series(EXPOSURE_METRIC)
+            )
+
+        assert canonical(merged) == canonical(single)
+
+    def test_merge_is_grouping_invariant(self):
+        snapshots = [
+            _registry_with_exposure(f"s{i:04d}", ["sampled-out"]).snapshot()
+            for i in range(4)
+        ]
+        all_at_once = merge_snapshots(snapshots)
+        pairs = merge_snapshots(
+            [merge_snapshots(snapshots[:2]).snapshot(),
+             merge_snapshots(snapshots[2:]).snapshot()]
+        )
+        assert all_at_once.snapshot() == pairs.snapshot()
+
+
+def _series(samples, name="lag"):
+    series = TimeSeries(name, capacity=8, reservoir=4)
+    for t, value in samples:
+        series.append(t, value)
+    return series
+
+
+class TestTimeSeriesMergeEdges:
+    def test_merge_empty_into_populated_is_identity(self):
+        series = _series([(0.0, 1.0), (1.0, 2.0)])
+        before = series.summary()
+        series.merge(_series([]))
+        assert series.summary() == before
+
+    def test_merge_populated_into_empty_copies_exact_stats(self):
+        empty = _series([])
+        full = _series([(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)])
+        empty.merge(full)
+        for key in ("count", "mean", "min", "max", "last"):
+            assert empty.summary()[key] == full.summary()[key]
+
+    def test_merged_exact_stats_equal_single_stream(self):
+        left = [(float(t), float(t % 5)) for t in range(0, 20, 2)]
+        right = [(float(t), float(t % 7)) for t in range(1, 20, 2)]
+        merged = _series(left)
+        merged.merge(_series(right))
+        single = _series(sorted(left + right))
+        for key in ("count", "mean", "min", "max", "last"):
+            assert merged.summary()[key] == single.summary()[key]

@@ -415,3 +415,146 @@ class TestSpanAndCanaryFlags:
         capsys.readouterr()
         assert main(["obs-summary", str(snap)]) == 0
         assert "canary liveness: ok" in capsys.readouterr().out
+
+
+class TestRosterDrift:
+    """The subcommand roster is generated, not hand-maintained."""
+
+    def test_handlers_match_registered_subparsers(self):
+        from repro.cli import _HANDLERS, subcommand_names
+
+        assert set(subcommand_names()) == set(_HANDLERS)
+
+    def test_list_output_names_every_subcommand(self, capsys):
+        from repro.cli import subcommand_names
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in subcommand_names():
+            if name != "list":
+                assert name in out
+
+    def test_epilog_names_every_subcommand(self):
+        from repro.cli import subcommand_names
+
+        parser = build_parser()
+        for name in subcommand_names(parser):
+            assert name in parser.epilog
+
+
+class TestDoctor:
+    def test_default_configs_are_clean(self, capsys):
+        assert main(["doctor"]) == 0
+        out = capsys.readouterr().out
+        assert "no contradictions found" in out
+        assert "0 error(s)" in out
+
+    def test_bad_fleet_fixture_names_the_rules(self, capsys):
+        rc = main(["doctor", "--config",
+                   "tests/fixtures/doctor_bad_fleet.json"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        for rule in ("shards-exceed-cores", "validator-pool-quarantined",
+                     "watchdog-exceeds-slo"):
+            assert rule in out
+
+    def test_bad_pipeline_fixture_names_the_rules(self, capsys):
+        rc = main(["doctor", "--config",
+                   "tests/fixtures/doctor_bad_pipeline.json"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "sampler-target-unknown" in out
+        assert "canary-deadline-inverted" in out
+
+    def test_flags_overlay_contradictions(self, capsys):
+        rc = main([
+            "doctor", "--sampler-target", "bogus.closure",
+            "--canary-period", "1e-3", "--canary-deadline", "1e-4",
+            "--watchdog-deadline", "5e-3",
+            "--slo", "validation_lag_p95 p95 <= 200us",
+        ])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "sampler-target-unknown" in out
+        assert "canary-deadline-inverted" in out
+        assert "watchdog-exceeds-slo" in out
+
+    def test_empty_validator_pool_flagged(self, capsys):
+        assert main(["doctor", "--cores", "0"]) == 1
+        assert "validator-pool-empty" in capsys.readouterr().out
+
+    def test_unknown_overflow_policy_flagged(self, capsys):
+        assert main([
+            "doctor", "--overflow-policy", "drop-newest",
+            "--queue-capacity", "16",
+        ]) == 1
+        assert "overflow-policy-unknown" in capsys.readouterr().out
+
+    def test_json_emits_the_artifact(self, capsys):
+        assert main(["doctor", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "orthrus-audit/1"
+        assert payload["summary"]["ok"] is True
+        assert set(payload["targets"]) == {"pipeline", "fleet"}
+
+    def test_artifact_round_trips_through_obs_summary(self, tmp_path, capsys):
+        artifact = tmp_path / "audit.json"
+        rc = main(["doctor", "--config",
+                   "tests/fixtures/doctor_bad_fleet.json",
+                   "--out", str(artifact)])
+        assert rc == 1
+        capsys.readouterr()
+        payload = json.loads(artifact.read_text())
+        assert payload["format"] == "orthrus-audit/1"
+        assert main(["obs-summary", str(artifact)]) == 1
+        out = capsys.readouterr().out
+        assert "validation-plane audit" in out
+        assert "shards-exceed-cores" in out
+
+    def test_unknown_config_section_rejected(self, tmp_path):
+        spec = tmp_path / "c.json"
+        spec.write_text(json.dumps({"pipelines": {}}))
+        with pytest.raises(SystemExit, match="unknown section"):
+            main(["doctor", "--config", str(spec)])
+
+    def test_unknown_config_key_rejected(self, tmp_path):
+        spec = tmp_path / "c.json"
+        spec.write_text(json.dumps({"pipeline": {"valdation_cores": 2}}))
+        with pytest.raises(SystemExit, match="unknown pipeline key"):
+            main(["doctor", "--config", str(spec)])
+
+
+class TestAuditFlags:
+    def test_clean_run_audit_exits_zero(self, capsys):
+        rc = main([
+            "perf", "--app", "memcached", "--ops", "300", "--audit",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "validation-plane audit (runtime)" in out
+        assert "drift probe(s)" in out
+
+    def test_chaos_run_audit_exits_one_with_artifact(self, tmp_path, capsys):
+        artifact = tmp_path / "audit.json"
+        rc = main([
+            "perf", "--app", "memcached", "--ops", "300", "--cores", "4",
+            "--validator-faults", "hang=2",
+            "--watchdog-deadline", "80e-6", "--queue-capacity", "16",
+            "--audit", "--audit-out", str(artifact),
+        ])
+        assert rc == 1
+        assert "drift-validator-pool" in capsys.readouterr().out
+        payload = json.loads(artifact.read_text())
+        assert payload["format"] == "orthrus-audit/1"
+        assert payload["summary"]["errors"] >= 1
+        capsys.readouterr()
+        assert main(["obs-summary", str(artifact)]) == 1
+
+    def test_fleet_audit_exits_zero_when_clean(self, capsys):
+        rc = main([
+            "fleet", "--hosts", "2", "--shards", "2", "--scale", "0.05",
+            "--epochs", "24", "--ground-shards", "0", "--audit",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "validation-plane audit (fleet-drift)" in out

@@ -125,6 +125,23 @@ class TestUnseededRandomLint:
         fleet = {p.name for p in (REPO_SRC / "repro" / "fleet").glob("*.py")}
         assert {"ring.py", "runner.py", "shardsim.py", "streams.py"} <= fleet
 
+    def test_scan_covers_the_auditor_modules(self):
+        # the drift monitor and exposure ledger sit on the hot path of
+        # every audited run; an unseeded draw there would desync the
+        # audit payload from the run digest it claims to describe
+        obs = {p.name for p in (REPO_SRC / "repro" / "obs").glob("*.py")}
+        assert {"audit.py", "exposure.py"} <= obs
+
+    def test_auditor_is_rng_free(self):
+        # stronger than the lint: the auditor must be purely
+        # observational, so it never imports random at all
+        for name in ("audit.py", "exposure.py"):
+            source = (REPO_SRC / "repro" / "obs" / name).read_text()
+            assert "import random" not in source, (
+                f"repro/obs/{name} must stay RNG-free — auditing cannot "
+                "perturb the run it observes"
+            )
+
     def test_fleet_streams_are_derived(self):
         # every fleet RNG must be namespaced per (host, shard); the only
         # Random construction allowed in the package goes through

@@ -47,3 +47,22 @@ def test_reclaimed_version_is_heap_error():
 def test_catching_base_class_catches_detections():
     with pytest.raises(SdcDetected):
         raise ChecksumMismatch("x")
+
+
+def test_exit_code_registry_values():
+    from repro.errors import ExitCode
+
+    assert ExitCode.OK == 0
+    assert ExitCode.FAILURE == 1
+    assert ExitCode.SAFE_HOLD == 2
+    assert ExitCode.CANARY_MISSED == 3
+    assert len(ExitCode) == 4
+
+
+def test_exit_codes_are_plain_ints():
+    # sys.exit / subprocess return codes need real ints
+    from repro.errors import ExitCode
+
+    for code in ExitCode:
+        assert isinstance(code, int)
+        assert int(code) == code.value
