@@ -92,8 +92,14 @@ import json
 import os
 import sys
 
-from repro.errors import ConfigurationError, ExitCode
+from repro.errors import (
+    ConfigurationError,
+    ExitCode,
+    FaultInjectionError,
+    FleetExecutionError,
+)
 from repro.faultinject.campaign import FaultInjectionCampaign
+from repro.faultinject.fleet_faults import FleetFaultPlan
 from repro.fleet import FleetConfig, FleetConfigError, run_fleet
 from repro.faultinject.config import InjectionConfig
 from repro.faultinject.validator_faults import ValidatorChaosConfig
@@ -561,7 +567,8 @@ _DOCTOR_FLEET_KEYS = frozenset((
     "hosts", "shards", "cores_per_host", "validators_per_shard",
     "app_cores_per_shard", "vnodes", "min_coverage", "queue_capacity",
     "canary_every", "watchdog_deadline", "slo_window", "quarantined",
-    "epochs", "seed",
+    "epochs", "seed", "faults", "failover_retry_budget",
+    "failover_backoff_epochs", "probation_epochs",
 ))
 
 
@@ -616,6 +623,11 @@ def _fleet_from_spec(spec: dict) -> FleetConfig:
         kwargs["quarantined"] = tuple(
             (int(host), int(core)) for host, core in kwargs["quarantined"]
         )
+    if "faults" in kwargs:
+        try:
+            kwargs["faults"] = FleetFaultPlan.from_dict(kwargs["faults"])
+        except FaultInjectionError as exc:
+            raise SystemExit(f"fleet.faults: {exc}")
     return FleetConfig(**kwargs)
 
 
@@ -1031,6 +1043,23 @@ def cmd_fleet(args) -> int:
             raise SystemExit(
                 f"bad --quarantine {spec!r}; expected HOST:CORE (two ints)"
             )
+    try:
+        faults = FleetFaultPlan.parse(
+            crashes=args.host_crash or (),
+            partitions=args.partition or (),
+            degradations=args.degrade_link or (),
+            stragglers=args.straggle or (),
+        )
+        if args.chaos_crashes or args.chaos_partitions:
+            faults = faults.merge(FleetFaultPlan.generate(
+                hosts=args.hosts,
+                epochs=args.epochs,
+                crashes=args.chaos_crashes,
+                partitions=args.chaos_partitions,
+                seed=args.chaos_seed,
+            ))
+    except FaultInjectionError as exc:
+        raise SystemExit(str(exc))
     config = FleetConfig(
         hosts=args.hosts,
         shards=args.shards,
@@ -1046,21 +1075,45 @@ def cmd_fleet(args) -> int:
         load_factor=args.load_factor,
         mercurial_rate=args.mercurial_rate,
         corruption_rate=args.corruption_rate,
+        min_coverage=args.min_coverage,
+        queue_capacity=args.fleet_queue_capacity,
         quarantined=tuple(quarantined),
         watchdog_deadline=args.watchdog_deadline,
         slo_window=args.slo_window,
         ground_shards=args.ground_shards,
+        faults=None if faults.empty else faults,
+        failover_retry_budget=args.failover_retry_budget,
+        failover_backoff_epochs=args.failover_backoff,
+        probation_epochs=args.probation_epochs,
         seed=args.seed,
     )
+    if config.faults is not None:
+        print(
+            f"chaos plan         : {len(faults.crashes)} crash(es), "
+            f"{len(faults.partitions)} partition(s), "
+            f"{len(faults.degradations)} degradation(s), "
+            f"{len(faults.stragglers)} straggler window(s) "
+            f"[digest {faults.digest()[:16]}…]"
+        )
     try:
         report = run_fleet(
             config,
             workers=args.workers,
             profile=True if _profile_config(args) is not None else None,
+            group_timeout_s=args.group_timeout,
         )
     except FleetConfigError as exc:
         print(str(exc), file=sys.stderr)
         return int(ExitCode.FAILURE)
+    except FleetExecutionError as exc:
+        print(f"fleet DEGRADED     : {exc}", file=sys.stderr)
+        for record in exc.outcomes:
+            print(
+                f"  group {record['group']} ({record['status']}): "
+                f"{record['failure']} — {record['error']}",
+                file=sys.stderr,
+            )
+        return int(ExitCode.DEGRADED_FLEET)
     print(report.render())
     audit_rc = _finish_audit(report, args)
     if args.json is not None:
@@ -1085,6 +1138,17 @@ def cmd_fleet(args) -> int:
         write_timeline_json(report.timeline, args.timeline_out)
         print(f"timeline artifact  : {args.timeline_out}")
     _export_profile(report.profile, args)
+    if report.degraded:
+        # partial results outrank SAFE_HOLD: the operator must know the
+        # report itself is incomplete before trusting any gate on it
+        lost = [r for r in report.fan_out if r["status"] == "lost"]
+        missing = report.rollup["conservation"]["missing_shards"]
+        print(
+            f"fleet DEGRADED     : {len(lost)} host group(s) lost, "
+            f"{len(missing)} shard(s) missing from the merge",
+            file=sys.stderr,
+        )
+        return int(ExitCode.DEGRADED_FLEET)
     if report.safe_hold:
         held = report.rollup["degradation"]["safe_hold_shards"]
         print(
@@ -1619,6 +1683,16 @@ def build_parser() -> argparse.ArgumentParser:
         "(overload knob; high values walk shards to SAFE_HOLD)",
     )
     fleet.add_argument(
+        "--min-coverage", type=float, default=0.05, metavar="FRAC",
+        help="must-validate floor per shard: the fraction of offered logs "
+        "the sampler may never shed (the rest queues under overload)",
+    )
+    fleet.add_argument(
+        "--queue-capacity", dest="fleet_queue_capacity", type=int,
+        default=512, metavar="LOGS",
+        help="per-shard validation queue depth before overflow drops",
+    )
+    fleet.add_argument(
         "--mercurial-rate", type=float, default=1e-3, metavar="P",
         help="probability any core is silently defective",
     )
@@ -1641,6 +1715,64 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument(
         "--ground-shards", type=int, default=4, metavar="N",
         help="shards that also run the real DES memcached/lsmtree server",
+    )
+    fleet.add_argument(
+        "--host-crash", action="append", default=None,
+        metavar="HOST@EPOCH[+RESTART]",
+        help="crash a host at an epoch, optionally restarting after "
+        "RESTART epochs (repeatable; its shards re-home via the ring "
+        "and re-admit through a probation window)",
+    )
+    fleet.add_argument(
+        "--partition", action="append", default=None,
+        metavar="A-B@EPOCH+DURATION",
+        help="sever the link between a host pair for a window "
+        "(repeatable; RBV spill reroutes or falls back to checksum-only)",
+    )
+    fleet.add_argument(
+        "--degrade-link", action="append", default=None,
+        metavar="A-B@EPOCH+DURATION[:FACTOR]",
+        help="slow the link between a host pair by FACTOR "
+        "(default 4.0) for a window (repeatable)",
+    )
+    fleet.add_argument(
+        "--straggle", action="append", default=None,
+        metavar="H1,H2@EPOCH+DURATION[:FACTOR]",
+        help="run a host group at FACTOR validator capacity "
+        "(default 0.5) for a window (repeatable)",
+    )
+    fleet.add_argument(
+        "--chaos-crashes", type=int, default=0, metavar="N",
+        help="additionally generate N seeded host crashes "
+        "(deterministic in --chaos-seed)",
+    )
+    fleet.add_argument(
+        "--chaos-partitions", type=int, default=0, metavar="N",
+        help="additionally generate N seeded spill-link partitions",
+    )
+    fleet.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed for the generated chaos batch (default: %(default)s)",
+    )
+    fleet.add_argument(
+        "--failover-retry-budget", type=int, default=4, metavar="N",
+        help="re-dispatch attempts for a dead host's re-homed backlog "
+        "(capped-exponential backoff; default: %(default)s)",
+    )
+    fleet.add_argument(
+        "--failover-backoff", type=int, default=1, metavar="EPOCHS",
+        help="base backoff before the first re-dispatch attempt "
+        "(default: %(default)s)",
+    )
+    fleet.add_argument(
+        "--probation-epochs", type=int, default=4, metavar="EPOCHS",
+        help="clean epochs a restarted host idles before re-admission "
+        "(default: %(default)s)",
+    )
+    fleet.add_argument(
+        "--group-timeout", type=float, default=None, metavar="S",
+        help="per-host-group wall-clock deadline for the supervised "
+        "fan-out (default: none)",
     )
     fleet.add_argument("--seed", type=int, default=1)
     fleet.add_argument(

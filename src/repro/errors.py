@@ -34,6 +34,10 @@ class ExitCode(enum.IntEnum):
     CANARY_MISSED  a canary probe missed its detection deadline
               (``perf``/``latency`` canary runs, ``obs-summary``,
               ``timeline``)
+    DEGRADED_FLEET  the fleet run completed on partial results —
+              a worker host group was lost and its bounded retry
+              failed, or the failover engine dropped re-homed
+              backlog past the retry budget (``fleet``)
     ========  =====================================================
     """
 
@@ -41,6 +45,7 @@ class ExitCode(enum.IntEnum):
     FAILURE = 1
     SAFE_HOLD = 2
     CANARY_MISSED = 3
+    DEGRADED_FLEET = 4
 
 
 class ReproError(Exception):
@@ -98,3 +103,17 @@ class FaultInjectionError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulator was driven into an invalid state."""
+
+
+class FleetExecutionError(ReproError):
+    """The supervised fleet fan-out lost every host group.
+
+    Raised only when *no* shard results survive classification and the
+    bounded group retries — a partial fleet is salvaged into a degraded
+    report (``ExitCode.DEGRADED_FLEET``) instead.  ``outcomes`` carries
+    the per-group supervision records for the operator.
+    """
+
+    def __init__(self, message: str, outcomes: list[dict] | None = None):
+        super().__init__(message)
+        self.outcomes = list(outcomes or ())

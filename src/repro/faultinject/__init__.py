@@ -10,6 +10,13 @@ from repro.faultinject.classify import (
     overall_detection_rate,
 )
 from repro.faultinject.config import InjectionConfig
+from repro.faultinject.fleet_faults import (
+    FleetFaultPlan,
+    HostCrash,
+    LinkDegradation,
+    LinkPartition,
+    StragglerWindow,
+)
 from repro.faultinject.validator_faults import (
     ValidatorChaosConfig,
     ValidatorFault,
@@ -21,7 +28,12 @@ __all__ = [
     "CampaignResult",
     "CoverageRow",
     "FaultInjectionCampaign",
+    "FleetFaultPlan",
+    "HostCrash",
     "InjectionConfig",
+    "LinkDegradation",
+    "LinkPartition",
+    "StragglerWindow",
     "ValidatorChaosConfig",
     "ValidatorFault",
     "ValidatorFaultBox",

@@ -11,6 +11,13 @@ processes, and a deterministic cross-shard merge guarantees the run
 digest is byte-identical regardless of worker count.
 """
 
+from repro.fleet.chaos import (
+    CrashWindow,
+    ShardChaos,
+    compile_fleet_chaos,
+    failover_drain_schedule,
+    remap_fractions,
+)
 from repro.fleet.merge import (
     FleetTimeline,
     fleet_digest,
@@ -33,6 +40,7 @@ from repro.fleet.topology import (
 
 __all__ = [
     "ConsistentHashRing",
+    "CrashWindow",
     "DEFAULT_VNODES",
     "FleetConfig",
     "FleetConfigError",
@@ -40,9 +48,12 @@ __all__ = [
     "FleetTimeline",
     "FleetTopology",
     "HostView",
+    "ShardChaos",
     "ShardPlan",
     "ShardResult",
     "ShardView",
+    "compile_fleet_chaos",
+    "failover_drain_schedule",
     "fleet_digest",
     "fleet_seed",
     "host_rng",
@@ -52,6 +63,7 @@ __all__ = [
     "mix64",
     "name_token",
     "plan_fleet",
+    "remap_fractions",
     "run_fleet",
     "shard_rng",
     "simulate_shard",

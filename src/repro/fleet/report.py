@@ -46,6 +46,9 @@ class FleetReport:
     profile: dict | None = None
     #: merged ``orthrus-audit/1`` payload of per-shard drift findings
     audit: dict | None = None
+    #: per-host-group supervision records from the fan-out (empty when
+    #: the run was inline or every group returned first try)
+    fan_out: list = field(default_factory=list)
 
     # ------------------------------------------------------------------
     def finalize(self) -> None:
@@ -97,6 +100,45 @@ class FleetReport:
         lag = registry.series("fleet_validation_lag_seconds")
         lag_summary = lag[0][1].summary() if lag else {}
         exposure = ExposureLedger.from_registry(registry, subject_label="shard")
+
+        # -- failover rollup (zeros on a healthy fleet) ------------------
+        failover_series = registry.series("fleet_failover_lag_seconds")
+        failover_lag = (
+            failover_series[0][1].summary() if failover_series else {}
+        )
+        re_homed = int(value("fleet_re_homed_total"))
+        recovered = int(value("fleet_failover_recovered_total"))
+        failover_dropped = int(value("fleet_failover_dropped_total"))
+        failovers = sum(
+            1 for event in self.events if event["kind"] == "fleet.failover"
+        )
+        failover_exposure = exposure.by_reason().get(
+            "failover", {"logs": 0, "seconds": 0.0}
+        )
+        backlog = sum(int(s.get("backlog", 0)) for s in self.shards)
+
+        # -- conservation ledger: every offered log must land in exactly
+        # one terminal bucket (the zero-lost-logs acceptance gate) -------
+        accounted = (
+            int(validated) + int(value("fleet_skipped_total"))
+            + int(value("fleet_dropped_total"))
+            + int(value("fleet_checksum_validated_total"))
+            + re_homed + backlog
+        )
+        expected_shards = {f"s{i:04d}" for i in range(self.config.shards)}
+        missing_shards = sorted(
+            expected_shards - {s["shard"] for s in self.shards}
+        )
+        conservation = {
+            "ops": int(ops),
+            "accounted": accounted,
+            # a fleet with missing shards never balances: their offered
+            # logs are unaccounted regardless of what the survivors sum to
+            "balanced": accounted == int(ops) and not missing_shards,
+            "re_homed_split_ok": re_homed == recovered + failover_dropped,
+            "missing_shards": missing_shards,
+        }
+
         self.rollup = {
             "ops": int(ops),
             "validated": int(validated),
@@ -126,6 +168,17 @@ class FleetReport:
                 "remote_bytes": int(value("fleet_rbv_remote_bytes_total")),
             },
             "exposure": exposure.summary(),
+            "failover": {
+                "hosts_crashed": int(value("fleet_host_crashes_total")),
+                "failovers": failovers,
+                "re_homed": re_homed,
+                "recovered": recovered,
+                "dropped": failover_dropped,
+                "inherited": int(value("fleet_inherited_total")),
+                "lag": failover_lag,
+                "exposure": failover_exposure,
+            },
+            "conservation": conservation,
             "ground": ground_rollup,
         }
         registry.gauge(
@@ -151,6 +204,15 @@ class FleetReport:
         """Fleet-level SAFE_HOLD: any shard's ladder ended there."""
         return bool(self.rollup["degradation"]["safe_hold_shards"])
 
+    @property
+    def degraded(self) -> bool:
+        """The run completed on partial results: a host group was lost
+        past its bounded retry, or shard summaries are missing.  Maps to
+        ``ExitCode.DEGRADED_FLEET`` in the CLI."""
+        if any(record["status"] == "lost" for record in self.fan_out):
+            return True
+        return bool(self.rollup["conservation"]["missing_shards"])
+
     def to_json(self) -> dict:
         payload = {
             "format": "orthrus-fleet/1",
@@ -173,6 +235,11 @@ class FleetReport:
             payload["profile"] = self.profile
         if self.audit is not None:
             payload["audit"] = self.audit
+        # supervision records ride along only when something failed, so
+        # healthy artifacts stay identical across worker counts
+        if any(record["status"] != "ok" for record in self.fan_out):
+            payload["fan_out"] = self.fan_out
+            payload["degraded"] = self.degraded
         return payload
 
     def render(self) -> str:
@@ -229,6 +296,43 @@ class FleetReport:
             f"  cross-host rbv  : {rollup['rbv']['remote_logs']:,} remote logs,"
             f" {rollup['rbv']['remote_bytes'] / 1e6:.2f} MB on the link"
         )
+        failover = rollup.get("failover") or {}
+        if failover.get("failovers") or failover.get("hosts_crashed"):
+            lag = failover["lag"]
+            lag_text = (
+                f" lag p95={_fmt_seconds(lag['p95'])}" if lag else ""
+            )
+            lines.append(
+                f"  failover        : {failover['hosts_crashed']} host"
+                f" crash(es), {failover['failovers']} shard failover(s),"
+                f" {failover['re_homed']:,} re-homed"
+                f" ({failover['recovered']:,} recovered,"
+                f" {failover['dropped']:,} dropped){lag_text}"
+            )
+        conservation = rollup.get("conservation")
+        if conservation is not None:
+            status = "balanced" if (
+                conservation["balanced"] and conservation["re_homed_split_ok"]
+            ) else "IMBALANCED"
+            line = (
+                f"  conservation    : {status}"
+                f" ({conservation['accounted']:,} accounted"
+                f" of {conservation['ops']:,} offered)"
+            )
+            if conservation["missing_shards"]:
+                line += (
+                    f" — {len(conservation['missing_shards'])}"
+                    " shard(s) missing"
+                )
+            lines.append(line)
+        lost = [r for r in self.fan_out if r["status"] != "ok"]
+        if lost:
+            detail = ", ".join(
+                f"group {r['group']} {r['status']}"
+                f" ({r['failure']}, {r['attempts']} attempt(s))"
+                for r in lost
+            )
+            lines.append(f"  fan-out         : {detail}")
         exp = rollup.get("exposure")
         if exp and exp["logs"]:
             worst = exp["worst"][0] if exp["worst"] else None

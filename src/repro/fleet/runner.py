@@ -24,11 +24,16 @@ parity test runs w1 vs w4 with and without it.
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
+import multiprocessing.pool
+import pickle
 
 import numpy as np
 
 from repro.determinism import derive_seed
+from repro.errors import FleetExecutionError
+from repro.fleet.chaos import compile_fleet_chaos
 from repro.fleet.merge import (
     fleet_digest,
     merge_audit,
@@ -128,6 +133,17 @@ def plan_fleet(topology: FleetTopology) -> list[ShardPlan]:
                 ground=shard.shard_id in ground_ids,
             )
         )
+    # Infrastructure chaos is compiled here, in the parent, into per-shard
+    # manifests (repro.fleet.chaos): workers never see the fault plan,
+    # only its precomputed consequences, so shards stay pure in
+    # (plan, config) and the w1==w4 digest contract survives chaos.
+    if config.faults is not None and not config.faults.empty:
+        manifests = compile_fleet_chaos(config, topology, plans)
+        plans = [
+            dataclasses.replace(plan, chaos=manifests[plan.shard_id])
+            if plan.shard_id in manifests else plan
+            for plan in plans
+        ]
     return plans
 
 
@@ -149,14 +165,102 @@ def _simulate_group(payload):
     return results, prof.to_payload()
 
 
+def _classify_failure(exc: BaseException) -> str:
+    """Supervision taxonomy: what kind of worker failure was this?
+
+    ``timeout`` — the group missed its deadline (includes a hard-killed
+    worker process, which a raw ``Pool`` surfaces only as silence);
+    ``pickle`` — the payload or result failed (de)serialization;
+    ``crash`` — the simulation itself raised.
+    """
+    if isinstance(exc, multiprocessing.TimeoutError):
+        return "timeout"
+    if isinstance(
+        exc,
+        (
+            pickle.PicklingError,
+            pickle.UnpicklingError,
+            multiprocessing.pool.MaybeEncodingError,
+        ),
+    ):
+        return "pickle"
+    return "crash"
+
+
+def _supervised_fan_out(ctx, workers, payloads, group_timeout_s):
+    """Fan host groups out under supervision: per-group deadlines,
+    failure classification, one bounded in-parent retry per group, and
+    partial-result salvage.
+
+    Returns ``(results, profile_payloads, outcomes)`` where ``outcomes``
+    is one supervision record per group.  Raises
+    :class:`~repro.errors.FleetExecutionError` only when *every* group is
+    lost — a partial fleet is salvaged into a degraded report instead.
+    """
+    results = []
+    profile_payloads = []
+    outcomes = []
+    with ctx.Pool(processes=workers) as pool:
+        handles = [
+            pool.apply_async(_simulate_group, (payload,))
+            for payload in payloads
+        ]
+        for index, (payload, handle) in enumerate(zip(payloads, handles)):
+            config, plans, _want_profile = payload
+            record = {
+                "group": index,
+                "hosts": sorted({plan.host_id for plan in plans}),
+                "shards": len(plans),
+                "status": "ok",
+                "failure": None,
+                "error": None,
+                "attempts": 1,
+            }
+            try:
+                group_results, prof = handle.get(timeout=group_timeout_s)
+            except Exception as exc:  # noqa: BLE001 — classified below
+                record["failure"] = _classify_failure(exc)
+                record["error"] = f"{type(exc).__name__}: {exc}"[:200]
+                record["attempts"] = 2
+                try:
+                    # The bounded retry runs inline in the parent: immune
+                    # to pool breakage and to result-pickling failures
+                    # (nothing crosses a process boundary).  Profiling is
+                    # off for the retry — it is not digest material.
+                    group_results, prof = _simulate_group(
+                        (config, plans, False)
+                    )
+                    record["status"] = "retried"
+                except Exception as retry_exc:  # noqa: BLE001
+                    record["status"] = "lost"
+                    record["error"] += (
+                        f"; retry {type(retry_exc).__name__}: {retry_exc}"
+                    )[:400]
+                    group_results, prof = [], None
+            results.extend(group_results)
+            if prof is not None:
+                profile_payloads.append(prof)
+            outcomes.append(record)
+    if not results:
+        raise FleetExecutionError(
+            f"all {len(payloads)} host group(s) failed supervision",
+            outcomes,
+        )
+    return results, profile_payloads, outcomes
+
+
 def run_fleet(
-    config: FleetConfig, workers: int = 1, profile=None
+    config: FleetConfig, workers: int = 1, profile=None,
+    group_timeout_s: float | None = None,
 ) -> FleetReport:
     """Simulate the fleet and merge the shards into one report.
 
     ``profile``: None = off; True/ProfileConfig = self-profile the run
     (workers and parent), landing the merged ``orthrus-profile/1``
     payload with per-worker utilization on ``FleetReport.profile``.
+    ``group_timeout_s``: per-host-group deadline for the supervised
+    fan-out (None = no deadline); a group that misses it is classified,
+    retried once inline, and salvaged or recorded as lost.
     """
     timer = WallTimer()
     parent_prof = make_profiler(True if profile else None)
@@ -166,6 +270,7 @@ def run_fleet(
             topology = FleetTopology(config)
             plans = plan_fleet(topology)
         workers = max(1, min(workers, config.hosts))
+        fan_out: list[dict] = []
         if workers == 1:
             results, payload = _simulate_group(
                 (config, plans, parent_prof.enabled)
@@ -186,15 +291,12 @@ def run_fleet(
                 else "spawn"
             )
             ctx = multiprocessing.get_context(method)
-            with ctx.Pool(processes=workers) as pool:
-                grouped = pool.map(
-                    _simulate_group,
-                    [(config, group, parent_prof.enabled) for group in groups],
-                )
-            results = [result for group, _ in grouped for result in group]
-            worker_payloads.extend(
-                payload for _, payload in grouped if payload is not None
+            results, extra_payloads, fan_out = _supervised_fan_out(
+                ctx, workers,
+                [(config, group, parent_prof.enabled) for group in groups],
+                group_timeout_s,
             )
+            worker_payloads.extend(extra_payloads)
 
         with parent_prof.scope("fleet.merge"):
             events = merge_events(results)
@@ -231,6 +333,7 @@ def run_fleet(
         wall_s=timer.elapsed_s(),
         profile=profile_payload,
         audit=audit,
+        fan_out=fan_out,
     )
     report.finalize()
     return report

@@ -33,6 +33,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.fleet.chaos import ShardChaos
 from repro.fleet.streams import shard_rng
 from repro.fleet.topology import FleetConfig
 from repro.obs.audit import Finding, Severity
@@ -86,6 +87,10 @@ class ShardPlan:
     peer_host: int
     #: whether this shard also runs the real DES server (grounding)
     ground: bool
+    #: compiled infrastructure-chaos manifest (None = healthy; see
+    #: repro.fleet.chaos — all cross-shard failover effects arrive here
+    #: precomputed, keeping the shard pure in (plan, config))
+    chaos: ShardChaos | None = None
 
 
 @dataclass
@@ -184,12 +189,42 @@ def _simulate_shard(plan: ShardPlan, config: FleetConfig) -> ShardResult:
         "checksum_only": 0, "detections": 0, "escaped": 0,
         "timeouts": 0, "canary_issued": 0, "canary_missed": 0,
         "remote_logs": 0, "remote_bytes": 0, "quarantines": 0,
+        # failover conservation buckets (zero on a healthy fleet)
+        "re_homed": 0, "failover_recovered": 0, "failover_dropped": 0,
+        "inherited": 0, "diverted": 0, "backlog": 0, "host_crashes": 0,
     }
     lag_hist = registry.histogram(
         "fleet_validation_lag_seconds",
         help="validation lag across fleet shards (log enqueue to verdict)",
     )
     arrivals = _arrivals(plan, config)
+
+    # -- infrastructure chaos (compiled manifest; None on healthy runs:
+    # every chaos branch below is guarded so the healthy path replays the
+    # exact pre-chaos instruction and RNG sequence) ----------------------
+    chaos = plan.chaos
+    down_epochs = frozenset(chaos.down_epochs) if chaos else frozenset()
+    idle_epochs = (
+        down_epochs | frozenset(chaos.probation_epochs)
+        if chaos else frozenset()
+    )
+    #: live failovers: [CrashWindow, pending re-homed backlog]
+    active_failovers: list[list] = []
+    failover_hist = None
+    if chaos is not None:
+        failover_hist = registry.histogram(
+            "fleet_failover_lag_seconds",
+            help="host death to re-dispatch of re-homed backlog, per log",
+        )
+        series["failover_lag"] = TimeSeries(
+            "failover_lag", capacity=128, reservoir=8, unit="s"
+        )
+        if chaos.primary:
+            series["hosts_down"] = TimeSeries(
+                "hosts_down", capacity=128, reservoir=8, unit="hosts"
+            )
+    prev_route = plan.peer_host
+    prev_straggle = 1.0
 
     def quarantine(t: float, core: int, role: str) -> None:
         quarantined.add(core)
@@ -203,12 +238,115 @@ def _simulate_shard(plan: ShardPlan, config: FleetConfig) -> ShardResult:
 
     for epoch in range(config.epochs):
         t = (epoch + 1) * config.epoch_s
+
+        # -- chaos: host transitions + re-homed backlog drains -----------
+        if chaos is not None:
+            for window in chaos.crashes:
+                if window.crash_epoch == epoch:
+                    if chaos.primary:
+                        totals["host_crashes"] += 1
+                        emit(t, "fleet.host_down", host=plan.host_name,
+                             epoch=epoch, restart=window.restart_epoch)
+                    totals["re_homed"] += queue
+                    emit(t, "fleet.failover", re_homed=queue,
+                         recipients=[
+                             [name, round(frac, 4)]
+                             for name, frac in window.recipients
+                         ],
+                         attempts=len(window.drain_epochs))
+                    if queue and window.drain_epochs:
+                        active_failovers.append([window, queue])
+                    elif queue:
+                        # budget 0 or a crash at the horizon: dropped
+                        # with reason, never silently lost
+                        totals["failover_dropped"] += queue
+                        exposure.record(plan.shard_name, "failover",
+                                        config.horizon_s - t, queue)
+                        emit(t, "fleet.failover.drop", count=queue,
+                             reason="retry budget exhausted")
+                    queue = 0
+                if window.restart_epoch == epoch and chaos.primary:
+                    emit(t, "fleet.host_up", host=plan.host_name,
+                         epoch=epoch, probation=config.probation_epochs)
+                if window.readmit_epoch == epoch and chaos.primary:
+                    emit(t, "fleet.readmit", host=plan.host_name, epoch=epoch)
+            for state in list(active_failovers):
+                window, pending = state
+                if epoch not in window.drain_epochs:
+                    continue
+                lag = (epoch - window.crash_epoch) * config.epoch_s
+                drained = min(
+                    pending, max(1, window.recovery_pool * rate_per_core // 4)
+                )
+                totals["failover_recovered"] += drained
+                failover_hist.record_many(lag, drained)
+                exposure.record(plan.shard_name, "failover", lag, drained)
+                series["failover_lag"].append(t, lag)
+                state[1] = pending - drained
+                emit(t, "fleet.redispatch", drained=drained,
+                     remaining=state[1],
+                     lag_epochs=epoch - window.crash_epoch)
+                if state[1] == 0:
+                    active_failovers.remove(state)
+                elif epoch == window.drain_epochs[-1]:
+                    totals["failover_dropped"] += state[1]
+                    exposure.record(plan.shard_name, "failover",
+                                    config.horizon_s - t, state[1])
+                    emit(t, "fleet.failover.drop", count=state[1],
+                         reason="retry budget exhausted")
+                    active_failovers.remove(state)
+            if chaos.primary:
+                series["hosts_down"].append(
+                    t, 1.0 if epoch in down_epochs else 0.0
+                )
+            if epoch in idle_epochs:
+                # dead (or on probation): arrivals divert to the ring
+                # recipients, which account them — conservation holds
+                # fleet-wide, not per-shard
+                totals["diverted"] += arrivals[epoch]
+                continue
+
         demand = arrivals[epoch]
+        if chaos is not None and chaos.inherited_ops:
+            inherited = chaos.inherited_ops[epoch]
+            if inherited:
+                demand += inherited
+                totals["inherited"] += inherited
+            for donor_id, start, end, total in chaos.inherited_sources:
+                if start == epoch:
+                    emit(t, "fleet.inherit", donor=donor_id, ops=total,
+                         start=start, end=end)
         totals["ops"] += demand
         must = int(demand * config.min_coverage)
 
+        # -- chaos: spill reroute + straggler windows --------------------
+        peer = plan.peer_host
+        penalty_mult = 1.0
+        straggle = 1.0
+        if chaos is not None:
+            if chaos.straggle:
+                straggle = chaos.straggle[epoch]
+                if straggle != prev_straggle:
+                    emit(t, "fleet.straggle", factor=straggle)
+                    prev_straggle = straggle
+            if chaos.spill_route:
+                peer = chaos.spill_route[epoch]
+                penalty_mult = chaos.spill_penalty[epoch]
+                if peer != prev_route:
+                    if peer < 0:
+                        emit(t, "fleet.partition", peer=plan.peer_host)
+                    elif peer == plan.peer_host:
+                        emit(t, "fleet.partition.heal", route=peer)
+                    else:
+                        emit(t, "fleet.partition", peer=plan.peer_host,
+                             route=peer, penalty=round(penalty_mult, 3))
+                    prev_route = peer
+
         active = [c for c in pool if c not in quarantined]
-        cap_local = 0 if ladder.checksum_only else len(active) * rate_per_core
+        cap_local = (
+            0 if ladder.checksum_only
+            else int(len(active) * rate_per_core * straggle)
+        )
         # Cross-host spill: quarantine-induced deficit is served by the
         # ring-successor host's spare validators at half throughput (the
         # closure log and versions cross the link both ways).
@@ -216,14 +354,15 @@ def _simulate_shard(plan: ShardPlan, config: FleetConfig) -> ShardResult:
         cap_remote = 0
         if (
             deficit > 0
-            and plan.peer_host != plan.host_id
+            and peer != plan.host_id
+            and peer >= 0
             and not ladder.checksum_only
         ):
             cap_remote = max(1, deficit * rate_per_core // 2)
         if (cap_remote > 0) != spilling:
             spilling = cap_remote > 0
             emit(t, "spill.open" if spilling else "spill.close",
-                 peer=plan.peer_host, deficit=deficit)
+                 peer=peer if spilling else plan.peer_host, deficit=deficit)
         capacity = cap_local + cap_remote
 
         queue += must
@@ -235,8 +374,27 @@ def _simulate_shard(plan: ShardPlan, config: FleetConfig) -> ShardResult:
             0 if ladder.coverage_only else min(opportunistic_pool, spare)
         )
         validated = validated_critical + opportunistic
-        skipped = opportunistic_pool - opportunistic
-        checksum_only = demand - validated if ladder.checksum_only else 0
+        # Conservation: each offered log lands in exactly ONE terminal
+        # bucket.  Under CHECKSUM_ONLY the shed slice gets CRC-only
+        # coverage (it is not "sampled out" — the sampler is off), while
+        # the must slice stays queued for catch-up and is accounted when
+        # it validates, drops, or survives as backlog.
+        if ladder.checksum_only:
+            checksum_only = opportunistic_pool - opportunistic
+            skipped = 0
+        else:
+            checksum_only = 0
+            skipped = opportunistic_pool - opportunistic
+        partitioned = 0
+        if deficit > 0 and peer < 0 and not ladder.checksum_only and queue:
+            # the spill path is severed and no reroute survives: the
+            # share the peer would have served falls back to local
+            # checksum-only coverage instead of stalling critical logs
+            # behind a dead link
+            partitioned = min(queue, max(1, deficit * rate_per_core // 2))
+            queue -= partitioned
+            checksum_only += partitioned
+            emit(t, "fleet.spill.fallback", count=partitioned)
         remote = max(0, validated - cap_local)
         dropped = max(0, queue - config.queue_capacity)
         queue = min(queue, config.queue_capacity)
@@ -257,7 +415,11 @@ def _simulate_shard(plan: ShardPlan, config: FleetConfig) -> ShardResult:
         exposure.record(plan.shard_name, "sampled-out", config.epoch_s, skipped)
         exposure.record(plan.shard_name, "queue-drop", remaining, dropped)
         exposure.record(
-            plan.shard_name, "checksum-only", config.epoch_s, checksum_only
+            plan.shard_name, "checksum-only", config.epoch_s,
+            checksum_only - partitioned,
+        )
+        exposure.record(
+            plan.shard_name, "partitioned", config.epoch_s, partitioned
         )
         exposure.record(
             plan.shard_name, "stalled", min(expected_wait, remaining), timed_out
@@ -267,7 +429,7 @@ def _simulate_shard(plan: ShardPlan, config: FleetConfig) -> ShardResult:
             (queue / capacity) * config.epoch_s if capacity else config.epoch_s
         )
         if remote:
-            lag += remote_penalty_s * (remote / max(1, validated))
+            lag += remote_penalty_s * penalty_mult * (remote / max(1, validated))
         if validated:
             lag_hist.record(lag * (0.7 + 0.3 * rng.random()))
             lag_hist.record(lag)
@@ -354,6 +516,16 @@ def _simulate_shard(plan: ShardPlan, config: FleetConfig) -> ShardResult:
 
     horizon = config.horizon_s
 
+    # -- conservation residuals ------------------------------------------
+    # every offered log must land in a terminal bucket; what is still
+    # queued at the horizon is accounted as backlog, and any failover
+    # state the drain schedule somehow left open (unreachable: schedules
+    # are horizon-clipped and the final attempt drops the remainder) is
+    # folded into failover_dropped rather than lost
+    totals["backlog"] = queue
+    for _window, pending in active_failovers:
+        totals["failover_dropped"] += pending
+
     # -- grounding: run the real DES server for this shard ---------------
     if plan.ground:
         result.ground, result.ground_metrics = _ground_run(plan, config)
@@ -385,7 +557,8 @@ def _simulate_shard(plan: ShardPlan, config: FleetConfig) -> ShardResult:
         k: summary[k] for k in (
             "shard", "host", "ops", "validated", "skipped", "dropped",
             "checksum_only", "detections", "escaped", "quarantines",
-            "canary_missed", "remote_logs", "terminal_level", "peak_level",
+            "canary_missed", "remote_logs", "re_homed", "backlog",
+            "terminal_level", "peak_level",
         )
     })
     result.summary = summary
@@ -447,6 +620,25 @@ def _simulate_shard(plan: ShardPlan, config: FleetConfig) -> ShardResult:
     )
     for name, key, help_text in counter_pairs:
         registry.counter(name, labels, help=help_text).inc(totals[key])
+    if chaos is not None:
+        # failover counters exist only on chaos runs so healthy-fleet
+        # snapshots stay byte-identical to the pre-chaos model
+        failover_pairs = (
+            ("fleet_host_crashes_total", "host_crashes",
+             "planned host crashes executed"),
+            ("fleet_re_homed_total", "re_homed",
+             "queued logs re-homed off dead hosts"),
+            ("fleet_failover_recovered_total", "failover_recovered",
+             "re-homed logs recovered by re-dispatch"),
+            ("fleet_failover_dropped_total", "failover_dropped",
+             "re-homed logs dropped after the retry budget"),
+            ("fleet_inherited_total", "inherited",
+             "logs inherited from dead shards via the ring remap"),
+            ("fleet_diverted_total", "diverted",
+             "own arrivals diverted to recipients while down"),
+        )
+        for name, key, help_text in failover_pairs:
+            registry.counter(name, labels, help=help_text).inc(totals[key])
     registry.counter(
         "fleet_detections_total", {**labels, "kind": "sdc"},
         help="confirmed SDC detections",

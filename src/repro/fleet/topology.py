@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
+from repro.faultinject.fleet_faults import FleetFaultPlan
 from repro.fleet.ring import DEFAULT_VNODES, ConsistentHashRing
 from repro.obs.audit import (
     audit_fleet_config,
@@ -103,6 +104,19 @@ class FleetConfig:
     #: shards that additionally run a real DES memcached/lsmtree server
     ground_shards: int = 4
     ground_ops: int = 120
+
+    # --- infrastructure chaos + failover policy -------------------------
+    #: deterministic host-crash / link-partition / straggler schedule
+    #: (None = healthy infrastructure; see repro.faultinject.fleet_faults)
+    faults: FleetFaultPlan | None = None
+    #: re-dispatch attempts for a dead host's re-homed backlog
+    #: (capped-exponential backoff between attempts, in epochs)
+    failover_retry_budget: int = 4
+    #: base backoff before the first re-dispatch attempt, in epochs
+    failover_backoff_epochs: int = 1
+    #: clean epochs a restarted host must idle through before its shards
+    #: re-admit (mirrors QuarantineManager probation)
+    probation_epochs: int = 4
 
     seed: int = 1
     costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)

@@ -51,6 +51,7 @@ __all__ = [
     "AuditRule",
     "DRIFT_RULES",
     "DriftMonitor",
+    "FLEET_CHAOS_RULES",
     "FLEET_SCALAR_RULES",
     "FLEET_STRUCTURAL_RULES",
     "Finding",
@@ -726,6 +727,180 @@ class ValidatorPoolUsable(AuditRule):
         return findings
 
 
+class ChaosHostsKnown(AuditRule):
+    """Every host a fault plan names must exist in the topology — a
+    partition between unknown hosts would silently test nothing."""
+
+    rule_id = "chaos-unknown-host"
+    remediation = "name only host ids inside [0, hosts) in the fault plan"
+
+    def check(self, config) -> list[Finding]:
+        plan = getattr(config, "faults", None)
+        if plan is None:
+            return []
+        findings = []
+
+        def bad(host: int) -> bool:
+            return not (0 <= int(host) < config.hosts)
+
+        for crash in plan.crashes:
+            if bad(crash.host):
+                findings.append(
+                    self.finding(
+                        f"crash/h{crash.host}",
+                        f"crash names host {crash.host} outside the "
+                        f"{config.hosts}-host topology",
+                    )
+                )
+        for kind, links in (
+            ("partition", plan.partitions), ("degradation", plan.degradations)
+        ):
+            for link in links:
+                if bad(link.host_a) or bad(link.host_b):
+                    findings.append(
+                        self.finding(
+                            f"{kind}/h{link.host_a}-h{link.host_b}",
+                            f"{kind} names a host pair outside the "
+                            f"{config.hosts}-host topology",
+                        )
+                    )
+                elif link.host_a == link.host_b:
+                    findings.append(
+                        self.finding(
+                            f"{kind}/h{link.host_a}-h{link.host_b}",
+                            f"a {kind} needs two distinct hosts — a host "
+                            "has no network link to itself",
+                        )
+                    )
+        for straggler in plan.stragglers:
+            for host in straggler.hosts:
+                if bad(host):
+                    findings.append(
+                        self.finding(
+                            f"straggler/h{host}",
+                            f"straggler window names host {host} outside "
+                            f"the {config.hosts}-host topology",
+                        )
+                    )
+        return findings
+
+
+class CrashWindowWithinHorizon(AuditRule):
+    """A crash window must fit the simulated horizon: a crash armed at or
+    beyond the last epoch never fires, and a partition/outage running past
+    the horizon tests less than the plan claims."""
+
+    rule_id = "crash-window-exceeds-horizon"
+    remediation = "arm faults before the horizon and size windows to fit"
+
+    def check(self, config) -> list[Finding]:
+        plan = getattr(config, "faults", None)
+        if plan is None:
+            return []
+        findings = []
+        for crash in plan.crashes:
+            if crash.at_epoch >= config.epochs:
+                findings.append(
+                    self.finding(
+                        f"crash/h{crash.host}",
+                        f"crash armed at epoch {crash.at_epoch} but the "
+                        f"simulation only runs {config.epochs} epoch(s) — "
+                        "the crash would never fire",
+                        at_epoch=crash.at_epoch,
+                        epochs=config.epochs,
+                    )
+                )
+            elif (
+                crash.restart_after is not None
+                and crash.at_epoch + crash.restart_after
+                + config.probation_epochs >= config.epochs
+            ):
+                findings.append(
+                    self.finding(
+                        f"crash/h{crash.host}",
+                        "crash window plus probation "
+                        f"({crash.at_epoch}+{crash.restart_after}"
+                        f"+{config.probation_epochs}) runs past the "
+                        f"{config.epochs}-epoch horizon — the host never "
+                        "re-admits",
+                        severity=Severity.WARN,
+                        at_epoch=crash.at_epoch,
+                        restart_after=crash.restart_after,
+                        epochs=config.epochs,
+                    )
+                )
+        for kind, links in (
+            ("partition", plan.partitions), ("degradation", plan.degradations)
+        ):
+            for link in links:
+                if link.at_epoch >= config.epochs:
+                    findings.append(
+                        self.finding(
+                            f"{kind}/h{link.host_a}-h{link.host_b}",
+                            f"{kind} armed at epoch {link.at_epoch} beyond "
+                            f"the {config.epochs}-epoch horizon",
+                            at_epoch=link.at_epoch,
+                            epochs=config.epochs,
+                        )
+                    )
+        return findings
+
+
+class FailoverBudgetUsable(AuditRule):
+    """Crashes planned with a zero re-dispatch budget contradict the
+    failover engine: every re-homed backlog would drop immediately."""
+
+    rule_id = "failover-retry-budget-zero"
+    remediation = (
+        "set failover_retry_budget >= 1 or remove the planned crashes"
+    )
+
+    def check(self, config) -> list[Finding]:
+        plan = getattr(config, "faults", None)
+        if plan is None or not plan.crashes:
+            return []
+        if config.failover_retry_budget >= 1:
+            return []
+        return [
+            self.finding(
+                "fleet",
+                f"{len(plan.crashes)} host crash(es) planned but the "
+                "failover retry budget is zero — every re-homed backlog "
+                "would be dropped without a single re-dispatch attempt",
+                crashes=len(plan.crashes),
+                budget=config.failover_retry_budget,
+            )
+        ]
+
+
+class ChaosLeavesSurvivors(AuditRule):
+    """At least one host must stay up at every epoch: with the whole
+    fleet down there is no ring left to re-home shards onto."""
+
+    rule_id = "chaos-total-outage"
+    remediation = "stagger crash windows so at least one host survives"
+
+    def check(self, config) -> list[Finding]:
+        plan = getattr(config, "faults", None)
+        if plan is None or not plan.crashes:
+            return []
+        crashed = {c.host for c in plan.crashes if 0 <= c.host < config.hosts}
+        if len(crashed) < config.hosts:
+            return []
+        for epoch in range(config.epochs):
+            down = plan.down_hosts_at(epoch)
+            if len(down) >= config.hosts:
+                return [
+                    self.finding(
+                        "fleet",
+                        f"every host is down at epoch {epoch} — no "
+                        "surviving shard exists to re-home work onto",
+                        epoch=epoch,
+                    )
+                ]
+        return []
+
+
 FLEET_SCALAR_RULES = (
     HostsPositive(),
     ShardsPositive(),
@@ -737,6 +912,14 @@ FLEET_SCALAR_RULES = (
     MinCoverageInRange(),
     FleetWatchdogWithinSlo(),
     QuarantineWithinTopology(),
+)
+
+#: fault-plan contradictions (only run when the config carries a plan)
+FLEET_CHAOS_RULES = (
+    ChaosHostsKnown(),
+    CrashWindowWithinHorizon(),
+    FailoverBudgetUsable(),
+    ChaosLeavesSurvivors(),
 )
 
 FLEET_STRUCTURAL_RULES = (
@@ -761,10 +944,15 @@ _FLEET_SHAPE_RULES = frozenset(
 
 
 def audit_fleet_config(config) -> list[Finding]:
-    """Scalar fleet invariants (no topology needed)."""
+    """Scalar fleet invariants (no topology needed).  Fault-plan rules
+    ride along whenever the config carries a chaos plan, so the topology
+    constructor fails closed on chaos contradictions too."""
     findings = []
     for rule in FLEET_SCALAR_RULES:
         findings.extend(rule.check(config))
+    if getattr(config, "faults", None) is not None:
+        for rule in FLEET_CHAOS_RULES:
+            findings.extend(rule.check(config))
     return findings
 
 
@@ -784,6 +972,8 @@ def audit_fleet(config) -> AuditReport:
     """
     report = AuditReport(targets=["fleet"])
     report.run(FLEET_SCALAR_RULES, config)
+    if getattr(config, "faults", None) is not None:
+        report.run(FLEET_CHAOS_RULES, config)
     shape_ok = not any(f.rule in _FLEET_SHAPE_RULES for f in report.errors)
     if shape_ok:
         from repro.fleet.topology import FleetTopology

@@ -1,0 +1,89 @@
+"""Ring remap under sequential host loss: the failover engine re-homes
+shards via ``ConsistentHashRing.without``, so node removal must stay
+minimal (<2/N), deterministic, and never land work on a dead node."""
+
+import pytest
+
+from repro.fleet.ring import ConsistentHashRing
+
+
+def _names(n: int) -> list[str]:
+    return [f"s{i:04d}" for i in range(n)]
+
+
+@pytest.mark.parametrize("n", [8, 16, 32])
+class TestSequentialLoss:
+    def test_single_loss_remap_below_two_over_n(self, n):
+        ring = ConsistentHashRing(_names(n))
+        for victim in (ring.nodes[0], ring.nodes[n // 2], ring.nodes[-1]):
+            survivor = ring.without(victim)
+            assert ring.remap_fraction(survivor) < 2.0 / n
+
+    def test_double_loss_remap_below_two_steps_of_bound(self, n):
+        ring = ConsistentHashRing(_names(n))
+        first = ring.without(ring.nodes[0])
+        second = first.without(first.nodes[0])
+        # each removal step individually honors the bound
+        assert ring.remap_fraction(first) < 2.0 / n
+        assert first.remap_fraction(second) < 2.0 / (n - 1)
+
+    def test_no_partition_owned_by_a_dead_node(self, n):
+        ring = ConsistentHashRing(_names(n))
+        dead = {ring.nodes[0], ring.nodes[1]}
+        survivor = ring.without(*dead)
+        assert not set(survivor.nodes) & dead
+        owners = {
+            survivor.nodes[owner]
+            for owner in survivor.owner_of_partition.tolist()
+        }
+        assert not owners & dead
+        counts = survivor.partition_counts()
+        assert len(counts) == len(survivor.nodes)
+        assert (counts > 0).all()
+
+    def test_sequential_loss_equals_direct_removal(self, n):
+        """N-1 then N-2 via chained .without lands every partition on the
+        same owner as removing both nodes at once: placement after
+        failover is a pure function of the surviving set."""
+        ring = ConsistentHashRing(_names(n))
+        a, b = ring.nodes[0], ring.nodes[n // 2]
+        chained = ring.without(a).without(b)
+        direct = ring.without(a, b)
+        assert chained.nodes == direct.nodes
+        assert (
+            chained.owner_of_partition == direct.owner_of_partition
+        ).all()
+
+    def test_rebuild_is_deterministic(self, n):
+        one = ConsistentHashRing(_names(n)).without("s0000")
+        two = ConsistentHashRing(_names(n)).without("s0000")
+        assert (one.owner_of_partition == two.owner_of_partition).all()
+
+
+class TestRemapAccounting:
+    def test_displaced_partitions_belonged_to_the_victim_or_cascade(self):
+        """The moved set is dominated by the victim's own partitions; the
+        cascade (capacity-bound evictions among survivors) stays small."""
+        ring = ConsistentHashRing(_names(16))
+        victim = ring.nodes[3]
+        survivor = ring.without(victim)
+        base = ring.owner_of_partition
+        after = survivor.owner_of_partition
+        victim_idx = ring.nodes.index(victim)
+        moved = 0
+        cascaded = 0
+        for p in range(len(base)):
+            before_name = ring.nodes[base[p]]
+            after_name = survivor.nodes[after[p]]
+            if before_name != after_name:
+                moved += 1
+                if base[p] != victim_idx:
+                    cascaded += 1
+        assert moved > 0
+        assert cascaded <= moved - cascaded  # cascade never dominates
+
+    def test_remap_fraction_requires_same_grid(self):
+        a = ConsistentHashRing(_names(8))
+        b = ConsistentHashRing(_names(8), partitions=2 * len(a.owner_of_partition))
+        with pytest.raises(ValueError):
+            a.remap_fraction(b)

@@ -123,7 +123,19 @@ class TestUnseededRandomLint:
         # the fleet fan-out is the easiest place to sneak in an unseeded
         # draw (worker processes hide it); make sure the lint walks it
         fleet = {p.name for p in (REPO_SRC / "repro" / "fleet").glob("*.py")}
-        assert {"ring.py", "runner.py", "shardsim.py", "streams.py"} <= fleet
+        assert {
+            "chaos.py", "ring.py", "runner.py", "shardsim.py", "streams.py"
+        } <= fleet
+
+    def test_scan_covers_the_fault_plan_modules(self):
+        # chaos plans must come only from seeded generate(): an unseeded
+        # draw here would give every run a different fault schedule and
+        # break the w1==w4 digest contract under chaos
+        fi = {
+            p.name
+            for p in (REPO_SRC / "repro" / "faultinject").glob("*.py")
+        }
+        assert {"fleet_faults.py", "validator_faults.py"} <= fi
 
     def test_scan_covers_the_auditor_modules(self):
         # the drift monitor and exposure ledger sit on the hot path of

@@ -56,7 +56,8 @@ def test_exit_code_registry_values():
     assert ExitCode.FAILURE == 1
     assert ExitCode.SAFE_HOLD == 2
     assert ExitCode.CANARY_MISSED == 3
-    assert len(ExitCode) == 4
+    assert ExitCode.DEGRADED_FLEET == 4
+    assert len(ExitCode) == 5
 
 
 def test_exit_codes_are_plain_ints():
